@@ -1,0 +1,215 @@
+//! Apriori — levelwise frequent-itemset mining (Agrawal & Srikant,
+//! VLDB 1994).
+//!
+//! Candidates of size `k+1` are joined from frequent `k`-itemsets sharing
+//! a `k-1` prefix and pruned by the downward-closure property before
+//! support counting. Support counting here uses per-item row bitsets
+//! (the dataset is tiny row-wise), which is kinder to the microarray
+//! shape than transaction scans yet leaves the algorithm exactly as
+//! levelwise as the original — the candidate explosion on long patterns
+//! is untouched, which is what the comparison needs to show.
+
+use crate::Budgeted;
+use farmer_dataset::Dataset;
+use rowset::{IdList, RowSet};
+
+/// A frequent itemset with its support count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items.
+    pub items: IdList,
+    /// `|R(items)|`.
+    pub support: usize,
+}
+
+/// Mines all frequent itemsets with `|R(X)| >= min_sup`.
+///
+/// `node_budget` bounds the number of candidates *counted* across all
+/// levels; `None` means unlimited. Budget exhaustion aborts the whole
+/// run (a partial levelwise answer is not useful).
+pub fn apriori(
+    data: &Dataset,
+    min_sup: usize,
+    node_budget: Option<u64>,
+) -> Budgeted<Vec<FrequentItemset>> {
+    let min_sup = min_sup.max(1);
+    let budget = node_budget.unwrap_or(u64::MAX);
+    let mut counted: u64 = 0;
+
+    // L1
+    let mut frequent: Vec<FrequentItemset> = Vec::new();
+    let mut level: Vec<(Vec<u32>, RowSet)> = Vec::new();
+    for i in 0..data.n_items() as u32 {
+        counted += 1;
+        if counted > budget {
+            return Budgeted::BudgetExhausted { nodes: counted };
+        }
+        let rows = data.item_rows(i);
+        if rows.len() >= min_sup {
+            level.push((vec![i], rows.clone()));
+        }
+    }
+
+    while !level.is_empty() {
+        for (items, rows) in &level {
+            frequent.push(FrequentItemset {
+                items: IdList::from_sorted(items.clone()),
+                support: rows.len(),
+            });
+        }
+        // join step: pairs sharing the first k-1 items (level is sorted
+        // lexicographically by construction)
+        let mut next: Vec<(Vec<u32>, RowSet)> = Vec::new();
+        let k = level[0].0.len();
+        let mut start = 0;
+        while start < level.len() {
+            // block of equal (k-1)-prefixes
+            let prefix = &level[start].0[..k - 1];
+            let mut end = start + 1;
+            while end < level.len() && &level[end].0[..k - 1] == prefix {
+                end += 1;
+            }
+            for a in start..end {
+                for b in a + 1..end {
+                    let mut cand = level[a].0.clone();
+                    cand.push(level[b].0[k - 1]);
+                    // prune step: all k-subsets must be frequent; with the
+                    // join above only subsets dropping one of the first
+                    // k-1 items still need checking
+                    if !all_subsets_frequent(&cand, &level) {
+                        continue;
+                    }
+                    counted += 1;
+                    if counted > budget {
+                        return Budgeted::BudgetExhausted { nodes: counted };
+                    }
+                    let rows = level[a].1.intersection(&level[b].1);
+                    if rows.len() >= min_sup {
+                        next.push((cand, rows));
+                    }
+                }
+            }
+            start = end;
+        }
+        next.sort_by(|a, b| a.0.cmp(&b.0));
+        level = next;
+    }
+    Budgeted::Done(frequent)
+}
+
+/// Downward-closure check: every `k`-subset of the `k+1` candidate must
+/// be in the current frequent level. The level is sorted, so binary
+/// search works.
+fn all_subsets_frequent(cand: &[u32], level: &[(Vec<u32>, RowSet)]) -> bool {
+    let mut sub = Vec::with_capacity(cand.len() - 1);
+    // skipping either of the two last items reproduces the join's parents
+    for skip in 0..cand.len().saturating_sub(2) {
+        sub.clear();
+        sub.extend(cand.iter().enumerate().filter(|&(j, _)| j != skip).map(|(_, &i)| i));
+        if level.binary_search_by(|probe| probe.0.as_slice().cmp(sub.as_slice())).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Counts frequent itemsets per size; convenient for cross-checks.
+pub fn count_by_size(sets: &[FrequentItemset]) -> Vec<usize> {
+    let max = sets.iter().map(|s| s.items.len()).max().unwrap_or(0);
+    let mut counts = vec![0usize; max + 1];
+    for s in sets {
+        counts[s.items.len()] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_dataset::{paper_example, DatasetBuilder};
+    use std::collections::HashSet;
+
+    fn naive_frequent(data: &Dataset, min_sup: usize) -> HashSet<(Vec<u32>, usize)> {
+        // enumerate all itemsets over items that appear somewhere
+        let items: Vec<u32> = (0..data.n_items() as u32).collect();
+        let mut out = HashSet::new();
+        let n_masks: u64 = 1 << items.len().min(20);
+        for mask in 1..n_masks {
+            let set: Vec<u32> = items
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| mask & (1 << j) != 0)
+                .map(|(_, &i)| i)
+                .collect();
+            let sup = data.rows_supporting(&IdList::from_sorted(set.clone())).len();
+            if sup >= min_sup {
+                out.insert((set, sup));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_small_dense_data() {
+        let mut b = DatasetBuilder::new(1);
+        b.add_row([0, 1, 2, 3], 0);
+        b.add_row([0, 1, 2], 0);
+        b.add_row([1, 2, 3], 0);
+        b.add_row([0, 3], 0);
+        let d = b.build();
+        for min_sup in 1..=3 {
+            let got: HashSet<(Vec<u32>, usize)> = apriori(&d, min_sup, None)
+                .expect_done("no budget")
+                .into_iter()
+                .map(|f| (f.items.as_slice().to_vec(), f.support))
+                .collect();
+            assert_eq!(got, naive_frequent(&d, min_sup), "min_sup={min_sup}");
+        }
+    }
+
+    #[test]
+    fn paper_example_level1_counts() {
+        let d = paper_example();
+        let sets = apriori(&d, 2, None).expect_done("no budget");
+        // singletons with support >= 2: a(4) b(2) c(2) d(2) e(3) f(2) h(3)
+        // l(3) o(2) p(2) q(2) r(2) s(2) t(2)
+        let singles = sets.iter().filter(|s| s.items.len() == 1).count();
+        assert_eq!(singles, 14);
+        // {a,e,h} occurs in rows 2,3,4
+        let a = d.item_by_name("a").unwrap();
+        let e = d.item_by_name("e").unwrap();
+        let h = d.item_by_name("h").unwrap();
+        let aeh = IdList::from_iter([a, e, h]);
+        let found = sets.iter().find(|s| s.items == aeh).expect("aeh frequent");
+        assert_eq!(found.support, 3);
+    }
+
+    #[test]
+    fn budget_cuts_off() {
+        let d = paper_example();
+        let r = apriori(&d, 1, Some(5));
+        assert!(!r.is_done());
+        match r {
+            Budgeted::BudgetExhausted { nodes } => assert_eq!(nodes, 6),
+            Budgeted::Done(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn count_by_size_works() {
+        let d = paper_example();
+        let sets = apriori(&d, 3, None).expect_done("no budget");
+        let counts = count_by_size(&sets);
+        assert_eq!(counts.iter().sum::<usize>(), sets.len());
+        assert!(counts[1] >= 1);
+    }
+
+    #[test]
+    fn min_sup_monotone() {
+        let d = paper_example();
+        let a = apriori(&d, 1, None).expect_done("x").len();
+        let b = apriori(&d, 2, None).expect_done("x").len();
+        let c = apriori(&d, 3, None).expect_done("x").len();
+        assert!(a >= b && b >= c);
+    }
+}

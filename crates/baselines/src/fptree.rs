@@ -1,0 +1,251 @@
+//! FP-tree: the prefix-tree transaction summary underlying FP-growth and
+//! CLOSET+.
+
+use farmer_dataset::ItemId;
+use std::collections::HashMap;
+
+/// One FP-tree node: an item, its count along this prefix path, and tree
+/// links. Node 0 is the root (item is meaningless there).
+#[derive(Clone, Debug)]
+struct Node {
+    item: ItemId,
+    count: usize,
+    parent: usize,
+    children: HashMap<ItemId, usize>,
+    /// Next node carrying the same item (header chain).
+    next_same_item: Option<usize>,
+}
+
+/// A frequency-ordered prefix tree over (weighted) transactions.
+///
+/// Items inside each inserted transaction are reordered by descending
+/// global frequency so shared prefixes collapse; a header table chains
+/// all nodes of each item for bottom-up traversal. Conditional pattern
+/// bases (the projections FP-growth and CLOSET+ recurse on) come from
+/// [`conditional_patterns`](Self::conditional_patterns).
+pub struct FpTree {
+    nodes: Vec<Node>,
+    /// item → (chain head, total count), for items present in the tree.
+    header: HashMap<ItemId, (usize, usize)>,
+    /// Descending-frequency order rank used to sort transactions.
+    rank: HashMap<ItemId, usize>,
+}
+
+impl FpTree {
+    /// Builds a tree from weighted transactions, keeping only items with
+    /// total weighted count ≥ `min_count`.
+    ///
+    /// Each transaction is `(items, weight)`; duplicate items within one
+    /// transaction are an error upstream and are debug-asserted here.
+    pub fn build(transactions: &[(Vec<ItemId>, usize)], min_count: usize) -> Self {
+        let mut freq: HashMap<ItemId, usize> = HashMap::new();
+        for (items, w) in transactions {
+            for &i in items {
+                *freq.entry(i).or_insert(0) += w;
+            }
+        }
+        freq.retain(|_, c| *c >= min_count);
+        // rank: frequency desc, item id asc for determinism
+        let mut order: Vec<(ItemId, usize)> = freq.iter().map(|(&i, &c)| (i, c)).collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: HashMap<ItemId, usize> =
+            order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+
+        let mut tree = FpTree {
+            nodes: vec![Node {
+                item: u32::MAX,
+                count: 0,
+                parent: 0,
+                children: HashMap::new(),
+                next_same_item: None,
+            }],
+            header: HashMap::new(),
+            rank,
+        };
+        let mut sorted = Vec::new();
+        for (items, w) in transactions {
+            debug_assert_eq!(
+                items.len(),
+                items.iter().collect::<std::collections::HashSet<_>>().len(),
+                "duplicate items in transaction"
+            );
+            sorted.clear();
+            sorted.extend(items.iter().copied().filter(|i| tree.rank.contains_key(i)));
+            sorted.sort_by_key(|i| tree.rank[i]);
+            tree.insert(&sorted, *w);
+        }
+        tree
+    }
+
+    fn insert(&mut self, items: &[ItemId], weight: usize) {
+        let mut cur = 0usize;
+        for &item in items {
+            let next = match self.nodes[cur].children.get(&item) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node {
+                        item,
+                        count: 0,
+                        parent: cur,
+                        children: HashMap::new(),
+                        next_same_item: None,
+                    });
+                    self.nodes[cur].children.insert(item, n);
+                    // push onto the header chain
+                    let entry = self.header.entry(item).or_insert((n, 0));
+                    if entry.0 != n {
+                        self.nodes[n].next_same_item = Some(entry.0);
+                        entry.0 = n;
+                    }
+                    n
+                }
+            };
+            self.nodes[next].count += weight;
+            let entry = self.header.get_mut(&item).expect("header entry exists");
+            entry.1 += weight;
+            cur = next;
+        }
+    }
+
+    /// Items present in the tree, ordered by ascending global frequency
+    /// (the order CLOSET+ and FP-growth iterate in).
+    pub fn items_ascending(&self) -> Vec<ItemId> {
+        let mut items: Vec<(ItemId, usize)> =
+            self.header.iter().map(|(&i, &(_, c))| (i, c)).collect();
+        items.sort_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        items.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Total count of `item` in the tree (0 if absent).
+    pub fn item_count(&self, item: ItemId) -> usize {
+        self.header.get(&item).map_or(0, |&(_, c)| c)
+    }
+
+    /// `true` iff the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.header.is_empty()
+    }
+
+    /// The conditional pattern base of `item`: for every node carrying
+    /// `item`, the path of items from its parent up to the root, weighted
+    /// by the node's count.
+    pub fn conditional_patterns(&self, item: ItemId) -> Vec<(Vec<ItemId>, usize)> {
+        let mut out = Vec::new();
+        let mut cursor = self.header.get(&item).map(|&(head, _)| head);
+        while let Some(n) = cursor {
+            let node = &self.nodes[n];
+            let mut path = Vec::new();
+            let mut p = node.parent;
+            while p != 0 {
+                path.push(self.nodes[p].item);
+                p = self.nodes[p].parent;
+            }
+            path.reverse();
+            if node.count > 0 {
+                out.push((path, node.count));
+            }
+            cursor = node.next_same_item;
+        }
+        out
+    }
+
+    /// If the whole tree is one chain from the root, returns the path as
+    /// `(item, count)` pairs top-down; CLOSET+ handles such trees by
+    /// direct combination instead of recursion.
+    pub fn single_path(&self) -> Option<Vec<(ItemId, usize)>> {
+        let mut out = Vec::new();
+        let mut cur = 0usize;
+        loop {
+            match self.nodes[cur].children.len() {
+                0 => return Some(out),
+                1 => {
+                    let &n = self.nodes[cur].children.values().next().expect("one child");
+                    out.push((self.nodes[n].item, self.nodes[n].count));
+                    cur = n;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Number of nodes, root included (a size diagnostic).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(v: &[&[u32]]) -> Vec<(Vec<u32>, usize)> {
+        v.iter().map(|s| (s.to_vec(), 1)).collect()
+    }
+
+    #[test]
+    fn build_collapses_shared_prefixes() {
+        // classic FP-growth example shape
+        let t = tx(&[&[0, 1, 2], &[0, 1], &[0, 2], &[3]]);
+        let tree = FpTree::build(&t, 1);
+        assert_eq!(tree.item_count(0), 3);
+        assert_eq!(tree.item_count(3), 1);
+        // 0 is the most frequent: all three transactions share the 0-node
+        // root child, so nodes = root + 0 + 1 + 2 + 2' + 3
+        assert_eq!(tree.n_nodes(), 6);
+    }
+
+    #[test]
+    fn min_count_filters_items() {
+        let t = tx(&[&[0, 1], &[0], &[0]]);
+        let tree = FpTree::build(&t, 2);
+        assert_eq!(tree.item_count(0), 3);
+        assert_eq!(tree.item_count(1), 0);
+        assert_eq!(tree.items_ascending(), vec![0]);
+    }
+
+    #[test]
+    fn conditional_patterns_walk_to_root() {
+        let t = tx(&[&[0, 1, 2], &[0, 2], &[1, 2]]);
+        let tree = FpTree::build(&t, 1);
+        // item 2 is everywhere; its pattern base are the prefixes
+        let mut base = tree.conditional_patterns(2);
+        base.sort();
+        // frequency order: 2(3) first, then 0(2), 1(2) -> paths exclude 2
+        // transactions sorted: [2,0,1], [2,0], [2,1] -> 2 is the prefix!
+        // so conditional base of 0: paths [2] (count 2); of 1: [2,0] and [2]
+        let base0 = tree.conditional_patterns(0);
+        assert_eq!(base0, vec![(vec![2], 2)]);
+        let mut base1 = tree.conditional_patterns(1);
+        base1.sort();
+        assert_eq!(base1, vec![(vec![2], 1), (vec![2, 0], 1)]);
+        // item 2 sits directly under the root
+        assert_eq!(tree.conditional_patterns(2), vec![(vec![], 3)]);
+        let _ = base;
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let chain = FpTree::build(&tx(&[&[0, 1, 2], &[0, 1], &[0]]), 1);
+        let path = chain.single_path().expect("is a chain");
+        assert_eq!(path, vec![(0, 3), (1, 2), (2, 1)]);
+        let branchy = FpTree::build(&tx(&[&[0], &[1]]), 1);
+        assert!(branchy.single_path().is_none());
+    }
+
+    #[test]
+    fn weighted_transactions() {
+        let t = vec![(vec![0, 1], 3), (vec![0], 2)];
+        let tree = FpTree::build(&t, 1);
+        assert_eq!(tree.item_count(0), 5);
+        assert_eq!(tree.item_count(1), 3);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = FpTree::build(&[], 1);
+        assert!(tree.is_empty());
+        assert!(tree.items_ascending().is_empty());
+        assert_eq!(tree.single_path(), Some(vec![]));
+    }
+}

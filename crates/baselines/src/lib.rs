@@ -1,0 +1,71 @@
+//! Column-enumeration baselines for the FARMER evaluation.
+//!
+//! The paper (§4.1) compares FARMER against the strongest available
+//! column-enumeration miners of its day; this crate reimplements each of
+//! them from scratch so the comparison can be regenerated:
+//!
+//! * [`apriori`] — the classic levelwise frequent-itemset miner
+//!   (Agrawal & Srikant, VLDB'94); the yardstick everything else beats;
+//! * [`charm`] — CHARM (Zaki & Hsiao, SDM'02): vertical tidset-based
+//!   closed-itemset mining over an IT-tree with the four subsumption
+//!   properties;
+//! * [`closet`] — a CLOSET+-style closed-itemset miner (Wang, Han, Pei,
+//!   KDD'03) over a genuine FP-tree with conditional projections and
+//!   item merging;
+//! * [`column_e`] — "ColumnE", the column-enumeration interesting-rule
+//!   miner in the spirit of Bayardo & Agrawal (KDD'99) that the paper
+//!   uses as its closest competitor: it walks the itemset lattice,
+//!   groups rules by antecedent support set, and applies the same
+//!   IRG filter as FARMER.
+//!
+//! All miners are exact; the closed-set miners must agree with each
+//! other and with CARPENTER (enforced by tests). The column enumerators
+//! are *intentionally* exponential in pattern length on microarray-shaped
+//! data — that inefficiency is the paper's headline result — so
+//! [`column_e`] and [`apriori`] accept a node budget and report when they
+//! exceed it instead of hanging the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod charm;
+pub mod closet;
+pub mod column_e;
+mod fptree;
+
+pub use fptree::FpTree;
+
+/// A mining run that may exhaust its node budget.
+///
+/// The budget makes deliberately-slow baselines usable inside benchmark
+/// sweeps: a run that would take hours (the paper reports "more than one
+/// day" for ColumnE at low support) returns `BudgetExhausted` after a
+/// deterministic amount of work instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Budgeted<T> {
+    /// The run finished within budget.
+    Done(T),
+    /// The run was cut off after visiting `nodes` search nodes.
+    BudgetExhausted {
+        /// Nodes visited before the cutoff.
+        nodes: u64,
+    },
+}
+
+impl<T> Budgeted<T> {
+    /// Unwraps a finished run; panics on `BudgetExhausted`.
+    pub fn expect_done(self, msg: &str) -> T {
+        match self {
+            Budgeted::Done(t) => t,
+            Budgeted::BudgetExhausted { nodes } => {
+                panic!("{msg}: budget exhausted after {nodes} nodes")
+            }
+        }
+    }
+
+    /// `true` iff the run finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Budgeted::Done(_))
+    }
+}

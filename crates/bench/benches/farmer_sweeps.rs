@@ -1,0 +1,64 @@
+//! Criterion counterparts of Figures 10 and 11: FARMER runtime as the
+//! support / confidence / χ² thresholds sweep, on the CT and ALL
+//! analogs (the two datasets small enough for statistically tight
+//! Criterion runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farmer_bench::workloads::WorkloadCache;
+use farmer_core::{Farmer, MiningParams};
+use farmer_dataset::synth::PaperDataset;
+use std::time::Duration;
+
+fn fig10_minsup(c: &mut Criterion) {
+    let cache = WorkloadCache::new(0.05);
+    let mut group = c.benchmark_group("fig10_minsup");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for p in [PaperDataset::ColonTumor, PaperDataset::Leukemia] {
+        let d = cache.efficiency(p);
+        for minsup in [7usize, 5, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(p.code(), minsup),
+                &minsup,
+                |b, &minsup| {
+                    let params = MiningParams::new(1).min_sup(minsup);
+                    b.iter(|| Farmer::new(params.clone()).mine(&d));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig11_minconf(c: &mut Criterion) {
+    let cache = WorkloadCache::new(0.05);
+    let d = cache.efficiency(PaperDataset::ColonTumor);
+    let mut group = c.benchmark_group("fig11_minconf");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for conf_pct in [0usize, 70, 90] {
+        group.bench_with_input(BenchmarkId::new("CT", conf_pct), &conf_pct, |b, &pct| {
+            let params = MiningParams::new(1).min_sup(3).min_conf(pct as f64 / 100.0);
+            b.iter(|| Farmer::new(params.clone()).mine(&d));
+        });
+    }
+    group.finish();
+}
+
+fn fig11_minchi(c: &mut Criterion) {
+    let cache = WorkloadCache::new(0.05);
+    let d = cache.efficiency(PaperDataset::ColonTumor);
+    let mut group = c.benchmark_group("fig11_minchi");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for chi in [0u32, 10] {
+        group.bench_with_input(BenchmarkId::new("CT_conf80", chi), &chi, |b, &chi| {
+            let params = MiningParams::new(1)
+                .min_sup(3)
+                .min_conf(0.8)
+                .min_chi(chi as f64);
+            b.iter(|| Farmer::new(params.clone()).mine(&d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10_minsup, fig11_minconf, fig11_minchi);
+criterion_main!(benches);

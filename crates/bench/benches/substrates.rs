@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the substrates: RowSet/IdList set algebra, the
+//! discretizers, and classifier training (Table 2's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use farmer_classify::pipeline::DiscretizedSplit;
+use farmer_classify::{IrgClassifier, SvmClassifier, SvmConfig};
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::synth::SynthConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rowset::{IdList, RowSet};
+use std::time::Duration;
+
+fn rowset_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cap = 1024usize;
+    let a = RowSet::from_ids(cap, (0..cap).filter(|_| rng.gen_bool(0.3)));
+    let b = RowSet::from_ids(cap, (0..cap).filter(|_| rng.gen_bool(0.3)));
+    let mut group = c.benchmark_group("rowset");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("intersection", |bch| bch.iter(|| a.intersection(&b)));
+    group.bench_function("intersection_len", |bch| bch.iter(|| a.intersection_len(&b)));
+    group.bench_function("is_subset", |bch| bch.iter(|| a.is_subset(&b)));
+    group.bench_function("iter_collect", |bch| bch.iter(|| a.to_vec()));
+    group.finish();
+}
+
+fn idlist_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = IdList::from_iter((0..20_000u32).filter(|_| rng.gen_bool(0.2)));
+    let b = IdList::from_iter((0..20_000u32).filter(|_| rng.gen_bool(0.2)));
+    let mut group = c.benchmark_group("idlist");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("intersection", |bch| bch.iter(|| a.intersection(&b)));
+    group.bench_function("is_subset", |bch| bch.iter(|| a.is_subset(&b)));
+    group.finish();
+}
+
+fn discretizers(c: &mut Criterion) {
+    let m = SynthConfig {
+        n_rows: 97,
+        n_genes: 1000,
+        n_class1: 46,
+        n_signature: 200,
+        ..Default::default()
+    }
+    .generate();
+    let mut group = c.benchmark_group("discretize");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, d) in [
+        ("equal_depth_10", Discretizer::EqualDepth { buckets: 10 }),
+        ("equal_width_10", Discretizer::EqualWidth { buckets: 10 }),
+        ("entropy_mdl", Discretizer::EntropyMdl),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, d| {
+            b.iter(|| d.discretize(&m));
+        });
+    }
+    group.finish();
+}
+
+fn classifiers(c: &mut Criterion) {
+    let m = SynthConfig {
+        n_rows: 62,
+        n_genes: 400,
+        n_class1: 40,
+        n_signature: 120,
+        shift: 2.0,
+        clusters_per_class: 3,
+        cluster_spread: 1.8,
+        cluster_noise: 0.35,
+        ..Default::default()
+    }
+    .generate();
+    let (tr, te) = m.stratified_split(47, 1);
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("irg_train", |b| {
+        let split = DiscretizedSplit::fit(&tr, &te, &Discretizer::EntropyMdl);
+        b.iter(|| IrgClassifier::train(&split.train, 0.7, 0.8));
+    });
+    group.bench_function("svm_train", |b| {
+        b.iter(|| SvmClassifier::train(&tr, &SvmConfig::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rowset_ops, idlist_ops, discretizers, classifiers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Extension experiment A3: COBBLER's dynamic row/column switching on
+//! two table shapes — the microarray shape (wide, short) where rows are
+//! the cheap side, and a replicated tall-and-wide table (the SSDBM'04
+//! motivation) where neither pure direction wins everywhere.
+
+use crate::Opts;
+use farmer_bench::report::Table;
+use farmer_bench::workloads::WorkloadCache;
+use farmer_bench::{fmt_ms, time};
+use farmer_core::cobbler::{cobbler, SwitchPolicy};
+use farmer_dataset::replicate::replicate_rows;
+use farmer_dataset::synth::PaperDataset;
+use farmer_dataset::Dataset;
+
+pub fn run(opts: &Opts, cache: &WorkloadCache) {
+    println!("== Extension A3: COBBLER row/column switching (closed patterns) ==\n");
+    let ct = cache.efficiency(PaperDataset::ColonTumor);
+    let tall = replicate_rows(&ct, if opts.quick { 2 } else { 6 });
+    let shapes: [(&str, &Dataset, usize); 2] = [
+        ("wide-short (CT, 62 rows)", &ct, 5),
+        ("tall-and-wide (CT x6, 372 rows)", &tall, 30),
+    ];
+    for (name, d, min_sup) in shapes {
+        println!("-- {} at min_sup {} --", name, min_sup);
+        let mut t = Table::new(&["policy", "runtime", "closed", "col nodes", "switches"]);
+        let mut reference: Option<usize> = None;
+        for (label, policy) in [
+            ("auto", SwitchPolicy::Auto),
+            ("columns only", SwitchPolicy::ColumnsOnly),
+            ("rows only", SwitchPolicy::RowsOnly),
+        ] {
+            let (res, dt) = time(|| cobbler(d, min_sup, policy));
+            match reference {
+                None => reference = Some(res.patterns.len()),
+                Some(n) => assert_eq!(n, res.patterns.len(), "policies disagree!"),
+            }
+            t.row_owned(vec![
+                label.to_string(),
+                fmt_ms(dt),
+                res.patterns.len().to_string(),
+                res.stats.column_nodes.to_string(),
+                res.stats.switches.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 10 — runtime vs minimum support for FARMER, ColumnE, CHARM
+//! (and CLOSET+, which the paper measured but dropped as dominated),
+//! plus the 10(f) IRG counts.
+
+use crate::Opts;
+use farmer_baselines::charm::charm_budgeted;
+use farmer_baselines::closet::closet_budgeted;
+use farmer_baselines::column_e::column_e;
+use farmer_baselines::Budgeted;
+use farmer_bench::report::Table;
+use farmer_bench::workloads::{fig10_minsup_grid, WorkloadCache};
+use farmer_bench::{fmt_ms, time};
+use farmer_core::{Farmer, MiningParams};
+use farmer_dataset::synth::PaperDataset;
+
+pub fn run(opts: &Opts, cache: &WorkloadCache) {
+    println!("== Figure 10: runtime (ms) vs minimum support (minconf = minchi = 0) ==");
+    println!("'>budget' marks a column-enumeration run cut off at {} nodes\n", opts.budget);
+
+    let mut counts = Table::new(&["dataset", "minsup", "#IRGs"]);
+    for (panel, p) in PaperDataset::all().into_iter().enumerate() {
+        let d = cache.efficiency(p);
+        let mut grid = fig10_minsup_grid(p);
+        if opts.quick {
+            grid.truncate(2);
+        }
+        println!(
+            "-- Figure 10({}): {} analog ({} rows x {} items) --",
+            char::from(b'a' + panel as u8),
+            p.code(),
+            d.n_rows(),
+            d.n_items()
+        );
+        let mut t = Table::new(&["minsup", "FARMER", "ColumnE", "CHARM", "CLOSET+"]);
+        // once an algorithm exceeds its budget, lower supports only get
+        // worse: stop re-running it (the paper likewise omits hopeless
+        // points)
+        let mut cole_dead = false;
+        let mut charm_dead = false;
+        let mut closet_dead = false;
+        for minsup in grid {
+            let params = MiningParams::new(opts.target_class).min_sup(minsup).min_conf(0.0);
+            let (res, t_farmer) = time(|| Farmer::new(params.clone()).mine(&d));
+            counts.row_owned(vec![
+                p.code().to_string(),
+                minsup.to_string(),
+                res.len().to_string(),
+            ]);
+
+            let cole_cell = if cole_dead {
+                "-".to_string()
+            } else {
+                let (r, dt) = time(|| column_e(&d, &params, Some(opts.budget)));
+                match r {
+                    Budgeted::Done(_) => fmt_ms(dt),
+                    Budgeted::BudgetExhausted { .. } => {
+                        cole_dead = true;
+                        format!(">{}", fmt_ms(dt))
+                    }
+                }
+            };
+            let charm_cell = if charm_dead {
+                "-".to_string()
+            } else {
+                let (r, dt) = time(|| charm_budgeted(&d, minsup, Some(opts.budget)));
+                match r {
+                    Budgeted::Done(_) => fmt_ms(dt),
+                    Budgeted::BudgetExhausted { .. } => {
+                        charm_dead = true;
+                        format!(">{}", fmt_ms(dt))
+                    }
+                }
+            };
+            let closet_cell = if closet_dead {
+                "-".to_string()
+            } else {
+                let (r, dt) = time(|| closet_budgeted(&d, minsup, Some(opts.budget / 100)));
+                match r {
+                    Budgeted::Done(_) => fmt_ms(dt),
+                    Budgeted::BudgetExhausted { .. } => {
+                        closet_dead = true;
+                        format!(">{}", fmt_ms(dt))
+                    }
+                }
+            };
+            t.row_owned(vec![
+                minsup.to_string(),
+                fmt_ms(t_farmer),
+                cole_cell,
+                charm_cell,
+                closet_cell,
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("-- Figure 10(f): number of IRGs vs minsup (minchi = 0) --");
+    println!("{}", counts.render());
+}

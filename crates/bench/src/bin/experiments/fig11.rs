@@ -1,0 +1,72 @@
+//! Figure 11 — runtime vs minimum confidence at a low fixed support,
+//! with and without the χ² constraint (minchi = 10), plus the 11(f)
+//! IRG counts.
+//!
+//! The paper could not run CHARM (out of memory) or ColumnE (> 1 day)
+//! at these settings at all; the analog keeps one budgeted ColumnE
+//! column to document the same failure mode.
+
+use crate::Opts;
+use farmer_baselines::column_e::column_e;
+use farmer_baselines::Budgeted;
+use farmer_bench::report::Table;
+use farmer_bench::workloads::{fig11_minconf_grid, fig11_minsup, WorkloadCache};
+use farmer_bench::{fmt_ms, time};
+use farmer_core::{Farmer, MiningParams};
+use farmer_dataset::synth::PaperDataset;
+
+pub fn run(opts: &Opts, cache: &WorkloadCache) {
+    println!("== Figure 11: runtime (ms) vs minimum confidence (low fixed minsup) ==\n");
+    let mut counts = Table::new(&["dataset", "minconf", "#IRGs (minchi=0)"]);
+    for (panel, p) in PaperDataset::all().into_iter().enumerate() {
+        let d = cache.efficiency(p);
+        let minsup = fig11_minsup(p);
+        let mut grid = fig11_minconf_grid();
+        if opts.quick {
+            grid = vec![0.0, 0.9];
+        }
+        println!(
+            "-- Figure 11({}): {} analog (minsup = {minsup}) --",
+            char::from(b'a' + panel as u8),
+            p.code(),
+        );
+        let mut t = Table::new(&[
+            "minconf",
+            "FARMER",
+            "FARMER minchi=10",
+            "ColumnE",
+        ]);
+        let mut cole_dead = false;
+        for conf in grid {
+            let params = MiningParams::new(opts.target_class).min_sup(minsup).min_conf(conf);
+            let (res, t_plain) = time(|| Farmer::new(params.clone()).mine(&d));
+            let (_, t_chi) = time(|| Farmer::new(params.clone().min_chi(10.0)).mine(&d));
+            counts.row_owned(vec![
+                p.code().to_string(),
+                format!("{:.0}%", conf * 100.0),
+                res.len().to_string(),
+            ]);
+            let cole_cell = if cole_dead {
+                "-".to_string()
+            } else {
+                let (r, dt) = time(|| column_e(&d, &params, Some(opts.budget)));
+                match r {
+                    Budgeted::Done(_) => fmt_ms(dt),
+                    Budgeted::BudgetExhausted { .. } => {
+                        cole_dead = true;
+                        format!(">{}", fmt_ms(dt))
+                    }
+                }
+            };
+            t.row_owned(vec![
+                format!("{:.0}%", conf * 100.0),
+                fmt_ms(t_plain),
+                fmt_ms(t_chi),
+                cole_cell,
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("-- Figure 11(f): number of IRGs vs minconf (minchi = 0) --");
+    println!("{}", counts.render());
+}

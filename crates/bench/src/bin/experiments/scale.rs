@@ -1,0 +1,50 @@
+//! §4.1 scalability note — replicating the rows 2–10× and watching how
+//! FARMER's row enumeration degrades versus the closed-set baselines.
+//!
+//! Support thresholds scale with the replication factor so every run
+//! mines the same patterns over proportionally more rows.
+
+use crate::Opts;
+use farmer_baselines::charm::charm_budgeted;
+use farmer_baselines::closet::closet_budgeted;
+use farmer_baselines::Budgeted;
+use farmer_bench::report::Table;
+use farmer_bench::workloads::WorkloadCache;
+use farmer_bench::{fmt_ms, time};
+use farmer_core::{Farmer, MiningParams};
+use farmer_dataset::replicate::replicate_rows;
+use farmer_dataset::synth::PaperDataset;
+
+pub fn run(opts: &Opts, cache: &WorkloadCache) {
+    println!("== Scalability: row replication x1..x10 (PC analog, minsup scaled with rows) ==\n");
+    let base = cache.efficiency(PaperDataset::ProstateCancer);
+    let base_minsup = 8usize;
+    let factors: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4, 6, 8, 10] };
+
+    let mut t = Table::new(&["factor", "rows", "FARMER", "#IRGs", "CHARM", "CLOSET+"]);
+    for &k in factors {
+        let d = replicate_rows(&base, k);
+        let minsup = base_minsup * k;
+        let params = MiningParams::new(opts.target_class).min_sup(minsup).min_conf(0.0);
+        let (res, t_farmer) = time(|| Farmer::new(params).mine(&d));
+        let (ch, t_charm) = time(|| charm_budgeted(&d, minsup, Some(opts.budget)));
+        let charm_cell = match ch {
+            Budgeted::Done(_) => fmt_ms(t_charm),
+            Budgeted::BudgetExhausted { .. } => format!(">{}", fmt_ms(t_charm)),
+        };
+        let (cl, t_closet) = time(|| closet_budgeted(&d, minsup, Some(opts.budget / 200)));
+        let closet_cell = match cl {
+            Budgeted::Done(_) => fmt_ms(t_closet),
+            Budgeted::BudgetExhausted { .. } => format!(">{}", fmt_ms(t_closet)),
+        };
+        t.row_owned(vec![
+            format!("x{k}"),
+            d.n_rows().to_string(),
+            fmt_ms(t_farmer),
+            res.len().to_string(),
+            charm_cell,
+            closet_cell,
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,40 @@
+//! Table 1 — dataset characteristics of the five analogs.
+
+use crate::Opts;
+use farmer_bench::report::Table;
+use farmer_bench::workloads::{efficiency_dataset, matrix_for};
+use farmer_dataset::synth::PaperDataset;
+
+pub fn run(opts: &Opts) {
+    println!("== Table 1: microarray dataset analogs (col-scale {}) ==", opts.col_scale);
+    println!("paper columns are the original dimensions; analog columns are what this run synthesizes\n");
+    let mut t = Table::new(&[
+        "dataset",
+        "paper rows",
+        "paper cols",
+        "paper class1",
+        "analog cols",
+        "items (10-bucket)",
+        "avg row len",
+        "class 1",
+        "class 0",
+    ]);
+    for p in PaperDataset::all() {
+        let (rows, cols, c1) = p.table1_shape();
+        let m = matrix_for(p, opts.col_scale);
+        let d = efficiency_dataset(p, opts.col_scale);
+        let (c1_name, c0_name) = p.class_names();
+        t.row_owned(vec![
+            p.code().to_string(),
+            rows.to_string(),
+            cols.to_string(),
+            c1.to_string(),
+            m.n_genes().to_string(),
+            d.n_items().to_string(),
+            format!("{:.0}", d.avg_row_len()),
+            format!("{} ({})", d.class_count(1), c1_name),
+            format!("{} ({})", d.class_count(0), c0_name),
+        ]);
+    }
+    println!("{}", t.render());
+}

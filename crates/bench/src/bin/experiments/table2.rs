@@ -1,0 +1,109 @@
+//! Table 2 — classification accuracy of the IRG classifier vs CBA vs a
+//! linear SVM, on entropy-discretized train/test splits with the paper's
+//! split sizes.
+
+use crate::Opts;
+use farmer_bench::report::Table;
+use farmer_bench::workloads::matrix_for;
+use farmer_classify::eval::accuracy;
+use farmer_classify::pipeline::DiscretizedSplit;
+use farmer_classify::{CbaClassifier, IrgClassifier, SvmClassifier, SvmConfig, TopKCommittee};
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::synth::PaperDataset;
+
+struct Row {
+    code: &'static str,
+    n_train: usize,
+    n_test: usize,
+    irg: f64,
+    cba: f64,
+    svm: f64,
+    committee: f64,
+}
+
+pub fn run(opts: &Opts) {
+    println!("== Table 2: classification accuracy (entropy-MDL discretization, paper split sizes) ==");
+    println!("CBA params: minsup = 0.7 x |class|, minconf = 0.8 (same for the IRG classifier)\n");
+
+    // the five datasets are independent: evaluate them on worker threads
+    let mut rows: Vec<Row> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = PaperDataset::all()
+            .into_iter()
+            .map(|p| scope.spawn(move |_| evaluate(p, opts)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
+    rows.sort_by_key(|r| PaperDataset::all().iter().position(|p| p.code() == r.code));
+
+    let mut t = Table::new(&[
+        "dataset",
+        "#training",
+        "#test",
+        "IRG classifier",
+        "CBA",
+        "SVM",
+        "TopK committee (ext)",
+    ]);
+    let (mut s_irg, mut s_cba, mut s_svm, mut s_com) = (0.0, 0.0, 0.0, 0.0);
+    for r in &rows {
+        s_irg += r.irg;
+        s_cba += r.cba;
+        s_svm += r.svm;
+        s_com += r.committee;
+        t.row_owned(vec![
+            r.code.to_string(),
+            r.n_train.to_string(),
+            r.n_test.to_string(),
+            format!("{:.2}%", r.irg * 100.0),
+            format!("{:.2}%", r.cba * 100.0),
+            format!("{:.2}%", r.svm * 100.0),
+            format!("{:.2}%", r.committee * 100.0),
+        ]);
+    }
+    let n = rows.len() as f64;
+    t.row_owned(vec![
+        "Average".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}%", s_irg / n * 100.0),
+        format!("{:.2}%", s_cba / n * 100.0),
+        format!("{:.2}%", s_svm / n * 100.0),
+        format!("{:.2}%", s_com / n * 100.0),
+    ]);
+    println!("{}", t.render());
+}
+
+fn evaluate(p: PaperDataset, opts: &Opts) -> Row {
+    let m = matrix_for(p, opts.col_scale);
+    let (n_train, n_test) = p.table2_split();
+    let (train_m, test_m) = m.stratified_split(n_train, opts.seed);
+    // cohort/batch mismatch between train and test, as in the clinical
+    // originals (strongest for BC — see PaperDataset::table2_batch_shift)
+    let test_m = test_m.shifted_per_gene(p.table2_batch_shift(), opts.seed ^ 0xBA7C);
+
+    // rule-based classifiers: entropy-MDL items learned on train only
+    let split = DiscretizedSplit::fit(&train_m, &test_m, &Discretizer::EntropyMdl);
+    let irg = IrgClassifier::train(&split.train, 0.7, 0.8);
+    let cba = CbaClassifier::train(&split.train, 0.7, 0.8);
+    let irg_acc = accuracy(split.test.labels(), &irg.predict_dataset(&split.test));
+    let cba_acc = accuracy(split.test.labels(), &cba.predict_dataset(&split.test));
+
+    // SVM: continuous values
+    let svm = SvmClassifier::train(&train_m, &SvmConfig::default());
+    let svm_acc = svm.score(&test_m);
+
+    // extension beyond the paper: the top-k committee (RCBT-style)
+    let committee = TopKCommittee::train(&split.train, 3, (n_train / 10).max(4));
+    let com_acc = accuracy(split.test.labels(), &committee.predict_dataset(&split.test));
+
+    Row {
+        code: p.code(),
+        n_train,
+        n_test,
+        irg: irg_acc,
+        cba: cba_acc,
+        svm: svm_acc,
+        committee: com_acc,
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared infrastructure for the FARMER evaluation harness.
+//!
+//! Every table and figure of the paper's §4 has a regenerator in the
+//! `experiments` binary of this crate, backed by the helpers here:
+//! deterministic workload construction (synthetic analogs of the five
+//! clinical datasets, discretized the way the paper does), wall-clock
+//! timing, and plain-text table rendering. Criterion micro-benchmarks
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds as a compact human string (`"12.3"`, `"4510"`).
+pub fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 100.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures() {
+        let (v, d) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+        assert_eq!(fmt_ms(Duration::from_millis(4510)), "4510");
+    }
+}

@@ -1,0 +1,245 @@
+//! A top-k rule-group committee classifier, after RCBT (Cong, Tan,
+//! Tung, Xu; SIGMOD 2005) — the FARMER authors' follow-up that replaced
+//! the single CBA-style rule list with committees built from the top-k
+//! covering rule groups of every training sample.
+//!
+//! Simplified construction kept here:
+//!
+//! * for each class, mine the top-k covering groups of every training
+//!   row of that class ([`farmer_core::topk::mine_top_k`]) and pool them
+//!   (deduplicated);
+//! * a test sample collects every pooled group that *fires* on it
+//!   (fractional fingerprint containment, as in the IRG classifier);
+//! * each class's score is the sum of its firing groups' normalized
+//!   discriminative weights `conf − prior(class)`, and the best score
+//!   wins (falling back to the majority class when nothing fires).
+//!
+//! The committee degrades more gracefully than a first-match rule list:
+//! a sample losing its best group to measurement noise is still scored
+//! by the remaining committee members.
+
+use farmer_core::topk::{mine_top_k_budgeted, TopKGroup};
+use farmer_dataset::{ClassLabel, Dataset};
+use rowset::IdList;
+
+/// Fingerprint containment threshold used when matching test samples.
+pub const COMMITTEE_THETA: f64 = 0.8;
+
+/// Node budget per class for the top-k mining step (same rationale as
+/// the rule-list classifiers' budget: bounded training cost with
+/// graceful degradation).
+const TRAIN_NODE_BUDGET: u64 = 2_000_000;
+
+/// One committee member: a rule group voting for a class.
+#[derive(Clone, Debug)]
+struct Member {
+    fingerprint: IdList,
+    class: ClassLabel,
+    /// `conf − prior`: how much better than chance this group predicts
+    /// its class.
+    weight: f64,
+}
+
+/// The trained committee.
+///
+/// ```
+/// use farmer_classify::TopKCommittee;
+/// let data = farmer_dataset::paper_example();
+/// let committee = TopKCommittee::train(&data, 2, 1);
+/// let prediction = committee.predict(data.row(0));
+/// assert!(prediction < 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopKCommittee {
+    members: Vec<Member>,
+    majority: ClassLabel,
+    theta: f64,
+}
+
+impl TopKCommittee {
+    /// Trains a committee from `train`: the top-`k` groups covering each
+    /// row, per class, with rule support ≥ `min_sup` (absolute).
+    pub fn train(train: &Dataset, k: usize, min_sup: usize) -> Self {
+        let n = train.n_rows() as f64;
+        let mut members: Vec<Member> = Vec::new();
+        let mut seen: std::collections::HashSet<(ClassLabel, IdList)> =
+            std::collections::HashSet::new();
+        for class in 0..train.n_classes() as ClassLabel {
+            let class_n = train.class_count(class);
+            if class_n == 0 {
+                continue;
+            }
+            let prior = class_n as f64 / n;
+            let result = mine_top_k_budgeted(train, class, k, min_sup, Some(TRAIN_NODE_BUDGET));
+            for (row, groups) in result.per_row.iter().enumerate() {
+                if train.label(row as u32) != class {
+                    continue; // committees are built from same-class covers
+                }
+                for g in groups {
+                    if seen.insert((class, g.upper.clone())) {
+                        members.push(Member {
+                            fingerprint: g.upper.clone(),
+                            class,
+                            weight: (g.confidence() - prior).max(0.0),
+                        });
+                    }
+                }
+            }
+        }
+        let majority = majority_class(train);
+        TopKCommittee {
+            members,
+            majority,
+            theta: COMMITTEE_THETA,
+        }
+    }
+
+    /// Overrides the fingerprint threshold (default
+    /// [`COMMITTEE_THETA`]).
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        self.theta = theta;
+        self
+    }
+
+    /// Number of committee members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Per-class scores for a sample (empty-score classes included).
+    pub fn scores(&self, items: &IdList) -> Vec<f64> {
+        let n_classes = self
+            .members
+            .iter()
+            .map(|m| m.class as usize + 1)
+            .max()
+            .unwrap_or(1)
+            .max(self.majority as usize + 1);
+        let mut scores = vec![0.0; n_classes];
+        for m in &self.members {
+            if m.fingerprint.is_empty() {
+                continue;
+            }
+            let hit = m.fingerprint.intersection_len(items) as f64
+                >= self.theta * m.fingerprint.len() as f64;
+            if hit {
+                scores[m.class as usize] += m.weight;
+            }
+        }
+        scores
+    }
+
+    /// Predicted class: highest committee score, majority class when no
+    /// member fires (ties to the smaller label).
+    pub fn predict(&self, items: &IdList) -> ClassLabel {
+        let scores = self.scores(items);
+        let best = scores
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best <= 0.0 {
+            return self.majority;
+        }
+        scores
+            .iter()
+            .position(|&s| s == best)
+            .map(|c| c as ClassLabel)
+            .unwrap_or(self.majority)
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict_dataset(&self, data: &Dataset) -> Vec<ClassLabel> {
+        (0..data.n_rows() as u32).map(|r| self.predict(data.row(r))).collect()
+    }
+}
+
+fn majority_class(d: &Dataset) -> ClassLabel {
+    let mut counts = vec![0usize; d.n_classes()];
+    for &l in d.labels() {
+        counts[l as usize] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as ClassLabel)
+        .unwrap_or(0)
+}
+
+/// Re-exported for tests and tooling: the raw per-row top-k groups.
+pub type PerRowGroups = Vec<Vec<TopKGroup>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_dataset::DatasetBuilder;
+
+    fn il(v: &[u32]) -> IdList {
+        IdList::from_iter(v.iter().copied())
+    }
+
+    fn separable() -> Dataset {
+        let mut b = DatasetBuilder::new(2);
+        b.add_row([0, 2], 0);
+        b.add_row([0, 3], 0);
+        b.add_row([0, 2, 3], 0);
+        b.add_row([1, 2], 1);
+        b.add_row([1, 3], 1);
+        b.add_row([1, 2, 3], 1);
+        b.build()
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let d = separable();
+        let c = TopKCommittee::train(&d, 2, 2);
+        assert!(c.n_members() > 0);
+        let preds = c.predict_dataset(&d);
+        assert_eq!(preds, d.labels());
+    }
+
+    #[test]
+    fn unseen_samples_use_markers() {
+        let d = separable();
+        let c = TopKCommittee::train(&d, 2, 2).with_theta(1.0);
+        assert_eq!(c.predict(&il(&[0])), 0);
+        assert_eq!(c.predict(&il(&[1, 9])), 1);
+    }
+
+    #[test]
+    fn no_fire_falls_to_majority() {
+        let mut b = DatasetBuilder::new(2);
+        b.add_row([0], 0);
+        b.add_row([1], 1);
+        b.add_row([2], 1);
+        let d = b.build();
+        let c = TopKCommittee::train(&d, 1, 1);
+        assert_eq!(c.predict(&il(&[9])), 1, "majority is class 1");
+    }
+
+    #[test]
+    fn scores_are_per_class() {
+        let d = separable();
+        let c = TopKCommittee::train(&d, 2, 2);
+        let s = c.scores(&il(&[0, 2]));
+        assert_eq!(s.len(), 2);
+        assert!(s[0] > s[1], "{s:?}");
+    }
+
+    #[test]
+    fn committee_robust_to_one_lost_item() {
+        // fingerprints of length >= 2 with theta 0.5 tolerate one miss
+        let d = separable();
+        let c = TopKCommittee::train(&d, 3, 2).with_theta(0.5);
+        // {0,2} sample missing item 2 still carries marker 0
+        assert_eq!(c.predict(&il(&[0])), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in (0, 1]")]
+    fn bad_theta_panics() {
+        let d = separable();
+        let _ = TopKCommittee::train(&d, 1, 1).with_theta(1.5);
+    }
+}

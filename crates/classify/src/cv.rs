@@ -1,0 +1,178 @@
+//! Stratified k-fold cross-validation over expression matrices.
+
+use crate::eval::accuracy;
+use crate::pipeline::DiscretizedSplit;
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::{ClassLabel, ExpressionMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-fold and aggregate accuracy of one cross-validated evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CvResult {
+    /// Accuracy of each fold, in fold order.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean accuracy across folds.
+    pub fn mean(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+
+    /// Population standard deviation across folds.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        let var = self
+            .fold_accuracies
+            .iter()
+            .map(|a| (a - m) * (a - m))
+            .sum::<f64>()
+            / self.fold_accuracies.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// Class-stratified fold assignment: returns `fold_of[row]` in
+/// `0..folds`, deterministic in `seed`, with each class's rows spread as
+/// evenly as possible across folds.
+pub fn stratified_folds(labels: &[ClassLabel], folds: usize, seed: u64) -> Vec<usize> {
+    assert!(folds >= 2, "need at least two folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fold_of = vec![0usize; labels.len()];
+    let classes: std::collections::BTreeSet<ClassLabel> = labels.iter().copied().collect();
+    for c in classes {
+        let mut rows: Vec<usize> = (0..labels.len()).filter(|&r| labels[r] == c).collect();
+        rows.shuffle(&mut rng);
+        for (i, r) in rows.into_iter().enumerate() {
+            fold_of[r] = i % folds;
+        }
+    }
+    fold_of
+}
+
+/// Runs stratified k-fold cross-validation of a discretized-data
+/// classifier.
+///
+/// For every fold: the remaining folds form the training cohort, the
+/// discretizer is fitted on them alone ([`DiscretizedSplit`]), `train`
+/// builds a model from the training [`farmer_dataset::Dataset`], and the
+/// model's predictions on the held-out fold are scored.
+///
+/// ```
+/// use farmer_classify::cv::cross_validate;
+/// use farmer_classify::IrgClassifier;
+/// use farmer_dataset::discretize::Discretizer;
+/// use farmer_dataset::synth::SynthConfig;
+/// let matrix = SynthConfig {
+///     n_rows: 24, n_genes: 40, n_class1: 12, n_signature: 10, shift: 3.0,
+///     ..Default::default()
+/// }
+/// .generate();
+/// let result = cross_validate(
+///     &matrix,
+///     &Discretizer::EntropyMdl,
+///     3,
+///     1,
+///     |train| IrgClassifier::train(train, 0.7, 0.8),
+///     |model, test| model.predict_dataset(test),
+/// );
+/// assert_eq!(result.fold_accuracies.len(), 3);
+/// assert!(result.mean() >= 0.0 && result.mean() <= 1.0);
+/// ```
+pub fn cross_validate<M>(
+    matrix: &ExpressionMatrix,
+    discretizer: &Discretizer,
+    folds: usize,
+    seed: u64,
+    train: impl Fn(&farmer_dataset::Dataset) -> M,
+    predict: impl Fn(&M, &farmer_dataset::Dataset) -> Vec<ClassLabel>,
+) -> CvResult {
+    let fold_of = stratified_folds(matrix.labels(), folds, seed);
+    let mut fold_accuracies = Vec::with_capacity(folds);
+    for fold in 0..folds {
+        let train_rows: Vec<usize> = (0..matrix.n_rows()).filter(|&r| fold_of[r] != fold).collect();
+        let test_rows: Vec<usize> = (0..matrix.n_rows()).filter(|&r| fold_of[r] == fold).collect();
+        if test_rows.is_empty() || train_rows.is_empty() {
+            continue;
+        }
+        let train_m = matrix.subset(&train_rows);
+        let test_m = matrix.subset(&test_rows);
+        let split = DiscretizedSplit::fit(&train_m, &test_m, discretizer);
+        let model = train(&split.train);
+        let preds = predict(&model, &split.test);
+        fold_accuracies.push(accuracy(split.test.labels(), &preds));
+    }
+    CvResult { fold_accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IrgClassifier;
+    use farmer_dataset::synth::SynthConfig;
+
+    #[test]
+    fn folds_are_stratified_and_deterministic() {
+        let labels: Vec<ClassLabel> = (0..20).map(|i| u32::from(i < 12)).collect();
+        let f1 = stratified_folds(&labels, 4, 7);
+        let f2 = stratified_folds(&labels, 4, 7);
+        assert_eq!(f1, f2);
+        assert_ne!(f1, stratified_folds(&labels, 4, 8));
+        // every fold gets 3 of the 12 class-1 rows and 2 of the 8 class-0
+        for fold in 0..4 {
+            let c1 = (0..20).filter(|&r| f1[r] == fold && labels[r] == 1).count();
+            let c0 = (0..20).filter(|&r| f1[r] == fold && labels[r] == 0).count();
+            assert_eq!(c1, 3, "fold {fold}");
+            assert_eq!(c0, 2, "fold {fold}");
+        }
+    }
+
+    #[test]
+    fn cv_on_separable_data_scores_high() {
+        let m = SynthConfig {
+            n_rows: 40,
+            n_genes: 60,
+            n_class1: 20,
+            n_signature: 20,
+            shift: 2.5,
+            clusters_per_class: 2,
+            cluster_spread: 1.5,
+            cluster_noise: 0.4,
+            ..Default::default()
+        }
+        .generate();
+        let result = cross_validate(
+            &m,
+            &Discretizer::EntropyMdl,
+            4,
+            1,
+            |train| IrgClassifier::train(train, 0.7, 0.8),
+            |model, test| model.predict_dataset(test),
+        );
+        assert_eq!(result.fold_accuracies.len(), 4);
+        assert!(result.mean() > 0.8, "mean {}", result.mean());
+        assert!(result.std_dev() < 0.5);
+    }
+
+    #[test]
+    fn cv_result_stats() {
+        let r = CvResult { fold_accuracies: vec![0.5, 1.0] };
+        assert!((r.mean() - 0.75).abs() < 1e-12);
+        assert!((r.std_dev() - 0.25).abs() < 1e-12);
+        assert_eq!(CvResult { fold_accuracies: vec![] }.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_panics() {
+        stratified_folds(&[0, 1], 1, 0);
+    }
+}

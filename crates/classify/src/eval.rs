@@ -1,0 +1,109 @@
+//! Accuracy and confusion-matrix utilities.
+
+use farmer_dataset::ClassLabel;
+
+/// A per-class confusion matrix for a finished evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Confusion {
+    /// `counts[actual][predicted]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl Confusion {
+    /// Builds from parallel actual/predicted label slices.
+    pub fn new(actual: &[ClassLabel], predicted: &[ClassLabel], n_classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            counts[a as usize][p as usize] += 1;
+        }
+        Confusion { counts }
+    }
+
+    /// Total predictions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Correct predictions (trace).
+    pub fn correct(&self) -> usize {
+        self.counts.iter().enumerate().map(|(i, row)| row[i]).sum()
+    }
+
+    /// Fraction of correct predictions; 0 on an empty evaluation.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / t as f64
+        }
+    }
+
+    /// Recall (sensitivity) of class `c`; 0 when the class is absent.
+    pub fn recall(&self, c: ClassLabel) -> f64 {
+        let row = &self.counts[c as usize];
+        let denom: usize = row.iter().sum();
+        if denom == 0 {
+            0.0
+        } else {
+            row[c as usize] as f64 / denom as f64
+        }
+    }
+
+    /// Precision of class `c`; 0 when the class is never predicted.
+    pub fn precision(&self, c: ClassLabel) -> f64 {
+        let denom: usize = self.counts.iter().map(|row| row[c as usize]).sum();
+        if denom == 0 {
+            0.0
+        } else {
+            self.counts[c as usize][c as usize] as f64 / denom as f64
+        }
+    }
+}
+
+/// Plain accuracy over parallel label slices.
+pub fn accuracy(actual: &[ClassLabel], predicted: &[ClassLabel]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "label length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let correct = actual.iter().zip(predicted).filter(|(a, p)| a == p).count();
+    correct as f64 / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert!((accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::new(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2);
+        assert_eq!(c.counts, vec![vec![1, 1], vec![1, 2]]);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.correct(), 3);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        let c = Confusion::new(&[0, 0], &[0, 0], 3);
+        assert_eq!(c.recall(2), 0.0);
+        assert_eq!(c.precision(2), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

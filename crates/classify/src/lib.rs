@@ -1,0 +1,35 @@
+//! Classifiers over mined rule groups, reproducing §4.2 of the FARMER
+//! paper (Table 2).
+//!
+//! Three classifiers are compared on microarray data:
+//!
+//! * [`IrgClassifier`] — the paper's contribution: a CBA-style coverage
+//!   classifier built from *interesting rule groups*, matching test rows
+//!   through the groups' lower bounds;
+//! * [`CbaClassifier`] — CBA (Liu, Hsu, Ma; KDD 1998): ranked class
+//!   association rules with database-coverage selection and a default
+//!   class. As in the paper, the candidate rules are obtained from the
+//!   rule-group bounds FARMER mines (plain CBA never finishes on this
+//!   column count);
+//! * [`SvmClassifier`] — a linear SVM trained on the continuous
+//!   expression values by Pegasos-style SGD (standing in for SVM-light).
+//!
+//! [`pipeline`] holds the train/test plumbing: discretization cuts are
+//! learned on the training matrix only and applied to both splits, so no
+//! information leaks; [`eval`] provides accuracy/confusion utilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod committee;
+pub mod cv;
+pub mod eval;
+pub mod pipeline;
+mod rules;
+mod svm;
+
+pub use committee::TopKCommittee;
+pub use rules::{
+    CbaClassifier, IrgClassifier, RuleListClassifier, ScoredRule, IRG_FINGERPRINT_THETA,
+};
+pub use svm::{SvmClassifier, SvmConfig};

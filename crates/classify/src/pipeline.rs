@@ -1,0 +1,129 @@
+//! Leak-free train/test plumbing.
+//!
+//! Discretization cut points are statistics of the data; computing them
+//! on the full matrix before splitting would leak test information into
+//! training (especially for the entropy method, which looks at class
+//! labels). [`DiscretizedSplit::fit`] therefore learns the cuts on the
+//! training matrix alone and applies them to both halves, interning the
+//! two halves against one shared item universe.
+
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::{Dataset, DatasetBuilder, ExpressionMatrix};
+
+/// A train/test pair discretized with cuts learned on train only, over a
+/// shared item universe.
+#[derive(Debug)]
+pub struct DiscretizedSplit {
+    /// Discretized training rows.
+    pub train: Dataset,
+    /// Discretized test rows, over the same item ids as `train`.
+    pub test: Dataset,
+    /// The per-gene cut points that were learned.
+    pub cuts: Vec<Vec<f64>>,
+}
+
+impl DiscretizedSplit {
+    /// Learns `discretizer` on `train` and applies it to both matrices.
+    ///
+    /// Panics if the matrices disagree on gene count or class count.
+    pub fn fit(
+        train: &ExpressionMatrix,
+        test: &ExpressionMatrix,
+        discretizer: &Discretizer,
+    ) -> Self {
+        assert_eq!(train.n_genes(), test.n_genes(), "gene count mismatch");
+        assert_eq!(train.n_classes(), test.n_classes(), "class count mismatch");
+        let cuts = discretizer.cuts(train);
+        let drop_unsplit = discretizer.drops_unsplit();
+
+        // one builder for both halves keeps item ids aligned
+        let mut b = DatasetBuilder::new(train.n_classes());
+        let add_rows = |m: &ExpressionMatrix, b: &mut DatasetBuilder| {
+            for r in 0..m.n_rows() {
+                let mut names: Vec<String> = Vec::new();
+                for (g, c) in cuts.iter().enumerate() {
+                    if drop_unsplit && c.is_empty() {
+                        continue;
+                    }
+                    let k = c.partition_point(|&cut| cut <= m.value(r, g));
+                    names.push(format!("{}@{k}", m.gene_name(g)));
+                }
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                b.add_row_named(&refs, m.label(r));
+            }
+        };
+        add_rows(train, &mut b);
+        add_rows(test, &mut b);
+        let combined = b.build();
+        let n_train = train.n_rows();
+        let (train_d, test_d) = combined.split_at(n_train);
+        DiscretizedSplit {
+            train: train_d,
+            test: test_d,
+            cuts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_dataset::synth::SynthConfig;
+
+    fn matrices() -> (ExpressionMatrix, ExpressionMatrix) {
+        let m = SynthConfig {
+            n_rows: 40,
+            n_genes: 25,
+            n_class1: 20,
+            n_signature: 8,
+            shift: 2.5,
+            ..Default::default()
+        }
+        .generate();
+        m.stratified_split(30, 5)
+    }
+
+    #[test]
+    fn shared_item_universe() {
+        let (tr, te) = matrices();
+        let split = DiscretizedSplit::fit(&tr, &te, &Discretizer::EqualDepth { buckets: 4 });
+        assert_eq!(split.train.n_items(), split.test.n_items());
+        assert_eq!(split.train.n_rows(), 30);
+        assert_eq!(split.test.n_rows(), 10);
+        assert_eq!(split.cuts.len(), 25);
+    }
+
+    #[test]
+    fn cuts_learned_on_train_only() {
+        let (tr, te) = matrices();
+        let split = DiscretizedSplit::fit(&tr, &te, &Discretizer::EqualDepth { buckets: 4 });
+        let direct = Discretizer::EqualDepth { buckets: 4 }.cuts(&tr);
+        assert_eq!(split.cuts, direct);
+        // and they differ from cuts learned on the test half
+        let test_cuts = Discretizer::EqualDepth { buckets: 4 }.cuts(&te);
+        assert_ne!(split.cuts, test_cuts);
+    }
+
+    #[test]
+    fn entropy_drops_unsplit_genes_consistently() {
+        let (tr, te) = matrices();
+        let split = DiscretizedSplit::fit(&tr, &te, &Discretizer::EntropyMdl);
+        // every item name present in test rows exists in the shared universe
+        for r in 0..split.test.n_rows() as u32 {
+            for i in split.test.row(r).iter() {
+                assert!(!split.test.item_name(i).is_empty());
+            }
+        }
+        // signature genes should survive; most noise genes should not
+        assert!(split.train.n_items() > 0);
+        assert!(split.train.n_items() < 2 * 25);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let (tr, te) = matrices();
+        let split = DiscretizedSplit::fit(&tr, &te, &Discretizer::EqualDepth { buckets: 3 });
+        assert_eq!(split.train.labels(), tr.labels());
+        assert_eq!(split.test.labels(), te.labels());
+    }
+}

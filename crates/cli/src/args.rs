@@ -1,0 +1,284 @@
+//! Hand-rolled argument parsing — small enough that a dependency would
+//! cost more than it saves.
+
+use crate::{CliError, Result};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A parsed command line: the subcommand and its options.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `farmer synth`
+    Synth(SynthArgs),
+    /// `farmer discretize`
+    Discretize(DiscretizeArgs),
+    /// `farmer mine`
+    Mine(MineArgs),
+    /// `farmer topk`
+    TopK(TopKArgs),
+    /// `farmer closed`
+    Closed(ClosedArgs),
+    /// `farmer classify`
+    Classify(ClassifyArgs),
+    /// `farmer help` / `--help`
+    Help,
+}
+
+/// Options of `farmer synth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthArgs {
+    /// Preset code (`BC`/`LC`/`CT`/`PC`/`ALL`) or `custom`.
+    pub preset: String,
+    /// Column scale for presets.
+    pub col_scale: f64,
+    /// Rows for `custom`.
+    pub rows: usize,
+    /// Genes for `custom`.
+    pub genes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output CSV path.
+    pub out: PathBuf,
+}
+
+/// Options of `farmer discretize`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretizeArgs {
+    /// Input expression CSV.
+    pub input: PathBuf,
+    /// `equal-depth:<n>`, `equal-width:<n>`, or `entropy`.
+    pub method: String,
+    /// Output transaction file.
+    pub out: PathBuf,
+}
+
+/// Options of `farmer mine`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineArgs {
+    /// Input transaction file.
+    pub input: PathBuf,
+    /// Consequent class label.
+    pub class: u32,
+    /// Minimum rule support.
+    pub min_sup: usize,
+    /// Minimum confidence in `[0, 1]`.
+    pub min_conf: f64,
+    /// Minimum χ².
+    pub min_chi: f64,
+    /// Skip lower bounds.
+    pub no_lower_bounds: bool,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+    /// Optional HTML report path.
+    pub html: Option<PathBuf>,
+    /// Print at most this many groups (0 = all).
+    pub limit: usize,
+}
+
+/// Options of `farmer topk`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKArgs {
+    /// Input transaction file.
+    pub input: PathBuf,
+    /// Consequent class label.
+    pub class: u32,
+    /// Groups per row.
+    pub k: usize,
+    /// Minimum rule support.
+    pub min_sup: usize,
+}
+
+/// Options of `farmer closed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedArgs {
+    /// Input transaction file.
+    pub input: PathBuf,
+    /// `carpenter`, `charm`, or `closet`.
+    pub algo: String,
+    /// Minimum pattern support.
+    pub min_sup: usize,
+    /// Print at most this many patterns (0 = all).
+    pub limit: usize,
+}
+
+/// Options of `farmer classify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyArgs {
+    /// Training expression CSV.
+    pub train: PathBuf,
+    /// Test expression CSV.
+    pub test: PathBuf,
+    /// `irg`, `cba`, or `svm`.
+    pub method: String,
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command> {
+    let Some(cmd) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::Help);
+    }
+    let opts = options(&argv[1..])?;
+    match cmd.as_str() {
+        "help" => Ok(Command::Help),
+        "synth" => Ok(Command::Synth(SynthArgs {
+            preset: get_or(&opts, "preset", "CT"),
+            col_scale: num(&opts, "col-scale", 0.05)?,
+            rows: num(&opts, "rows", 60)?,
+            genes: num(&opts, "genes", 1000)?,
+            seed: num(&opts, "seed", 1)?,
+            out: path_required(&opts, "out")?,
+        })),
+        "discretize" => Ok(Command::Discretize(DiscretizeArgs {
+            input: path_required(&opts, "in")?,
+            method: get_or(&opts, "method", "equal-depth:10"),
+            out: path_required(&opts, "out")?,
+        })),
+        "mine" => Ok(Command::Mine(MineArgs {
+            input: path_required(&opts, "in")?,
+            class: num(&opts, "class", 1)?,
+            min_sup: num(&opts, "min-sup", 1)?,
+            min_conf: num(&opts, "min-conf", 0.0)?,
+            min_chi: num(&opts, "min-chi", 0.0)?,
+            no_lower_bounds: flag(&opts, "no-lower-bounds"),
+            json: opts.get("json").and_then(|v| v.clone().map(PathBuf::from)),
+            html: opts.get("html").and_then(|v| v.clone().map(PathBuf::from)),
+            limit: num(&opts, "limit", 20)?,
+        })),
+        "topk" => Ok(Command::TopK(TopKArgs {
+            input: path_required(&opts, "in")?,
+            class: num(&opts, "class", 1)?,
+            k: num(&opts, "k", 3)?,
+            min_sup: num(&opts, "min-sup", 1)?,
+        })),
+        "closed" => Ok(Command::Closed(ClosedArgs {
+            input: path_required(&opts, "in")?,
+            algo: get_or(&opts, "algo", "carpenter"),
+            min_sup: num(&opts, "min-sup", 2)?,
+            limit: num(&opts, "limit", 20)?,
+        })),
+        "classify" => Ok(Command::Classify(ClassifyArgs {
+            train: path_required(&opts, "train")?,
+            test: path_required(&opts, "test")?,
+            method: get_or(&opts, "method", "irg"),
+        })),
+        other => Err(CliError(format!("unknown command '{other}'; try `farmer help`"))),
+    }
+}
+
+/// `--key value` and bare `--flag` pairs into a map.
+fn options(args: &[String]) -> Result<HashMap<String, Option<String>>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(CliError(format!("unexpected argument '{a}'")));
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
+            _ => None,
+        };
+        map.insert(key.to_string(), value);
+    }
+    Ok(map)
+}
+
+fn get_or(opts: &HashMap<String, Option<String>>, key: &str, default: &str) -> String {
+    opts.get(key)
+        .and_then(|v| v.clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn flag(opts: &HashMap<String, Option<String>>, key: &str) -> bool {
+    opts.contains_key(key)
+}
+
+fn num<T: std::str::FromStr>(
+    opts: &HashMap<String, Option<String>>,
+    key: &str,
+    default: T,
+) -> Result<T> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(Some(v)) => v
+            .parse()
+            .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+        Some(None) => Err(CliError(format!("--{key} needs a value"))),
+    }
+}
+
+fn path_required(opts: &HashMap<String, Option<String>>, key: &str) -> Result<PathBuf> {
+    match opts.get(key) {
+        Some(Some(v)) => Ok(PathBuf::from(v)),
+        _ => Err(CliError(format!("--{key} <path> is required"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["mine", "--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_mine() {
+        let c = parse(&sv(&[
+            "mine", "--in", "d.txt", "--class", "0", "--min-sup", "4", "--min-conf", "0.9",
+            "--no-lower-bounds",
+        ]))
+        .unwrap();
+        match c {
+            Command::Mine(m) => {
+                assert_eq!(m.input, PathBuf::from("d.txt"));
+                assert_eq!(m.class, 0);
+                assert_eq!(m.min_sup, 4);
+                assert!((m.min_conf - 0.9).abs() < 1e-12);
+                assert!(m.no_lower_bounds);
+                assert_eq!(m.json, None);
+                assert_eq!(m.html, None);
+                assert_eq!(m.limit, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_path_errors() {
+        let err = parse(&sv(&["mine", "--class", "1"])).unwrap_err();
+        assert!(err.to_string().contains("--in"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let err = parse(&sv(&["mine", "--in", "x", "--min-sup", "abc"])).unwrap_err();
+        assert!(err.to_string().contains("min-sup"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = parse(&sv(&["explode"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let c = parse(&sv(&["closed", "--in", "d.txt"])).unwrap();
+        match c {
+            Command::Closed(a) => {
+                assert_eq!(a.algo, "carpenter");
+                assert_eq!(a.min_sup, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

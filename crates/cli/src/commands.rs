@@ -1,0 +1,416 @@
+//! Command execution.
+
+use crate::args::*;
+use crate::output::{render_html, GroupJson, MineJson};
+use crate::{CliError, Result, USAGE};
+use farmer_classify::eval::accuracy;
+use farmer_classify::pipeline::DiscretizedSplit;
+use farmer_classify::{CbaClassifier, IrgClassifier, SvmClassifier, SvmConfig};
+use farmer_core::topk::mine_top_k;
+use farmer_core::{Farmer, MiningParams};
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::synth::{PaperDataset, SynthConfig};
+use farmer_dataset::{io as dio, Dataset};
+use std::io::Write;
+
+/// Runs one parsed command, writing human-readable output to `out`.
+pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
+    match cmd {
+        Command::Help => writeln!(out, "{USAGE}").map_err(Into::into),
+        Command::Synth(a) => synth(a, out),
+        Command::Discretize(a) => discretize(a, out),
+        Command::Mine(a) => mine(a, out),
+        Command::TopK(a) => topk(a, out),
+        Command::Closed(a) => closed(a, out),
+        Command::Classify(a) => classify(a, out),
+    }
+}
+
+fn synth(a: SynthArgs, out: &mut dyn Write) -> Result<()> {
+    let matrix = match a.preset.as_str() {
+        "custom" => SynthConfig {
+            n_rows: a.rows,
+            n_genes: a.genes,
+            n_class1: a.rows / 2,
+            n_signature: (a.genes / 3).max(4),
+            clusters_per_class: 3,
+            cluster_spread: 1.8,
+            cluster_noise: 0.35,
+            seed: a.seed,
+            ..SynthConfig::default()
+        }
+        .generate(),
+        code => {
+            let preset = PaperDataset::all()
+                .into_iter()
+                .find(|p| p.code() == code)
+                .ok_or_else(|| {
+                    CliError(format!("unknown preset '{code}' (BC, LC, CT, PC, ALL, custom)"))
+                })?;
+            let mut cfg = preset.synth_config(a.col_scale);
+            cfg.seed = a.seed;
+            cfg.generate()
+        }
+    };
+    dio::save_matrix_csv(&matrix, &a.out)?;
+    writeln!(
+        out,
+        "wrote {} samples x {} genes to {}",
+        matrix.n_rows(),
+        matrix.n_genes(),
+        a.out.display()
+    )?;
+    Ok(())
+}
+
+fn parse_discretizer(method: &str) -> Result<Discretizer> {
+    if method == "entropy" {
+        return Ok(Discretizer::EntropyMdl);
+    }
+    if let Some(n) = method.strip_prefix("equal-depth:") {
+        let buckets = n.parse().map_err(|_| CliError(format!("bad bucket count '{n}'")))?;
+        return Ok(Discretizer::EqualDepth { buckets });
+    }
+    if let Some(n) = method.strip_prefix("equal-width:") {
+        let buckets = n.parse().map_err(|_| CliError(format!("bad bucket count '{n}'")))?;
+        return Ok(Discretizer::EqualWidth { buckets });
+    }
+    if method == "chi-merge" {
+        return Ok(Discretizer::ChiMerge { threshold: 4.61, max_intervals: 6 });
+    }
+    if let Some(t) = method.strip_prefix("chi-merge:") {
+        let threshold = t.parse().map_err(|_| CliError(format!("bad chi threshold '{t}'")))?;
+        return Ok(Discretizer::ChiMerge { threshold, max_intervals: 6 });
+    }
+    Err(CliError(format!(
+        "unknown method '{method}' (entropy, equal-depth:<n>, equal-width:<n>, chi-merge[:<chi>])"
+    )))
+}
+
+/// Loads an expression matrix, picking the parser from the extension
+/// (`.arff` -> ARFF, anything else -> the CSV format).
+fn load_matrix(path: &std::path::Path) -> Result<farmer_dataset::ExpressionMatrix> {
+    let is_arff = path
+        .extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("arff"));
+    let m = if is_arff {
+        farmer_dataset::arff::load_arff(path)?
+    } else {
+        dio::load_matrix_csv(path)?
+    };
+    // missing values break the discretizers and the SVM; impute here so
+    // every downstream command sees a dense matrix
+    Ok(if m.has_missing() { m.impute_gene_means() } else { m })
+}
+
+fn discretize(a: DiscretizeArgs, out: &mut dyn Write) -> Result<()> {
+    let matrix = load_matrix(&a.input)?;
+    let data = parse_discretizer(&a.method)?.discretize(&matrix);
+    dio::save_transactions(&data, &a.out)?;
+    writeln!(
+        out,
+        "discretized {} rows into {} items ({}), wrote {}",
+        data.n_rows(),
+        data.n_items(),
+        a.method,
+        a.out.display()
+    )?;
+    Ok(())
+}
+
+fn load_and_check_class(path: &std::path::Path, class: u32) -> Result<Dataset> {
+    let data = dio::load_transactions(path)?;
+    if class as usize >= data.n_classes() {
+        return Err(CliError(format!(
+            "class {class} out of range (dataset has {} classes)",
+            data.n_classes()
+        )));
+    }
+    Ok(data)
+}
+
+fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
+    let data = load_and_check_class(&a.input, a.class)?;
+    let params = MiningParams::new(a.class)
+        .min_sup(a.min_sup)
+        .min_conf(a.min_conf)
+        .min_chi(a.min_chi)
+        .lower_bounds(!a.no_lower_bounds);
+    let result = Farmer::new(params).mine(&data);
+    writeln!(
+        out,
+        "{} interesting rule groups ({} nodes visited) on {} rows x {} items",
+        result.len(),
+        result.stats.nodes_visited,
+        data.n_rows(),
+        data.n_items()
+    )?;
+    let limit = if a.limit == 0 { usize::MAX } else { a.limit };
+    for g in result.ranked().into_iter().take(limit) {
+        writeln!(out, "  {}", g.display(&data))?;
+    }
+    if a.json.is_some() || a.html.is_some() {
+        let payload = MineJson {
+            n_rows: data.n_rows(),
+            n_items: data.n_items(),
+            n_groups: result.len(),
+            nodes_visited: result.stats.nodes_visited,
+            groups: result
+                .ranked()
+                .into_iter()
+                .map(|g| GroupJson::from_group(g, &data))
+                .collect(),
+        };
+        if let Some(json_path) = &a.json {
+            let file = std::fs::File::create(json_path)?;
+            serde_json::to_writer_pretty(std::io::BufWriter::new(file), &payload)
+                .map_err(|e| CliError(format!("json write failed: {e}")))?;
+            writeln!(out, "wrote JSON to {}", json_path.display())?;
+        }
+        if let Some(html_path) = &a.html {
+            let title = format!("FARMER report — {}", a.input.display());
+            std::fs::write(html_path, render_html(&title, &payload))?;
+            writeln!(out, "wrote HTML report to {}", html_path.display())?;
+        }
+    }
+    Ok(())
+}
+
+fn topk(a: TopKArgs, out: &mut dyn Write) -> Result<()> {
+    let data = load_and_check_class(&a.input, a.class)?;
+    let result = mine_top_k(&data, a.class, a.k, a.min_sup);
+    writeln!(
+        out,
+        "top-{} covering rule groups per row ({} nodes visited)",
+        a.k, result.nodes_visited
+    )?;
+    for (r, groups) in result.per_row.iter().enumerate() {
+        write!(out, "row {r} [{}]:", data.class_name(data.label(r as u32)))?;
+        if groups.is_empty() {
+            writeln!(out, " (no covering group)")?;
+            continue;
+        }
+        for g in groups {
+            write!(
+                out,
+                " ({} items, sup {}, conf {:.2})",
+                g.upper.len(),
+                g.sup,
+                g.confidence()
+            )?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+fn closed(a: ClosedArgs, out: &mut dyn Write) -> Result<()> {
+    let data = dio::load_transactions(&a.input)?;
+    let limit = if a.limit == 0 { usize::MAX } else { a.limit };
+    let patterns: Vec<(rowset::IdList, usize)> = match a.algo.as_str() {
+        "carpenter" => farmer_core::carpenter::carpenter(&data, a.min_sup)
+            .patterns
+            .into_iter()
+            .map(|p| {
+                let sup = p.support();
+                (p.items, sup)
+            })
+            .collect(),
+        "charm" => farmer_baselines::charm::charm(&data, a.min_sup)
+            .closed
+            .into_iter()
+            .map(|c| {
+                let sup = c.support();
+                (c.items, sup)
+            })
+            .collect(),
+        "closet" => farmer_baselines::closet::closet(&data, a.min_sup)
+            .closed
+            .into_iter()
+            .map(|c| (c.items, c.support))
+            .collect(),
+        other => {
+            return Err(CliError(format!(
+                "unknown algorithm '{other}' (carpenter, charm, closet)"
+            )))
+        }
+    };
+    writeln!(out, "{} closed patterns with support >= {}", patterns.len(), a.min_sup)?;
+    let mut sorted = patterns;
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (items, sup) in sorted.into_iter().take(limit) {
+        let names: Vec<&str> = items.iter().map(|i| data.item_name(i)).collect();
+        writeln!(out, "  [{sup}] {{{}}}", names.join(","))?;
+    }
+    Ok(())
+}
+
+fn classify(a: ClassifyArgs, out: &mut dyn Write) -> Result<()> {
+    let train_m = load_matrix(&a.train)?;
+    let test_m = load_matrix(&a.test)?;
+    let acc = match a.method.as_str() {
+        "svm" => {
+            let svm = SvmClassifier::train(&train_m, &SvmConfig::default());
+            svm.score(&test_m)
+        }
+        "irg" | "cba" => {
+            let split = DiscretizedSplit::fit(&train_m, &test_m, &Discretizer::EntropyMdl);
+            let clf = if a.method == "irg" {
+                IrgClassifier::train(&split.train, 0.7, 0.8)
+            } else {
+                CbaClassifier::train(&split.train, 0.7, 0.8)
+            };
+            accuracy(split.test.labels(), &clf.predict_dataset(&split.test))
+        }
+        other => {
+            return Err(CliError(format!("unknown method '{other}' (irg, cba, svm)")));
+        }
+    };
+    writeln!(
+        out,
+        "{} accuracy on {} test samples: {:.2}%",
+        a.method,
+        test_m.n_rows(),
+        acc * 100.0
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("farmer-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        crate::run(&argv, &mut out).unwrap_or_else(|e| panic!("{args:?}: {e}"));
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn synth_discretize_mine_pipeline() {
+        let csv = tmp("p.csv");
+        let txt = tmp("p.txt");
+        let json = tmp("p.json");
+        let s = run_ok(&[
+            "synth", "--preset", "custom", "--rows", "24", "--genes", "60", "--out",
+            csv.to_str().unwrap(),
+        ]);
+        assert!(s.contains("24 samples x 60 genes"), "{s}");
+        let s = run_ok(&[
+            "discretize", "--in", csv.to_str().unwrap(), "--method", "equal-depth:4", "--out",
+            txt.to_str().unwrap(),
+        ]);
+        assert!(s.contains("24 rows"), "{s}");
+        let s = run_ok(&[
+            "mine", "--in", txt.to_str().unwrap(), "--class", "1", "--min-sup", "3",
+            "--min-conf", "0.8", "--json", json.to_str().unwrap(),
+        ]);
+        assert!(s.contains("interesting rule groups"), "{s}");
+        let payload: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(payload["n_rows"], 24);
+    }
+
+    #[test]
+    fn closed_all_algorithms() {
+        let csv = tmp("c.csv");
+        let txt = tmp("c.txt");
+        run_ok(&["synth", "--preset", "custom", "--rows", "16", "--genes", "40", "--out", csv.to_str().unwrap()]);
+        run_ok(&["discretize", "--in", csv.to_str().unwrap(), "--method", "equal-width:3", "--out", txt.to_str().unwrap()]);
+        let a = run_ok(&["closed", "--in", txt.to_str().unwrap(), "--algo", "carpenter", "--min-sup", "4", "--limit", "0"]);
+        let b = run_ok(&["closed", "--in", txt.to_str().unwrap(), "--algo", "charm", "--min-sup", "4", "--limit", "0"]);
+        let c = run_ok(&["closed", "--in", txt.to_str().unwrap(), "--algo", "closet", "--min-sup", "4", "--limit", "0"]);
+        // same pattern count and, since output is sorted, same first line
+        assert_eq!(a.lines().next(), b.lines().next());
+        assert_eq!(b, c);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn discretize_methods_parse() {
+        use farmer_dataset::discretize::Discretizer;
+        assert_eq!(
+            super::parse_discretizer("chi-merge").unwrap(),
+            Discretizer::ChiMerge { threshold: 4.61, max_intervals: 6 }
+        );
+        assert_eq!(
+            super::parse_discretizer("chi-merge:2.7").unwrap(),
+            Discretizer::ChiMerge { threshold: 2.7, max_intervals: 6 }
+        );
+        assert_eq!(super::parse_discretizer("entropy").unwrap(), Discretizer::EntropyMdl);
+        assert!(super::parse_discretizer("magic").is_err());
+        assert!(super::parse_discretizer("equal-depth:x").is_err());
+    }
+
+    #[test]
+    fn topk_runs() {
+        let csv = tmp("t.csv");
+        let txt = tmp("t.txt");
+        run_ok(&["synth", "--preset", "custom", "--rows", "12", "--genes", "30", "--out", csv.to_str().unwrap()]);
+        run_ok(&["discretize", "--in", csv.to_str().unwrap(), "--method", "equal-depth:3", "--out", txt.to_str().unwrap()]);
+        let s = run_ok(&["topk", "--in", txt.to_str().unwrap(), "--k", "2", "--min-sup", "2"]);
+        assert!(s.contains("top-2"), "{s}");
+        assert!(s.contains("row 0"), "{s}");
+    }
+
+    #[test]
+    fn classify_all_methods() {
+        let train = tmp("tr.csv");
+        let test = tmp("te.csv");
+        run_ok(&["synth", "--preset", "custom", "--rows", "30", "--genes", "50", "--seed", "3", "--out", train.to_str().unwrap()]);
+        run_ok(&["synth", "--preset", "custom", "--rows", "14", "--genes", "50", "--seed", "4", "--out", test.to_str().unwrap()]);
+        for method in ["irg", "cba", "svm"] {
+            let s = run_ok(&["classify", "--train", train.to_str().unwrap(), "--test", test.to_str().unwrap(), "--method", method]);
+            assert!(s.contains("accuracy"), "{s}");
+        }
+    }
+
+    #[test]
+    fn help_and_errors() {
+        let s = run_ok(&["help"]);
+        assert!(s.contains("USAGE"), "{s}");
+        let mut out = Vec::new();
+        let err = crate::run(&["mine".to_string()], &mut out).unwrap_err();
+        assert!(err.to_string().contains("--in"), "{err}");
+        let err = crate::run(
+            &["synth".to_string(), "--preset".into(), "XX".into(), "--out".into(), "/tmp/x".into()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown preset"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod arff_tests {
+    #[test]
+    fn arff_end_to_end() {
+        let dir = std::env::temp_dir().join("farmer-cli-arff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let arff = dir.join("d.arff");
+        std::fs::write(
+            &arff,
+            "@RELATION t\n@ATTRIBUTE g0 NUMERIC\n@ATTRIBUTE g1 NUMERIC\n\
+             @ATTRIBUTE class {neg,pos}\n@DATA\n\
+             0.1,5.0,neg\n0.2,?,neg\n4.0,1.0,pos\n4.2,0.9,pos\n",
+        )
+        .unwrap();
+        let txt = dir.join("d.txt");
+        let argv: Vec<String> = [
+            "discretize", "--in", arff.to_str().unwrap(), "--method", "equal-width:2",
+            "--out", txt.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut out = Vec::new();
+        crate::run(&argv, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("4 rows"), "{s}");
+    }
+}

@@ -1,0 +1,63 @@
+//! Library half of the `farmer` command-line tool: argument parsing and
+//! command execution, separated from `main` so the test suite can drive
+//! every command without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod output;
+
+use std::fmt;
+
+/// A user-facing CLI failure (bad arguments, unreadable file, …).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<farmer_dataset::io::IoError> for CliError {
+    fn from(e: farmer_dataset::io::IoError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Convenience alias used across the CLI.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Top-level dispatch: parses `argv` (without the program name) and runs
+/// the selected command, writing human output to `out`.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<()> {
+    let parsed = args::parse(argv)?;
+    commands::execute(parsed, out)
+}
+
+/// The usage banner.
+pub const USAGE: &str = "\
+farmer — interesting rule group mining for wide, short datasets
+
+USAGE: farmer <COMMAND> [OPTIONS]
+
+COMMANDS:
+  synth       generate a synthetic microarray expression matrix (CSV)
+  discretize  turn an expression CSV into a transaction file
+  mine        mine interesting rule groups from a transaction file
+  topk        mine the top-k covering rule groups per sample
+  closed      mine closed patterns (carpenter | charm | closet)
+  classify    train on one transaction/CSV file, evaluate on another
+  help        show this message
+
+Run `farmer <COMMAND> --help` for the command's options.";

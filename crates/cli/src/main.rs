@@ -1,0 +1,16 @@
+//! `farmer` — command-line interface to the FARMER suite.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    match farmer_cli::run(&argv, &mut lock) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

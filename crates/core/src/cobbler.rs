@@ -1,0 +1,341 @@
+//! COBBLER — combined row and column enumeration for closed-pattern
+//! mining (Pan, Tung, Cong, Xu; SSDBM 2004).
+//!
+//! CARPENTER's row enumeration wins when rows are few; classic column
+//! enumeration wins when columns are few. COBBLER switches between the
+//! two *dynamically*, per search context, using an estimate of the cost
+//! of each direction — the right tool for tables that are large in both
+//! dimensions.
+//!
+//! The column side here is a prefix-preserving closure extension (LCM
+//! style): each closed set is reached from its canonical parent only, so
+//! the pure-column policy is itself a correct closed-set miner. At any
+//! context the search may instead hand the context's row set to
+//! [`carpenter`] (row enumeration), which yields every closed set whose
+//! support lies inside that row set — a superset of what the column
+//! subtree would have produced, deduplicated on output.
+//!
+//! The switch estimate follows the paper's idea of comparing *estimated
+//! deepest enumeration levels*: each direction's expected depth is
+//! computed from the decay of candidate supports (columns) or row
+//! densities (rows), and the direction with the cheaper
+//! `depth · log(branching)` wins.
+
+use crate::carpenter::carpenter;
+use farmer_dataset::{Dataset, ItemId};
+use rowset::{IdList, RowSet};
+use std::collections::HashSet;
+
+/// How COBBLER chooses the enumeration direction at each context.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SwitchPolicy {
+    /// Compare the cost estimates (the algorithm proper).
+    #[default]
+    Auto,
+    /// Never switch: pure prefix-preserving column enumeration.
+    ColumnsOnly,
+    /// Switch at the root: pure row enumeration (CARPENTER).
+    RowsOnly,
+    /// Switch whenever the context has at most this many rows.
+    RowThreshold(usize),
+}
+
+/// A closed pattern with its support count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CobblerPattern {
+    /// The closed itemset.
+    pub items: IdList,
+    /// `|R(items)|`.
+    pub support: usize,
+}
+
+/// Search counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CobblerStats {
+    /// Column-extension nodes visited.
+    pub column_nodes: u64,
+    /// Contexts handed to row enumeration.
+    pub switches: u64,
+    /// Duplicate emissions suppressed (only possible after a switch).
+    pub deduped: u64,
+}
+
+/// Result of [`cobbler`].
+#[derive(Clone, Debug)]
+pub struct CobblerResult {
+    /// All closed patterns with support ≥ the threshold.
+    pub patterns: Vec<CobblerPattern>,
+    /// Search counters.
+    pub stats: CobblerStats,
+}
+
+/// Mines all closed patterns of `data` with support ≥ `min_sup` using
+/// the given switch policy.
+///
+/// ```
+/// use farmer_core::cobbler::{cobbler, SwitchPolicy};
+/// let data = farmer_dataset::paper_example();
+/// let auto = cobbler(&data, 2, SwitchPolicy::Auto);
+/// let cols = cobbler(&data, 2, SwitchPolicy::ColumnsOnly);
+/// assert_eq!(auto.patterns.len(), cols.patterns.len());
+/// ```
+pub fn cobbler(data: &Dataset, min_sup: usize, policy: SwitchPolicy) -> CobblerResult {
+    let min_sup = min_sup.max(1);
+    let mut ctx = CobCtx {
+        data,
+        min_sup,
+        policy,
+        seen: HashSet::new(),
+        patterns: Vec::new(),
+        stats: CobblerStats::default(),
+    };
+    let all_rows = RowSet::full(data.n_rows());
+    if data.n_rows() >= min_sup {
+        let root_closure = data.items_common_to(&all_rows);
+        if !root_closure.is_empty() {
+            ctx.emit(root_closure.clone(), data.n_rows());
+        }
+        ctx.expand(&root_closure, &all_rows, 0);
+    }
+    CobblerResult {
+        patterns: ctx.patterns,
+        stats: ctx.stats,
+    }
+}
+
+struct CobCtx<'a> {
+    data: &'a Dataset,
+    min_sup: usize,
+    policy: SwitchPolicy,
+    seen: HashSet<IdList>,
+    patterns: Vec<CobblerPattern>,
+    stats: CobblerStats,
+}
+
+impl CobCtx<'_> {
+    fn emit(&mut self, items: IdList, support: usize) {
+        if self.seen.insert(items.clone()) {
+            self.patterns.push(CobblerPattern { items, support });
+        } else {
+            self.stats.deduped += 1;
+        }
+    }
+
+    /// Expands the context `(Q = closure so far, rows = R(Q))` with
+    /// candidate items `>= min_next`.
+    fn expand(&mut self, q: &IdList, rows: &RowSet, min_next: ItemId) {
+        // candidate items with enough support inside the context
+        let cands: Vec<(ItemId, usize)> = (min_next..self.data.n_items() as ItemId)
+            .filter(|i| !q.contains(*i))
+            .filter_map(|i| {
+                let sup = rows.intersection_len(self.data.item_rows(i));
+                (sup >= self.min_sup).then_some((i, sup))
+            })
+            .collect();
+        if cands.is_empty() {
+            return;
+        }
+
+        if self.should_switch(rows, &cands) {
+            // row enumeration covers every closed set supported inside
+            // this context's rows (a superset of the column subtree)
+            self.stats.switches += 1;
+            let row_ids: Vec<u32> = rows.iter().map(|r| r as u32).collect();
+            let sub = self.data.subset(&row_ids);
+            for p in carpenter(&sub, self.min_sup).patterns {
+                let support = p.rows.len();
+                self.emit(p.items, support);
+            }
+            return;
+        }
+
+        for &(c, _) in &cands {
+            self.stats.column_nodes += 1;
+            let child_rows = rows.intersection(self.data.item_rows(c));
+            let closure = self.data.items_common_to(&child_rows);
+            // prefix-preserving check: the closure may only add items
+            // >= c beyond Q; otherwise this closed set belongs to an
+            // earlier subtree (LCM canonicity)
+            let violates = closure.iter().any(|i| i < c && !q.contains(i));
+            if violates {
+                continue;
+            }
+            self.emit(closure.clone(), child_rows.len());
+            self.expand(&closure, &child_rows, c + 1);
+        }
+    }
+
+    /// Decides the direction for a context.
+    fn should_switch(&self, rows: &RowSet, cands: &[(ItemId, usize)]) -> bool {
+        match self.policy {
+            SwitchPolicy::ColumnsOnly => false,
+            SwitchPolicy::RowsOnly => true,
+            SwitchPolicy::RowThreshold(t) => rows.len() <= t,
+            SwitchPolicy::Auto => {
+                let n_rows = rows.len();
+                let n_cands = cands.len();
+                if n_rows <= 1 || n_cands <= 1 {
+                    return n_rows < n_cands;
+                }
+                // estimated deepest column level: multiply the candidate
+                // support ratios (descending) until the expected support
+                // drops below min_sup
+                let mut ratios: Vec<f64> =
+                    cands.iter().map(|&(_, s)| s as f64 / n_rows as f64).collect();
+                ratios.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                let mut expected = n_rows as f64;
+                let mut col_depth = 0usize;
+                for r in &ratios {
+                    expected *= r;
+                    if expected < self.min_sup as f64 {
+                        break;
+                    }
+                    col_depth += 1;
+                }
+                // estimated deepest row level: multiply the row densities
+                // (descending) until no shared candidate item is expected
+                let mut densities: Vec<f64> = rows
+                    .iter()
+                    .map(|r| {
+                        let row_items = self.data.row(r as u32);
+                        let shared = cands
+                            .iter()
+                            .filter(|&&(i, _)| row_items.contains(i))
+                            .count();
+                        shared as f64 / n_cands as f64
+                    })
+                    .collect();
+                densities.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                let mut expected_items = n_cands as f64;
+                let mut row_depth = 0usize;
+                for d in &densities {
+                    expected_items *= d;
+                    if expected_items < 1.0 {
+                        break;
+                    }
+                    row_depth += 1;
+                }
+                // compare log-costs: depth * log(branching)
+                let col_cost = col_depth as f64 * (n_cands as f64).ln_1p();
+                let row_cost = row_depth as f64 * (n_rows as f64).ln_1p();
+                row_cost < col_cost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_dataset::{paper_example, DatasetBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn canon(r: &CobblerResult) -> Vec<(Vec<u32>, usize)> {
+        let mut v: Vec<(Vec<u32>, usize)> = r
+            .patterns
+            .iter()
+            .map(|p| (p.items.as_slice().to_vec(), p.support))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn canon_carp(d: &Dataset, min_sup: usize) -> Vec<(Vec<u32>, usize)> {
+        let mut v: Vec<(Vec<u32>, usize)> = carpenter(d, min_sup)
+            .patterns
+            .iter()
+            .map(|p| (p.items.as_slice().to_vec(), p.rows.len()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn policies() -> [SwitchPolicy; 5] {
+        [
+            SwitchPolicy::Auto,
+            SwitchPolicy::ColumnsOnly,
+            SwitchPolicy::RowsOnly,
+            SwitchPolicy::RowThreshold(3),
+            SwitchPolicy::RowThreshold(1000),
+        ]
+    }
+
+    #[test]
+    fn all_policies_agree_with_carpenter_on_paper_example() {
+        let d = paper_example();
+        for min_sup in 1..=4 {
+            let want = canon_carp(&d, min_sup);
+            for policy in policies() {
+                let got = cobbler(&d, min_sup, policy);
+                assert_eq!(canon(&got), want, "min_sup={min_sup} policy={policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_policies_agree_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..12 {
+            let mut b = DatasetBuilder::new(1);
+            let n_rows = rng.gen_range(3..=9);
+            let n_items = rng.gen_range(4..=12);
+            for _ in 0..n_rows {
+                let items: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(0.5)).collect();
+                b.add_row(items, 0);
+            }
+            let d = b.build();
+            let min_sup = rng.gen_range(1..=3);
+            let want = canon_carp(&d, min_sup);
+            for policy in policies() {
+                let got = cobbler(&d, min_sup, policy);
+                assert_eq!(canon(&got), want, "trial={trial} policy={policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_closed_and_unique() {
+        let d = paper_example();
+        let r = cobbler(&d, 1, SwitchPolicy::Auto);
+        let mut seen = std::collections::HashSet::new();
+        for p in &r.patterns {
+            assert!(seen.insert(p.items.clone()), "duplicate {:?}", p.items);
+            let support = d.rows_supporting(&p.items);
+            assert_eq!(support.len(), p.support);
+            assert_eq!(d.items_common_to(&support), p.items);
+        }
+    }
+
+    #[test]
+    fn columns_only_never_switches() {
+        let d = paper_example();
+        let r = cobbler(&d, 1, SwitchPolicy::ColumnsOnly);
+        assert_eq!(r.stats.switches, 0);
+        assert_eq!(r.stats.deduped, 0, "pure LCM never duplicates");
+        assert!(r.stats.column_nodes > 0);
+    }
+
+    #[test]
+    fn rows_only_switches_once() {
+        let d = paper_example();
+        let r = cobbler(&d, 1, SwitchPolicy::RowsOnly);
+        assert_eq!(r.stats.switches, 1);
+        assert_eq!(r.stats.column_nodes, 0);
+    }
+
+    #[test]
+    fn wide_table_auto_switches() {
+        // microarray shape: 6 rows, 40 items -> rows are the cheap side
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = DatasetBuilder::new(1);
+        for _ in 0..6 {
+            let items: Vec<u32> = (0..40u32).filter(|_| rng.gen_bool(0.6)).collect();
+            b.add_row(items, 0);
+        }
+        let d = b.build();
+        let r = cobbler(&d, 2, SwitchPolicy::Auto);
+        assert!(r.stats.switches > 0, "{:?}", r.stats);
+        assert_eq!(canon(&r), canon_carp(&d, 2));
+    }
+}

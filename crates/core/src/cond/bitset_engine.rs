@@ -1,0 +1,128 @@
+//! Bitset-backed conditional transposed tables.
+
+use super::{CondNode, Inspect};
+use farmer_dataset::{Dataset, ItemId, RowId};
+use rowset::RowSet;
+use std::rc::Rc;
+
+/// Conditional table whose tuples are the per-item row bitsets of the
+/// dataset.
+///
+/// The node only stores *which* items survive (`I(X)`); tuple contents
+/// are shared via `Rc` with every other node, so `child` costs one pass
+/// over the current item list and no row copying. All scans are
+/// word-parallel over rows, which is the sweet spot for the microarray
+/// shape (hundreds of rows, tens of thousands of items).
+pub struct BitsetNode {
+    tuples: Rc<Vec<RowSet>>,
+    items: Vec<ItemId>,
+    n_rows: usize,
+}
+
+impl BitsetNode {
+    /// Root node: all items of the (already `ORD`-reordered) dataset.
+    pub fn root(data: &Dataset) -> Self {
+        let tuples: Vec<RowSet> = (0..data.n_items() as ItemId)
+            .map(|i| data.item_rows(i).clone())
+            .collect();
+        BitsetNode {
+            items: (0..tuples.len() as ItemId).collect(),
+            tuples: Rc::new(tuples),
+            n_rows: data.n_rows(),
+        }
+    }
+}
+
+impl CondNode for BitsetNode {
+    fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    fn inspect(&self, e_p: &RowSet, e_n: &RowSet) -> Inspect {
+        let mut z = RowSet::full(self.n_rows);
+        let mut occur = RowSet::empty(self.n_rows);
+        let mut max_ep = 0usize;
+        for &i in &self.items {
+            let t = &self.tuples[i as usize];
+            z.intersect_with(t);
+            occur.union_with(t);
+            max_ep = max_ep.max(t.intersection_len(e_p));
+        }
+        Inspect {
+            u_p: occur.intersection(e_p),
+            u_n: occur.intersection(e_n),
+            z,
+            max_ep_tuple: max_ep,
+        }
+    }
+
+    fn child(&self, r: RowId) -> Self {
+        let items: Vec<ItemId> = self
+            .items
+            .iter()
+            .copied()
+            .filter(|&i| self.tuples[i as usize].contains(r as usize))
+            .collect();
+        debug_assert!(!items.is_empty(), "child({r}) has no tuples; r was not a candidate");
+        BitsetNode {
+            tuples: Rc::clone(&self.tuples),
+            items,
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_dataset::paper_example;
+
+    #[test]
+    fn root_and_child_items() {
+        let d = paper_example();
+        let root = BitsetNode::root(&d);
+        assert_eq!(root.items().len(), d.n_items());
+        // child on row 1 (paper r2): items of r2 = {a,d,e,h,p,l,r}
+        let c = root.child(1);
+        let names: Vec<&str> = c.items().iter().map(|&i| d.item_name(i)).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec!["a", "d", "e", "h", "l", "p", "r"]);
+        // grandchild {r2, r3}: I = {a,e,h}
+        let g = c.child(2);
+        let mut names: Vec<&str> = g.items().iter().map(|&i| d.item_name(i)).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "e", "h"]);
+    }
+
+    #[test]
+    fn inspect_z_is_row_support_of_items() {
+        let d = paper_example();
+        let node = BitsetNode::root(&d).child(1).child(2); // I = {a,e,h}
+        let e_p = RowSet::empty(5);
+        let e_n = RowSet::from_ids(5, [3, 4]);
+        let ins = node.inspect(&e_p, &e_n);
+        // R({a,e,h}) = rows 1,2,3 (paper r2,r3,r4)
+        assert_eq!(ins.z.to_vec(), vec![1, 2, 3]);
+        // candidate row 3 occurs in all three tuples -> in u_n
+        assert_eq!(ins.u_n.to_vec(), vec![3]);
+        assert!(ins.u_p.is_empty());
+        assert_eq!(ins.max_ep_tuple, 0);
+    }
+
+    #[test]
+    fn inspect_counts_max_positive_tuple() {
+        let d = paper_example();
+        let root = BitsetNode::root(&d);
+        let e_p = RowSet::from_ids(5, [0, 1, 2]);
+        let e_n = RowSet::from_ids(5, [3, 4]);
+        let ins = root.inspect(&e_p, &e_n);
+        // tuple 'a' holds rows {0,1,2,3}: three positive candidates
+        assert_eq!(ins.max_ep_tuple, 3);
+        // every row has at least one item
+        assert_eq!(ins.u_p.len(), 3);
+        assert_eq!(ins.u_n.len(), 2);
+        // no row contains every item
+        assert!(ins.z.is_empty());
+    }
+}

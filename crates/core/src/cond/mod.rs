@@ -1,0 +1,106 @@
+//! Conditional transposed tables `TT|X` — the per-node state of the row
+//! enumeration.
+//!
+//! A node of the enumeration tree is a row combination `X`; its
+//! conditional transposed table holds the tuples (items) common to every
+//! row of `X`, i.e. exactly `I(X)` (Definition 3.1). The search needs
+//! three things from the table at each node, bundled in [`Inspect`]:
+//!
+//! * `z = R(I(X))` — every row occurring in all tuples (this gives the
+//!   exact support counts and feeds pruning strategy 2);
+//! * `u_p`/`u_n` — the enumeration candidates occurring in at least one
+//!   tuple (candidates outside `u` lead to `I = ∅` nodes and are the
+//!   "implicit pruning" of step 6);
+//! * `max_ep_tuple` — the largest number of positive candidates found
+//!   together in a single tuple, which yields the tight support bound
+//!   `Us1` of pruning strategy 3.
+//!
+//! Two interchangeable engines implement this interface:
+//! [`BitsetNode`] (tuples as row bitsets, word-parallel scans) and
+//! [`PointerNode`] (the paper's §3.3 in-memory transposed table with
+//! conditional pointer lists). They traverse identical trees and must
+//! produce identical results; the test suite enforces this.
+
+mod bitset_engine;
+mod pointer_engine;
+
+pub use bitset_engine::BitsetNode;
+pub use pointer_engine::PointerNode;
+
+use farmer_dataset::{ItemId, RowId};
+use rowset::RowSet;
+
+/// What a node scan reports about `TT|X`.
+#[derive(Clone, Debug)]
+pub struct Inspect {
+    /// Rows occurring in **every** tuple: `R(I(X))`. When the table has
+    /// no tuples (only possible at the root of an itemless dataset) this
+    /// is the full row set by the empty-intersection convention.
+    pub z: RowSet,
+    /// Positive candidates occurring in at least one tuple.
+    pub u_p: RowSet,
+    /// Negative candidates occurring in at least one tuple.
+    pub u_n: RowSet,
+    /// `MAX(|EP ∩ t|)` over tuples `t` — the tight support headroom.
+    pub max_ep_tuple: usize,
+}
+
+/// A node's conditional transposed table.
+///
+/// Implementations are cheap to clone conceptually but are in fact moved
+/// down the recursion; `child` builds the table for `X ∪ {r}` from the
+/// current one (Lemma 3.3).
+pub trait CondNode {
+    /// `I(X)`: the items whose tuples survived into this table. At the
+    /// root this is the full item universe (the root never emits a rule).
+    fn items(&self) -> &[ItemId];
+
+    /// Scans the table, classifying the candidate rows.
+    fn inspect(&self, e_p: &RowSet, e_n: &RowSet) -> Inspect;
+
+    /// The table for `X ∪ {r}`: keeps exactly the tuples containing `r`.
+    ///
+    /// `r` must occur in at least one tuple (i.e. be in `u_p ∪ u_n` of
+    /// the latest [`inspect`](Self::inspect)).
+    fn child(&self, r: RowId) -> Self;
+}
+
+#[cfg(test)]
+mod engine_agreement {
+    use super::*;
+    use farmer_dataset::{paper_example, TransposedTable};
+
+    fn inspect_eq(a: &Inspect, b: &Inspect) {
+        assert_eq!(a.z, b.z);
+        assert_eq!(a.u_p, b.u_p);
+        assert_eq!(a.u_n, b.u_n);
+        assert_eq!(a.max_ep_tuple, b.max_ep_tuple);
+    }
+
+    #[test]
+    fn engines_agree_on_paper_example() {
+        let d = paper_example();
+        let (tt, reordered, _) = TransposedTable::for_mining(&d, 0);
+        let bit = BitsetNode::root(&reordered);
+        let ptr = PointerNode::root(&tt);
+        assert_eq!(bit.items(), ptr.items());
+
+        let e_p = RowSet::from_ids(5, [0, 1, 2]);
+        let e_n = RowSet::from_ids(5, [3, 4]);
+        inspect_eq(&bit.inspect(&e_p, &e_n), &ptr.inspect(&e_p, &e_n));
+
+        // descend to {r2} (paper row ids; 0-based id 1)
+        let bit1 = bit.child(1);
+        let ptr1 = ptr.child(1);
+        assert_eq!(bit1.items(), ptr1.items());
+        let e_p1 = RowSet::from_ids(5, [2]);
+        inspect_eq(&bit1.inspect(&e_p1, &e_n), &ptr1.inspect(&e_p1, &e_n));
+
+        // descend to {r2, r3}
+        let bit2 = bit1.child(2);
+        let ptr2 = ptr1.child(2);
+        assert_eq!(bit2.items(), ptr2.items());
+        let empty = RowSet::empty(5);
+        inspect_eq(&bit2.inspect(&empty, &e_n), &ptr2.inspect(&empty, &e_n));
+    }
+}

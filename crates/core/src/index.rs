@@ -1,0 +1,181 @@
+//! Queryable index over a set of mined rule groups.
+//!
+//! Mining produces hundreds-to-thousands of IRGs; downstream consumers
+//! (classifiers, browsers, report generators) ask the same questions
+//! over and over — *which groups cover this sample? which involve this
+//! gene? which would fire on a new, unseen expression profile?* —
+//! so the index answers them without rescanning every group.
+
+use crate::rule::RuleGroup;
+use farmer_dataset::ItemId;
+use rowset::IdList;
+
+/// An immutable inverted index over rule groups.
+///
+/// ```
+/// use farmer_core::{Farmer, GroupIndex, MiningParams};
+/// let data = farmer_dataset::paper_example();
+/// let result = Farmer::new(MiningParams::new(0)).mine(&data);
+/// let n_items = data.n_items();
+/// let index = GroupIndex::new(result.groups, n_items);
+/// // row r1 (id 0) is covered by at least the {a} group
+/// assert!(index.covering_row(0).count() >= 1);
+/// ```
+pub struct GroupIndex {
+    groups: Vec<RuleGroup>,
+    /// `by_item[i]` = indices of groups whose upper bound contains item `i`.
+    by_item: Vec<Vec<u32>>,
+}
+
+impl GroupIndex {
+    /// Builds the index. `n_items` is the dataset's item-universe size
+    /// (item ids in the groups must be below it).
+    pub fn new(groups: Vec<RuleGroup>, n_items: usize) -> Self {
+        let mut by_item = vec![Vec::new(); n_items];
+        for (gi, g) in groups.iter().enumerate() {
+            for i in g.upper.iter() {
+                by_item[i as usize].push(gi as u32);
+            }
+        }
+        GroupIndex { groups, by_item }
+    }
+
+    /// All indexed groups.
+    pub fn groups(&self) -> &[RuleGroup] {
+        &self.groups
+    }
+
+    /// Number of indexed groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` iff the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Groups whose antecedent support set contains the (training) row.
+    pub fn covering_row(&self, row: usize) -> impl Iterator<Item = &RuleGroup> {
+        self.groups.iter().filter(move |g| g.matches_row(row))
+    }
+
+    /// Groups whose upper bound mentions `item`.
+    pub fn mentioning_item(&self, item: ItemId) -> impl Iterator<Item = &RuleGroup> {
+        self.by_item
+            .get(item as usize)
+            .into_iter()
+            .flatten()
+            .map(|&gi| &self.groups[gi as usize])
+    }
+
+    /// Groups that *fire* on an unseen sample with the given items: some
+    /// lower bound (most general member) is contained in the sample.
+    /// Requires the groups to carry lower bounds.
+    pub fn firing_on(&self, items: &IdList) -> impl Iterator<Item = &RuleGroup> + '_ {
+        // candidate groups must share at least one upper-bound item with
+        // the sample; walk the shortest posting lists first
+        let mut seen = vec![false; self.groups.len()];
+        let mut candidates: Vec<u32> = Vec::new();
+        for i in items.iter() {
+            for &gi in self.by_item.get(i as usize).map_or(&[][..], |v| v) {
+                if !seen[gi as usize] {
+                    seen[gi as usize] = true;
+                    candidates.push(gi);
+                }
+            }
+        }
+        let items = items.clone();
+        candidates
+            .into_iter()
+            .map(move |gi| &self.groups[gi as usize])
+            .filter(move |g| g.lower.iter().any(|l| l.is_subset(&items)))
+    }
+
+    /// The best group firing on a sample under
+    /// `(confidence desc, support desc, shorter upper)` — the first-match
+    /// rule a classifier would apply.
+    pub fn best_firing_on(&self, items: &IdList) -> Option<&RuleGroup> {
+        self.firing_on(items).max_by(|a, b| {
+            a.confidence()
+                .partial_cmp(&b.confidence())
+                .expect("finite")
+                .then(a.sup.cmp(&b.sup))
+                .then(b.upper.len().cmp(&a.upper.len()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Farmer, MiningParams};
+    use farmer_dataset::paper_example;
+
+    fn index() -> (farmer_dataset::Dataset, GroupIndex) {
+        let d = paper_example();
+        let result = Farmer::new(MiningParams::new(0)).mine(&d);
+        let n_items = d.n_items();
+        (d, GroupIndex::new(result.groups, n_items))
+    }
+
+    #[test]
+    fn covering_row_matches_support_sets() {
+        let (_, idx) = index();
+        assert!(!idx.is_empty());
+        for row in 0..5 {
+            for g in idx.covering_row(row) {
+                assert!(g.support_set.contains(row));
+            }
+            let direct = idx.groups().iter().filter(|g| g.support_set.contains(row)).count();
+            assert_eq!(idx.covering_row(row).count(), direct);
+        }
+    }
+
+    #[test]
+    fn mentioning_item_is_exact() {
+        let (d, idx) = index();
+        let a = d.item_by_name("a").unwrap();
+        for g in idx.mentioning_item(a) {
+            assert!(g.upper.contains(a));
+        }
+        let direct = idx.groups().iter().filter(|g| g.upper.contains(a)).count();
+        assert_eq!(idx.mentioning_item(a).count(), direct);
+        // out-of-range items are simply absent
+        assert_eq!(idx.mentioning_item(10_000).count(), 0);
+    }
+
+    #[test]
+    fn firing_on_uses_lower_bounds() {
+        let (d, idx) = index();
+        // a sample with exactly the items of row r2 must fire every group
+        // covering r2 (0-based row 1)
+        let sample = d.row(1).clone();
+        let fired: Vec<&RuleGroup> = idx.firing_on(&sample).collect();
+        for g in idx.covering_row(1) {
+            assert!(
+                fired.iter().any(|f| f.upper == g.upper),
+                "group {:?} should fire",
+                g.upper
+            );
+        }
+        // and nothing fires on an empty sample
+        assert_eq!(idx.firing_on(&IdList::new()).count(), 0);
+    }
+
+    #[test]
+    fn best_firing_is_max_by_rank() {
+        let (d, idx) = index();
+        let sample = d.row(0).clone();
+        let best = idx.best_firing_on(&sample).expect("row 0 is covered");
+        for g in idx.firing_on(&sample) {
+            assert!(
+                best.confidence() >= g.confidence(),
+                "best {:?} vs {:?}",
+                best.upper,
+                g.upper
+            );
+        }
+        assert!(idx.best_firing_on(&IdList::new()).is_none());
+    }
+}

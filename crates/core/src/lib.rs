@@ -1,0 +1,71 @@
+//! FARMER: finding interesting rule groups in microarray datasets.
+//!
+//! A from-scratch implementation of the SIGMOD 2004 algorithm by Cong,
+//! Tung, Xu, Pan and Yang. Given a dataset with *few rows and very many
+//! columns* (the microarray shape) and a target class `C`, FARMER
+//! enumerates **row combinations** depth-first instead of column
+//! combinations, discovering each **rule group** — the equivalence class
+//! of association rules `A → C` sharing one antecedent support set — at
+//! the unique node whose row set generates it. Each group is reported by
+//! its unique *upper bound* (most specific antecedent) and, optionally,
+//! its *lower bounds* (most general antecedents, via [`minelb`]).
+//!
+//! Only **interesting** rule groups (IRGs) are kept: a group is
+//! interesting iff every strictly more general rule group has strictly
+//! lower confidence. Mining is constrained by minimum support, minimum
+//! confidence, and minimum χ² value, all three of which drive search
+//! pruning (strategies 1–3 of the paper, see [`PruningConfig`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use farmer_core::{Farmer, MiningParams};
+//! use farmer_dataset::paper_example;
+//!
+//! let data = paper_example();
+//! let params = MiningParams::new(0 /* target class C */)
+//!     .min_sup(1)
+//!     .min_conf(0.0);
+//! let result = Farmer::new(params).mine(&data);
+//! for g in &result.groups {
+//!     println!(
+//!         "{} -> c0  (sup {}, conf {:.2})",
+//!         g.upper.iter().map(|i| data.item_name(i)).collect::<Vec<_>>().join(""),
+//!         g.sup,
+//!         g.confidence(),
+//!     );
+//! }
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`Farmer`] — the row-enumeration search;
+//! * [`cond`] — the two conditional-transposed-table engines: a bitset
+//!   engine and the paper's §3.3 conditional pointer lists;
+//! * [`measures`] — support/confidence/χ² and the convex χ² upper bound
+//!   (Lemma 3.9), plus lift/conviction/entropy-gain/gini extensions;
+//! * [`minelb`] — the incremental lower-bound algorithm MineLB (§3.4);
+//! * [`naive`] — a brute-force oracle used to verify the miner exactly;
+//! * [`carpenter`] — the predecessor CARPENTER algorithm (closed-pattern
+//!   mining by row enumeration, KDD'03), sharing the same substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carpenter;
+pub mod cobbler;
+pub mod cond;
+pub mod measures;
+pub mod minelb;
+pub mod naive;
+pub mod topk;
+
+mod index;
+mod miner;
+mod params;
+mod rule;
+
+pub use index::GroupIndex;
+pub use miner::Farmer;
+pub use params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
+pub use rule::{MineResult, MineStats, RuleGroup};

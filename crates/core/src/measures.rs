@@ -1,0 +1,310 @@
+//! Interestingness measures over `A → C` rules and their search-pruning
+//! upper bounds.
+//!
+//! All measures are functions of the 2×2 contingency table determined by
+//! `x = |R(A)|` (rows matching the antecedent), `y = |R(A ∪ C)|` (of
+//! which, rows in the class), against the dataset margins `n` (total
+//! rows) and `m = |R(C)|` (rows in the class):
+//!
+//! ```text
+//!            C          ¬C        total
+//!   A        y          x - y     x
+//!   ¬A       m - y      n-m-x+y   n - x
+//!   total    m          n - m     n
+//! ```
+//!
+//! The paper prunes with χ² via the Morishita–Sese observation that χ² is
+//! convex over the reachable `(x, y)` region, so its maximum over a
+//! search subtree is attained at a vertex of that region (Lemma 3.9).
+//! The footnote-3 extension measures (lift, conviction, entropy gain,
+//! gini index, correlation coefficient) are provided for downstream use.
+
+/// The 2×2 contingency counts of a rule, all as `f64`-convertible counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Contingency {
+    /// `|R(A)|` — rows containing the antecedent.
+    pub x: usize,
+    /// `|R(A ∪ C)|` — antecedent rows in the class; `y <= x`.
+    pub y: usize,
+    /// Total rows in the dataset.
+    pub n: usize,
+    /// Rows labeled with the class; `y <= m <= n`.
+    pub m: usize,
+}
+
+impl Contingency {
+    /// Builds a table, checking the count invariants.
+    pub fn new(x: usize, y: usize, n: usize, m: usize) -> Self {
+        assert!(y <= x, "y={y} > x={x}");
+        assert!(y <= m, "y={y} > m={m}");
+        assert!(x <= n, "x={x} > n={n}");
+        assert!(m <= n, "m={m} > n={n}");
+        assert!(x - y <= n - m, "A∪¬C count {x}-{y} exceeds ¬C margin {}", n - m);
+        Contingency { x, y, n, m }
+    }
+
+    /// Rule confidence `y / x`; 0 when `x = 0`.
+    pub fn confidence(&self) -> f64 {
+        if self.x == 0 {
+            0.0
+        } else {
+            self.y as f64 / self.x as f64
+        }
+    }
+
+    /// The rule's support (the paper defines it as `|R(A ∪ C)|`).
+    pub fn support(&self) -> usize {
+        self.y
+    }
+}
+
+/// Pearson's χ² statistic of the table (1 degree of freedom).
+///
+/// Returns 0 when any margin is degenerate (`x ∈ {0, n}` or
+/// `m ∈ {0, n}`), where independence cannot be tested.
+pub fn chi_square(t: Contingency) -> f64 {
+    let (x, y, n, m) = (t.x as f64, t.y as f64, t.n as f64, t.m as f64);
+    let denom = x * m * (n - x) * (n - m);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    // chi2 = n (ad - bc)^2 / (x m (n-x) (n-m)) with
+    // a = y, b = x-y, c = m-y, d = n-m-x+y
+    let det = y * (n - m - x + y) - (x - y) * (m - y);
+    n * det * det / denom
+}
+
+/// Upper bound on `chi_square` over every rule reachable below a search
+/// node whose current rule has table `t` (Lemma 3.9).
+///
+/// Any rule discovered deeper has a *more general* antecedent, so its
+/// point `(x', y')` lies in the parallelogram with vertices
+/// `(x, y)`, `(x-y+m, m)`, `(n, m)`, `(y+n-m, y)`. χ² is convex in
+/// `(x, y)` and zero at `(n, m)`, so the maximum over the region is the
+/// maximum over the other three vertices.
+pub fn chi_square_upper_bound(t: Contingency) -> f64 {
+    let a = chi_square(Contingency::new(t.x - t.y + t.m, t.m, t.n, t.m));
+    let b = chi_square(Contingency::new(t.y + t.n - t.m, t.y, t.n, t.m));
+    let c = chi_square(t);
+    a.max(b).max(c)
+}
+
+/// Lift: `conf(A → C) / P(C)`; 1 means independence. 0 when undefined.
+pub fn lift(t: Contingency) -> f64 {
+    if t.m == 0 || t.x == 0 {
+        return 0.0;
+    }
+    t.confidence() / (t.m as f64 / t.n as f64)
+}
+
+/// Conviction: `(1 - P(C)) / (1 - conf)`; `+∞` for exact rules,
+/// 1 at independence.
+pub fn conviction(t: Contingency) -> f64 {
+    if t.x == 0 {
+        return 0.0;
+    }
+    let p_not_c = 1.0 - t.m as f64 / t.n as f64;
+    let one_minus_conf = 1.0 - t.confidence();
+    if one_minus_conf == 0.0 {
+        f64::INFINITY
+    } else {
+        p_not_c / one_minus_conf
+    }
+}
+
+fn h2(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+/// Entropy gain of splitting the dataset on `A` with respect to the class
+/// (the information-gain measure of decision trees). Non-negative.
+pub fn entropy_gain(t: Contingency) -> f64 {
+    let (x, y, n, m) = (t.x as f64, t.y as f64, t.n as f64, t.m as f64);
+    if n == 0.0 {
+        return 0.0;
+    }
+    let base = h2(m / n);
+    let mut cond = 0.0;
+    if x > 0.0 {
+        cond += x / n * h2(y / x);
+    }
+    if n - x > 0.0 {
+        cond += (n - x) / n * h2((m - y) / (n - x));
+    }
+    (base - cond).max(0.0)
+}
+
+/// Gini-index reduction achieved by splitting on `A`. Non-negative.
+pub fn gini_gain(t: Contingency) -> f64 {
+    let (x, y, n, m) = (t.x as f64, t.y as f64, t.n as f64, t.m as f64);
+    if n == 0.0 {
+        return 0.0;
+    }
+    let gini = |p: f64| 2.0 * p * (1.0 - p);
+    let base = gini(m / n);
+    let mut cond = 0.0;
+    if x > 0.0 {
+        cond += x / n * gini(y / x);
+    }
+    if n - x > 0.0 {
+        cond += (n - x) / n * gini((m - y) / (n - x));
+    }
+    (base - cond).max(0.0)
+}
+
+/// Upper bound of a *convex* measure over the region reachable below a
+/// search node with table `t` — the same parallelogram-vertex argument
+/// as [`chi_square_upper_bound`], for any measure that Morishita–Sese
+/// convexity applies to (χ², entropy gain, gini gain).
+///
+/// The vertex `(n, m)` is included (unlike for χ², these measures need
+/// not vanish there, although for the gain measures they do).
+pub fn convex_upper_bound(measure: fn(Contingency) -> f64, t: Contingency) -> f64 {
+    let a = measure(Contingency::new(t.x - t.y + t.m, t.m, t.n, t.m));
+    let b = measure(Contingency::new(t.y + t.n - t.m, t.y, t.n, t.m));
+    let c = measure(t);
+    let d = measure(Contingency::new(t.n, t.m, t.n, t.m));
+    a.max(b).max(c).max(d)
+}
+
+/// The φ correlation coefficient between antecedent and class, in
+/// `[-1, 1]`; `sqrt(chi²/n)` with the sign of the association.
+pub fn correlation(t: Contingency) -> f64 {
+    let (x, y, n, m) = (t.x as f64, t.y as f64, t.n as f64, t.m as f64);
+    let denom = (x * m * (n - x) * (n - m)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (y * (n - m - x + y) - (x - y) * (m - y)) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: usize, y: usize, n: usize, m: usize) -> Contingency {
+        Contingency::new(x, y, n, m)
+    }
+
+    #[test]
+    fn confidence_and_support() {
+        let c = t(4, 3, 10, 5);
+        assert!((c.confidence() - 0.75).abs() < 1e-12);
+        assert_eq!(c.support(), 3);
+        assert_eq!(t(0, 0, 10, 5).confidence(), 0.0);
+    }
+
+    #[test]
+    fn chi_square_known_value() {
+        // classic 2x2: a=10,b=2 / c=3,d=15 -> x=12,y=10,n=30,m=13
+        let v = chi_square(t(12, 10, 30, 13));
+        // manual: chi2 = 30*(10*15-2*3)^2/(12*13*18*17)
+        let expect = 30.0 * (150.0f64 - 6.0).powi(2) / (12.0 * 13.0 * 18.0 * 17.0);
+        assert!((v - expect).abs() < 1e-9, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn chi_square_independence_is_zero() {
+        // y/x == m/n exactly -> chi = 0
+        let v = chi_square(t(10, 5, 20, 10));
+        assert!(v.abs() < 1e-12);
+        // degenerate margins
+        assert_eq!(chi_square(t(0, 0, 10, 5)), 0.0);
+        assert_eq!(chi_square(t(10, 5, 10, 5)), 0.0);
+        assert_eq!(chi_square(t(5, 0, 10, 0)), 0.0);
+    }
+
+    #[test]
+    fn chi_square_perfect_association() {
+        // A exactly equals C: chi = n
+        let v = chi_square(t(5, 5, 10, 5));
+        assert!((v - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_bound_dominates_region() {
+        // brute-force the reachable parallelogram and verify the bound
+        let base = t(6, 4, 20, 9);
+        let bound = chi_square_upper_bound(base);
+        for x2 in base.x..=base.n {
+            for y2 in base.y..=base.m.min(x2) {
+                if x2 - y2 < base.x - base.y || x2 - y2 > base.n - base.m {
+                    continue; // outside constraint 4 of Lemma 3.9
+                }
+                let v = chi_square(t(x2, y2, base.n, base.m));
+                assert!(v <= bound + 1e-9, "chi({x2},{y2})={v} > bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn chi_bound_at_least_current() {
+        for (x, y) in [(3, 2), (8, 8), (10, 1)] {
+            let c = t(x, y, 20, 10);
+            assert!(chi_square_upper_bound(c) >= chi_square(c) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn convex_bound_dominates_region_for_gain_measures() {
+        let base = t(6, 4, 20, 9);
+        for measure in [entropy_gain as fn(Contingency) -> f64, gini_gain] {
+            let bound = convex_upper_bound(measure, base);
+            for x2 in base.x..=base.n {
+                for y2 in base.y..=base.m.min(x2) {
+                    if x2 - y2 < base.x - base.y || x2 - y2 > base.n - base.m {
+                        continue;
+                    }
+                    let v = measure(t(x2, y2, base.n, base.m));
+                    assert!(v <= bound + 1e-9, "measure({x2},{y2})={v} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lift_and_conviction() {
+        let c = t(4, 4, 20, 10); // perfect rule
+        assert!((lift(c) - 2.0).abs() < 1e-12);
+        assert_eq!(conviction(c), f64::INFINITY);
+        let ind = t(10, 5, 20, 10); // independent
+        assert!((lift(ind) - 1.0).abs() < 1e-12);
+        assert!((conviction(ind) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_and_gini_gain() {
+        // perfect split: gain equals the base entropy (1 bit for 50/50)
+        let c = t(10, 10, 20, 10);
+        assert!((entropy_gain(c) - 1.0).abs() < 1e-12);
+        assert!((gini_gain(c) - 0.5).abs() < 1e-12);
+        // independence: zero gain
+        let ind = t(10, 5, 20, 10);
+        assert!(entropy_gain(ind).abs() < 1e-12);
+        assert!(gini_gain(ind).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        assert!((correlation(t(10, 10, 20, 10)) - 1.0).abs() < 1e-12);
+        assert!((correlation(t(10, 0, 20, 10)) + 1.0).abs() < 1e-12);
+        assert!(correlation(t(10, 5, 20, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_matches_correlation_squared() {
+        let c = t(7, 5, 25, 11);
+        let phi = correlation(c);
+        assert!((chi_square(c) - phi * phi * 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "y=3 > x=2")]
+    fn invalid_table_panics() {
+        t(2, 3, 10, 5);
+    }
+}

@@ -1,0 +1,606 @@
+//! The FARMER search: depth-first row enumeration with pruning.
+
+use crate::cond::{BitsetNode, CondNode, PointerNode};
+use crate::measures::{
+    self, chi_square, chi_square_upper_bound, convex_upper_bound, Contingency,
+};
+use crate::minelb::mine_lower_bounds;
+use crate::params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
+use crate::rule::{MineResult, MineStats, RuleGroup};
+use farmer_dataset::{Dataset, RowId, TransposedTable};
+use rowset::{IdList, RowSet};
+
+/// The FARMER miner. Configure with [`MiningParams`] (thresholds) and
+/// optionally [`PruningConfig`] / [`Engine`], then call
+/// [`mine`](Farmer::mine).
+///
+/// ```
+/// use farmer_core::{Farmer, MiningParams};
+/// let params = MiningParams::new(0).min_sup(2).min_conf(0.8);
+/// let result = Farmer::new(params).mine(&farmer_dataset::paper_example());
+/// assert!(result.groups.iter().all(|g| g.sup >= 2 && g.confidence() >= 0.8));
+/// ```
+pub struct Farmer {
+    params: MiningParams,
+    pruning: PruningConfig,
+    engine: Engine,
+    threads: usize,
+}
+
+impl Farmer {
+    /// A miner with default pruning (all strategies) and the bitset
+    /// engine.
+    pub fn new(params: MiningParams) -> Self {
+        Farmer {
+            params,
+            pruning: PruningConfig::default(),
+            engine: Engine::default(),
+            threads: 1,
+        }
+    }
+
+    /// Overrides the pruning strategy switchboard (for ablations).
+    pub fn with_pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Selects the conditional-table engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Mines the depth-1 subtrees of the row-enumeration tree on
+    /// `threads` worker threads (1 = the sequential algorithm).
+    ///
+    /// The subtrees are independent: pruning strategies 1–3 depend only
+    /// on a node's own path, so each thread searches its share of root
+    /// candidates with the full machinery, and the interestingness
+    /// comparison of step 7 — the only globally ordered step — runs as a
+    /// definition-equivalent post-pass over the merged groups. Results
+    /// are identical to the sequential run (enforced by tests). A node
+    /// budget is split evenly across threads.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Mines all interesting rule groups of `data` for the configured
+    /// target class.
+    ///
+    /// Row ids in the returned groups refer to `data`'s original row
+    /// order regardless of the internal `ORD` permutation.
+    pub fn mine(&self, data: &Dataset) -> MineResult {
+        let (tt, reordered, order) = TransposedTable::for_mining(data, self.params.target_class);
+        if self.threads > 1 {
+            return match self.engine {
+                Engine::Bitset => {
+                    self.run_parallel(|| BitsetNode::root(&reordered), &reordered, &tt, &order)
+                }
+                Engine::PointerList => {
+                    self.run_parallel(|| PointerNode::root(&tt), &reordered, &tt, &order)
+                }
+            };
+        }
+        match self.engine {
+            Engine::Bitset => self.run(BitsetNode::root(&reordered), &reordered, &tt, &order),
+            Engine::PointerList => self.run(PointerNode::root(&tt), &reordered, &tt, &order),
+        }
+    }
+
+    fn run<N: CondNode>(
+        &self,
+        root: N,
+        reordered: &Dataset,
+        tt: &TransposedTable,
+        order: &[RowId],
+    ) -> MineResult {
+        let n = reordered.n_rows();
+        let m = tt.n_target();
+        let eff_min_conf = self.effective_min_conf(n, m);
+        let mut ctx = Ctx {
+            params: &self.params,
+            pruning: &self.pruning,
+            n,
+            m,
+            eff_min_conf,
+            pos_mask: RowSet::from_ids(n, 0..m),
+            budget: self.params.node_budget.unwrap_or(u64::MAX),
+            stats: MineStats::default(),
+            irgs: Vec::new(),
+            defer_interesting: false,
+        };
+        let e_p = RowSet::from_ids(n, 0..m);
+        let e_n = RowSet::from_ids(n, m..n);
+        ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0, 0);
+        let irgs = ctx.irgs;
+        let stats = ctx.stats;
+        self.package(irgs, stats, reordered, order, n, m)
+    }
+
+    /// Parallel search: the root is scanned once per thread (cheap), and
+    /// each thread descends only into its share of the root candidates.
+    /// Threshold-passing groups are merged and the interestingness
+    /// filter runs as a final pass (equivalent to step 7 by Lemma 3.4).
+    fn run_parallel<N, F>(
+        &self,
+        make_root: F,
+        reordered: &Dataset,
+        tt: &TransposedTable,
+        order: &[RowId],
+    ) -> MineResult
+    where
+        N: CondNode,
+        F: Fn() -> N + Sync,
+    {
+        let n = reordered.n_rows();
+        let m = tt.n_target();
+        let eff_min_conf = self.effective_min_conf(n, m);
+        let threads = self.threads;
+        let per_thread_budget = self
+            .params
+            .node_budget
+            .map(|b| (b / threads as u64).max(1));
+
+        let results: Vec<(Vec<Pending>, MineStats)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let make_root = &make_root;
+                    scope.spawn(move |_| {
+                        let root = make_root();
+                        let mut ctx = Ctx {
+                            params: &self.params,
+                            pruning: &self.pruning,
+                            n,
+                            m,
+                            eff_min_conf,
+                            pos_mask: RowSet::from_ids(n, 0..m),
+                            budget: per_thread_budget.unwrap_or(u64::MAX),
+                            stats: MineStats::default(),
+                            irgs: Vec::new(),
+                            defer_interesting: true,
+                        };
+                        ctx.stats.nodes_visited += 1; // the shared root
+                        // replicate the sequential root step (no
+                        // compression at the root, exact candidates)
+                        let e_p = RowSet::from_ids(n, 0..m);
+                        let e_n = RowSet::from_ids(n, m..n);
+                        let ins = root.inspect(&e_p, &e_n);
+                        let sup_p0 = ins.z.intersection_len(&ctx.pos_mask);
+                        let sup_n0 = ins.z.len() - sup_p0;
+                        // round-robin assignment of depth-1 subtrees
+                        let mut remaining_p = ins.u_p.clone();
+                        for (i, r) in ins.u_p.iter().enumerate() {
+                            remaining_p.remove(r);
+                            if i % threads != t {
+                                continue;
+                            }
+                            let counted = RowSet::from_ids(n, [r]);
+                            ctx.visit(
+                                &root.child(r as RowId),
+                                Some(r as RowId),
+                                &counted,
+                                remaining_p.clone(),
+                                ins.u_n.clone(),
+                                sup_p0,
+                                sup_n0,
+                            );
+                        }
+                        let mut remaining_n = ins.u_n.clone();
+                        for (i, r) in ins.u_n.iter().enumerate() {
+                            remaining_n.remove(r);
+                            if (ins.u_p.len() + i) % threads != t {
+                                continue;
+                            }
+                            let counted = RowSet::from_ids(n, [r]);
+                            ctx.visit(
+                                &root.child(r as RowId),
+                                Some(r as RowId),
+                                &counted,
+                                RowSet::empty(n),
+                                remaining_n.clone(),
+                                sup_p0,
+                                sup_n0,
+                            );
+                        }
+                        (ctx.irgs, ctx.stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mining worker panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+
+        // merge: dedupe by upper bound, combine stats
+        let mut stats = MineStats::default();
+        let mut by_upper: std::collections::HashMap<IdList, Pending> =
+            std::collections::HashMap::new();
+        for (pendings, s) in results {
+            stats.nodes_visited += s.nodes_visited;
+            stats.pruned_duplicate += s.pruned_duplicate;
+            stats.pruned_loose += s.pruned_loose;
+            stats.pruned_tight_support += s.pruned_tight_support;
+            stats.pruned_tight_confidence += s.pruned_tight_confidence;
+            stats.pruned_chi += s.pruned_chi;
+            stats.rows_compressed += s.rows_compressed;
+            stats.budget_exhausted |= s.budget_exhausted;
+            for p in pendings {
+                by_upper.entry(p.upper.clone()).or_insert(p);
+            }
+        }
+
+        // final interestingness pass: generality order, keep a group iff
+        // no accepted more-general group has confidence >= its own
+        let mut pendings: Vec<Pending> = by_upper.into_values().collect();
+        pendings.sort_by(|a, b| {
+            a.upper
+                .len()
+                .cmp(&b.upper.len())
+                .then_with(|| a.upper.cmp(&b.upper))
+        });
+        let mut accepted: Vec<Pending> = Vec::new();
+        for p in pendings {
+            let dominated = accepted.iter().any(|a| {
+                a.upper.len() < p.upper.len() && a.upper.is_subset(&p.upper) && a.conf >= p.conf
+            });
+            if dominated {
+                stats.rejected_not_interesting += 1;
+            } else {
+                accepted.push(p);
+            }
+        }
+        self.package(accepted, stats, reordered, order, n, m)
+    }
+
+    /// Folds any lift/conviction extras into the confidence threshold.
+    fn effective_min_conf(&self, n: usize, m: usize) -> f64 {
+        let mut eff = self.params.min_conf;
+        if n > 0 {
+            let p_c = m as f64 / n as f64;
+            for c in &self.params.extra {
+                match *c {
+                    ExtraConstraint::MinLift(l) => {
+                        eff = eff.max((l * p_c).min(1.0));
+                    }
+                    ExtraConstraint::MinConviction(v) if v > 0.0 => {
+                        eff = eff.max((1.0 - (1.0 - p_c) / v).clamp(0.0, 1.0));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        eff
+    }
+
+    /// Maps pending groups back to original row ids, attaches lower
+    /// bounds, and assembles the result.
+    fn package(
+        &self,
+        irgs: Vec<Pending>,
+        stats: MineStats,
+        reordered: &Dataset,
+        order: &[RowId],
+        n: usize,
+        m: usize,
+    ) -> MineResult {
+        let groups = irgs
+            .into_iter()
+            .map(|p| {
+                let mut support_set = RowSet::empty(n);
+                for r in p.rows.iter() {
+                    support_set.insert(order[r] as usize);
+                }
+                let lower = if self.params.lower_bounds {
+                    mine_lower_bounds(&p.upper, &p.rows, reordered)
+                } else {
+                    Vec::new()
+                };
+                RuleGroup {
+                    upper: p.upper,
+                    lower,
+                    support_set,
+                    sup: p.sup_p,
+                    neg_sup: p.sup_n,
+                    class: self.params.target_class,
+                    n_rows: n,
+                    n_class: m,
+                }
+            })
+            .collect();
+        MineResult {
+            groups,
+            stats,
+            n_rows: n,
+            n_class: m,
+        }
+    }
+}
+
+/// A discovered IRG, in reordered row-id space (pending final mapping).
+struct Pending {
+    upper: IdList,
+    /// `R(upper)` in reordered ids.
+    rows: RowSet,
+    sup_p: usize,
+    sup_n: usize,
+    conf: f64,
+}
+
+struct Ctx<'a> {
+    params: &'a MiningParams,
+    pruning: &'a PruningConfig,
+    n: usize,
+    m: usize,
+    /// `min_conf` tightened by any lift/conviction extras.
+    eff_min_conf: f64,
+    pos_mask: RowSet,
+    budget: u64,
+    stats: MineStats,
+    irgs: Vec<Pending>,
+    /// Parallel mode: skip the step-7 interestingness comparison here
+    /// and let the merge phase run it over all threads' groups.
+    defer_interesting: bool,
+}
+
+impl Ctx<'_> {
+    /// One node of the enumeration tree (Figure 5's `MineIRGs`).
+    ///
+    /// `last` is the row whose addition created this node (`None` at the
+    /// root); `counted` is `X` plus every row folded away by pruning
+    /// strategy 1 at ancestors; `parent_sup_p`/`parent_sup_n` are the
+    /// parent rule's exact support counts (for the loose bounds).
+    #[allow(clippy::too_many_arguments)]
+    fn visit<N: CondNode>(
+        &mut self,
+        node: &N,
+        last: Option<RowId>,
+        counted: &RowSet,
+        e_p: RowSet,
+        e_n: RowSet,
+        parent_sup_p: usize,
+        parent_sup_n: usize,
+    ) {
+        if self.stats.budget_exhausted {
+            return;
+        }
+        self.stats.nodes_visited += 1;
+        if self.stats.nodes_visited > self.budget {
+            self.stats.budget_exhausted = true;
+            return;
+        }
+        let is_root = last.is_none();
+        // under ORD, positives are exactly the rows below the class margin
+        let last_is_pos = last.is_none_or(|r| (r as usize) < self.m);
+
+        // ---- Pruning strategy 3, loose bounds (step 2): before scanning.
+        if self.pruning.strategy3_loose && !is_root {
+            let us2 = if last_is_pos {
+                parent_sup_p + 1 + e_p.len()
+            } else {
+                parent_sup_p
+            };
+            if us2 < self.params.min_sup {
+                self.stats.pruned_loose += 1;
+                return;
+            }
+            if self.eff_min_conf > 0.0 {
+                let supn_in = parent_sup_n + usize::from(!last_is_pos);
+                let uc2 = us2 as f64 / (us2 + supn_in) as f64;
+                if uc2 < self.eff_min_conf {
+                    self.stats.pruned_loose += 1;
+                    return;
+                }
+            }
+        }
+
+        // ---- Scan TT|X (step 3).
+        let ins = node.inspect(&e_p, &e_n);
+
+        // ---- Pruning strategy 2 (step 1 in the paper; our back scan is
+        // part of the main scan). A row ordered before this node's deepest
+        // row that occurs in every tuple — and was neither enumerated nor
+        // compressed — proves every group below was discovered earlier
+        // (Lemma 3.6).
+        if self.pruning.strategy2_duplicate && !is_root {
+            let last = last.expect("non-root has a last row") as usize;
+            // z rows beyond `last` are candidates (current Y) or compressed
+            // rows, both excluded by Lemma 3.6; only the back range matters.
+            let has_alien_back = ins
+                .z
+                .iter()
+                .take_while(|&r| r < last)
+                .any(|r| !counted.contains(r));
+            if has_alien_back {
+                self.stats.pruned_duplicate += 1;
+                return;
+            }
+        }
+
+        // Exact support counts of the rule I(X) -> C at this node:
+        // z = R(I(X)) under the empty-intersection convention.
+        let sup_p = ins.z.intersection_len(&self.pos_mask);
+        let sup_n = ins.z.len() - sup_p;
+
+        // ---- Pruning strategy 3, tight bounds (step 4): after scanning.
+        if self.pruning.strategy3_tight && !is_root {
+            let us1 = if last_is_pos {
+                parent_sup_p + 1 + ins.max_ep_tuple
+            } else {
+                parent_sup_p
+            };
+            if us1 < self.params.min_sup {
+                self.stats.pruned_tight_support += 1;
+                return;
+            }
+            if self.eff_min_conf > 0.0 {
+                let uc1 = us1 as f64 / (us1 + sup_n) as f64;
+                if uc1 < self.eff_min_conf {
+                    self.stats.pruned_tight_confidence += 1;
+                    return;
+                }
+            }
+            if self.params.min_chi > 0.0 {
+                let t = Contingency::new(sup_p + sup_n, sup_p, self.n, self.m);
+                if chi_square_upper_bound(t) < self.params.min_chi {
+                    self.stats.pruned_chi += 1;
+                    return;
+                }
+            }
+            // footnote-3 extras with convexity-based bounds (lift and
+            // conviction already act through eff_min_conf)
+            if !self.params.extra.is_empty() {
+                let t = Contingency::new(sup_p + sup_n, sup_p, self.n, self.m);
+                for c in &self.params.extra {
+                    let prunable = match *c {
+                        ExtraConstraint::MinEntropyGain(v) => {
+                            convex_upper_bound(measures::entropy_gain, t) < v
+                        }
+                        ExtraConstraint::MinGiniGain(v) => {
+                            convex_upper_bound(measures::gini_gain, t) < v
+                        }
+                        ExtraConstraint::MinCorrelation(v) if v > 0.0 => {
+                            // φ = ±sqrt(χ²/n) pointwise, so the χ² bound
+                            // caps the reachable positive correlation
+                            (chi_square_upper_bound(t) / self.n.max(1) as f64).sqrt() < v
+                        }
+                        _ => false,
+                    };
+                    if prunable {
+                        self.stats.pruned_chi += 1;
+                        return;
+                    }
+                }
+            }
+        }
+
+        // ---- Pruning strategy 1 (step 5): rows in every tuple are folded
+        // into the counts and removed from the candidate lists. Never at
+        // the root: the root emits no rule, so a row contained in every
+        // tuple of the full table (possible only in degenerate data) would
+        // otherwise have its group silently skipped.
+        let (next_e_p, next_e_n, counted_next);
+        if self.pruning.strategy1_compression && !is_root {
+            let y_p = ins.z.intersection(&e_p);
+            let y_n = ins.z.intersection(&e_n);
+            self.stats.rows_compressed += (y_p.len() + y_n.len()) as u64;
+            next_e_p = ins.u_p.difference(&y_p);
+            next_e_n = ins.u_n.difference(&y_n);
+            let mut c = counted.union(&y_p);
+            c.union_with(&y_n);
+            counted_next = c;
+        } else {
+            next_e_p = ins.u_p;
+            next_e_n = ins.u_n;
+            counted_next = counted.clone();
+        }
+
+        // ---- Descend (step 6): positive candidates first, then negative,
+        // in ascending ORD order. `remaining` shrinks as we iterate so each
+        // child sees exactly the candidates ordered after it.
+        let mut remaining_p = next_e_p.clone();
+        for r in next_e_p.iter() {
+            if self.stats.budget_exhausted {
+                break; // fall through: this node's own rule is still valid
+            }
+            remaining_p.remove(r);
+            let mut counted_child = counted_next.clone();
+            counted_child.insert(r);
+            self.visit(
+                &node.child(r as RowId),
+                Some(r as RowId),
+                &counted_child,
+                remaining_p.clone(),
+                next_e_n.clone(),
+                sup_p,
+                sup_n,
+            );
+        }
+        let mut remaining_n = next_e_n.clone();
+        for r in next_e_n.iter() {
+            if self.stats.budget_exhausted {
+                break;
+            }
+            remaining_n.remove(r);
+            let mut counted_child = counted_next.clone();
+            counted_child.insert(r);
+            self.visit(
+                &node.child(r as RowId),
+                Some(r as RowId),
+                &counted_child,
+                RowSet::empty(self.n),
+                remaining_n.clone(),
+                sup_p,
+                sup_n,
+            );
+        }
+
+        // ---- Emit (step 7): after the whole subtree, so that every more
+        // general group has already been judged (Lemma 3.4).
+        if is_root {
+            return;
+        }
+        if sup_p < self.params.min_sup {
+            return;
+        }
+        let conf = sup_p as f64 / (sup_p + sup_n) as f64;
+        if conf < self.eff_min_conf {
+            return;
+        }
+        if self.params.min_chi > 0.0 {
+            let chi = chi_square(Contingency::new(sup_p + sup_n, sup_p, self.n, self.m));
+            if chi < self.params.min_chi {
+                return;
+            }
+        }
+        if !self.params.extra.is_empty() {
+            let t = Contingency::new(sup_p + sup_n, sup_p, self.n, self.m);
+            for c in &self.params.extra {
+                let ok = match *c {
+                    ExtraConstraint::MinLift(v) => measures::lift(t) >= v,
+                    ExtraConstraint::MinConviction(v) => measures::conviction(t) >= v,
+                    ExtraConstraint::MinEntropyGain(v) => measures::entropy_gain(t) >= v,
+                    ExtraConstraint::MinGiniGain(v) => measures::gini_gain(t) >= v,
+                    ExtraConstraint::MinCorrelation(v) => measures::correlation(t) >= v,
+                };
+                if !ok {
+                    return;
+                }
+            }
+        }
+        let upper = IdList::from_iter(node.items().iter().copied());
+        // a more general group has a strictly larger antecedent support
+        // set (proper item subset ⟹ proper row superset), so integer and
+        // confidence comparisons screen out almost every candidate before
+        // the subset test — this loop dominates runtime when tens of
+        // thousands of IRGs accumulate
+        let total = sup_p + sup_n;
+        for g in &self.irgs {
+            let g_total = g.sup_p + g.sup_n;
+            if g_total == total && g.upper == upper {
+                // duplicate discovery — only reachable with pruning
+                // strategy 2 disabled
+                return;
+            }
+            if !self.defer_interesting
+                && g_total > total
+                && g.conf >= conf
+                && g.upper.len() < upper.len()
+                && g.upper.is_subset(&upper)
+            {
+                self.stats.rejected_not_interesting += 1;
+                return;
+            }
+        }
+        self.irgs.push(Pending {
+            upper,
+            rows: ins.z,
+            sup_p,
+            sup_n,
+            conf,
+        });
+    }
+}

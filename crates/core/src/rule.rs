@@ -1,0 +1,264 @@
+//! Mined rule groups and mining results.
+
+use crate::measures::{self, Contingency};
+use farmer_dataset::{ClassLabel, Dataset, ItemId};
+use rowset::{IdList, RowSet};
+use std::fmt;
+
+/// One interesting rule group `G`, identified by its unique upper bound.
+///
+/// Every rule `A → C` with `lower ⊆ A ⊆ upper` (for some lower bound)
+/// belongs to the group and shares the same support set, support,
+/// confidence, and χ² value (Lemma 2.2).
+///
+/// Row ids in [`support_set`](Self::support_set) refer to the *original*
+/// dataset row order (the miner undoes its internal `ORD` permutation
+/// before reporting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleGroup {
+    /// The upper bound antecedent: `I(R(A))`, the most specific itemset.
+    pub upper: IdList,
+    /// The lower bounds (most general antecedents). Empty when lower
+    /// bound computation was disabled.
+    pub lower: Vec<IdList>,
+    /// `R(A)` — all rows matching the antecedent, in original row ids.
+    pub support_set: RowSet,
+    /// `|R(A ∪ C)|` — the rule support.
+    pub sup: usize,
+    /// `|R(A ∪ ¬C)|` — antecedent rows outside the class.
+    pub neg_sup: usize,
+    /// The consequent class.
+    pub class: ClassLabel,
+    /// Total rows `n` in the mined dataset (margin for χ²).
+    pub n_rows: usize,
+    /// Rows labeled with the class, `m = |R(C)|` (margin for χ²).
+    pub n_class: usize,
+}
+
+impl RuleGroup {
+    /// `|R(A)| = sup + neg_sup`.
+    pub fn antecedent_support(&self) -> usize {
+        self.sup + self.neg_sup
+    }
+
+    /// Rule confidence `sup / |R(A)|`.
+    pub fn confidence(&self) -> f64 {
+        self.contingency().confidence()
+    }
+
+    /// The rule's χ² value.
+    pub fn chi_square(&self) -> f64 {
+        measures::chi_square(self.contingency())
+    }
+
+    /// Lift of the rule.
+    pub fn lift(&self) -> f64 {
+        measures::lift(self.contingency())
+    }
+
+    /// Conviction of the rule.
+    pub fn conviction(&self) -> f64 {
+        measures::conviction(self.contingency())
+    }
+
+    /// The 2×2 contingency table of the rule.
+    pub fn contingency(&self) -> Contingency {
+        Contingency::new(
+            self.antecedent_support(),
+            self.sup,
+            self.n_rows,
+            self.n_class,
+        )
+    }
+
+    /// `true` iff `items` contains some lower bound and is contained in
+    /// the upper bound — i.e. `items → class` is a member of this group
+    /// (Lemma 2.2). Requires lower bounds to have been computed.
+    pub fn contains_rule(&self, items: &IdList) -> bool {
+        items.is_subset(&self.upper) && self.lower.iter().any(|l| l.is_subset(items))
+    }
+
+    /// `true` iff the given row (by original id) matches the antecedent.
+    pub fn matches_row(&self, row: usize) -> bool {
+        self.support_set.contains(row)
+    }
+
+    /// Renders the upper-bound rule using the dataset's item and class
+    /// names, e.g. `"aeh -> C (sup 2, conf 0.67)"`.
+    pub fn display<'a>(&'a self, data: &'a Dataset) -> RuleGroupDisplay<'a> {
+        RuleGroupDisplay { group: self, data }
+    }
+}
+
+/// Helper returned by [`RuleGroup::display`].
+pub struct RuleGroupDisplay<'a> {
+    group: &'a RuleGroup,
+    data: &'a Dataset,
+}
+
+impl fmt::Display for RuleGroupDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let items: Vec<&str> = self
+            .group
+            .upper
+            .iter()
+            .map(|i: ItemId| self.data.item_name(i))
+            .collect();
+        write!(
+            f,
+            "{{{}}} -> {} (sup {}, conf {:.3}, chi {:.2})",
+            items.join(","),
+            self.data.class_name(self.group.class),
+            self.group.sup,
+            self.group.confidence(),
+            self.group.chi_square(),
+        )
+    }
+}
+
+/// Counters describing what the search did; used by the efficiency
+/// experiments and the pruning ablations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MineStats {
+    /// Enumeration-tree nodes entered (root included).
+    pub nodes_visited: u64,
+    /// Nodes cut by pruning strategy 2 (duplicate rule group).
+    pub pruned_duplicate: u64,
+    /// Nodes cut by the loose support/confidence bounds (before scan).
+    pub pruned_loose: u64,
+    /// Nodes cut by the tight support bound `Us1`.
+    pub pruned_tight_support: u64,
+    /// Nodes cut by the tight confidence bound `Uc1`.
+    pub pruned_tight_confidence: u64,
+    /// Nodes cut by the χ² upper bound.
+    pub pruned_chi: u64,
+    /// Candidate rows folded away by pruning strategy 1.
+    pub rows_compressed: u64,
+    /// Upper bounds that met all thresholds but failed the
+    /// interestingness comparison of step 7.
+    pub rejected_not_interesting: u64,
+    /// `true` iff the search hit its node budget and the result is
+    /// (possibly) incomplete — see `MiningParams::node_budget`.
+    pub budget_exhausted: bool,
+}
+
+/// The result of one mining run.
+#[derive(Clone, Debug)]
+pub struct MineResult {
+    /// The interesting rule groups, in discovery order.
+    pub groups: Vec<RuleGroup>,
+    /// Search counters.
+    pub stats: MineStats,
+    /// Total rows of the mined dataset.
+    pub n_rows: usize,
+    /// Rows labeled with the target class.
+    pub n_class: usize,
+}
+
+impl MineResult {
+    /// Number of IRGs found.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` iff no IRG was found.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Groups sorted by `(confidence desc, support desc, |upper| asc)` —
+    /// the ranking the IRG classifier consumes.
+    pub fn ranked(&self) -> Vec<&RuleGroup> {
+        let mut v: Vec<&RuleGroup> = self.groups.iter().collect();
+        v.sort_by(|a, b| {
+            b.confidence()
+                .partial_cmp(&a.confidence())
+                .unwrap()
+                .then(b.sup.cmp(&a.sup))
+                .then(a.upper.len().cmp(&b.upper.len()))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> RuleGroup {
+        RuleGroup {
+            upper: IdList::from_iter([0, 2, 5]),
+            lower: vec![IdList::from_iter([2]), IdList::from_iter([5])],
+            support_set: RowSet::from_ids(6, [1, 2, 3]),
+            sup: 2,
+            neg_sup: 1,
+            class: 0,
+            n_rows: 6,
+            n_class: 3,
+        }
+    }
+
+    #[test]
+    fn measures_delegate() {
+        let g = group();
+        assert_eq!(g.antecedent_support(), 3);
+        assert!((g.confidence() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(g.chi_square() >= 0.0);
+        assert!(g.lift() > 1.0);
+        assert!(g.conviction() > 1.0);
+    }
+
+    #[test]
+    fn membership_via_bounds() {
+        let g = group();
+        // member: contains lower {2}, inside upper {0,2,5}
+        assert!(g.contains_rule(&IdList::from_iter([0, 2])));
+        assert!(g.contains_rule(&IdList::from_iter([5])));
+        // not a member: {0} contains no lower bound
+        assert!(!g.contains_rule(&IdList::from_iter([0])));
+        // not a member: outside the upper bound
+        assert!(!g.contains_rule(&IdList::from_iter([2, 3])));
+    }
+
+    #[test]
+    fn row_matching() {
+        let g = group();
+        assert!(g.matches_row(2));
+        assert!(!g.matches_row(0));
+    }
+
+    #[test]
+    fn ranking_order() {
+        let hi = RuleGroup { sup: 3, neg_sup: 0, ..group() };
+        let lo = group();
+        let res = MineResult {
+            groups: vec![lo.clone(), hi.clone()],
+            stats: MineStats::default(),
+            n_rows: 6,
+            n_class: 3,
+        };
+        assert_eq!(res.len(), 2);
+        assert!(!res.is_empty());
+        let ranked = res.ranked();
+        assert_eq!(ranked[0].sup, 3);
+        assert_eq!(ranked[1].sup, 2);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let data = farmer_dataset::paper_example();
+        let g = RuleGroup {
+            upper: IdList::from_iter([0]),
+            lower: vec![],
+            support_set: RowSet::from_ids(5, [0]),
+            sup: 1,
+            neg_sup: 0,
+            class: 0,
+            n_rows: 5,
+            n_class: 3,
+        };
+        let s = format!("{}", g.display(&data));
+        assert!(s.contains("-> c0"), "{s}");
+        assert!(s.starts_with("{a}"), "{s}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the miners against their oracles, with
+//! proptest shrinking finding minimal counterexamples if anything ever
+//! regresses.
+
+use farmer_core::carpenter::carpenter;
+use farmer_core::cobbler::{cobbler, SwitchPolicy};
+use farmer_core::minelb::mine_lower_bounds;
+use farmer_core::naive::{enumerate_rule_groups, mine_naive, naive_lower_bounds};
+use farmer_core::topk::mine_top_k;
+use farmer_core::{Engine, Farmer, MiningParams};
+use farmer_dataset::{Dataset, DatasetBuilder};
+use proptest::prelude::*;
+use rowset::RowSet;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (3usize..8, 3usize..10).prop_flat_map(|(n_rows, n_items)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..n_items as u32, 1..n_items),
+                0u32..2,
+            ),
+            n_rows,
+        )
+        .prop_map(|rows| {
+            let mut b = DatasetBuilder::new(2);
+            for (items, label) in rows {
+                b.add_row(items, label);
+            }
+            b.build()
+        })
+    })
+}
+
+fn canon(groups: &[farmer_core::RuleGroup]) -> Vec<(Vec<u32>, Vec<usize>, usize, usize)> {
+    let mut v: Vec<_> = groups
+        .iter()
+        .map(|g| {
+            (
+                g.upper.as_slice().to_vec(),
+                g.support_set.to_vec(),
+                g.sup,
+                g.neg_sup,
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FARMER (both engines) equals the brute-force oracle.
+    #[test]
+    fn farmer_equals_oracle(
+        d in arb_dataset(),
+        class in 0u32..2,
+        min_sup in 1usize..4,
+        conf_pct in prop::sample::select(vec![0usize, 50, 80]),
+    ) {
+        let params = MiningParams::new(class)
+            .min_sup(min_sup)
+            .min_conf(conf_pct as f64 / 100.0)
+            .lower_bounds(false);
+        let expected = canon(&mine_naive(&d, &params));
+        for engine in [Engine::Bitset, Engine::PointerList] {
+            let got = Farmer::new(params.clone()).with_engine(engine).mine(&d);
+            prop_assert_eq!(canon(&got.groups), expected.clone(), "engine {:?}", engine);
+        }
+    }
+
+    /// CARPENTER and COBBLER (all policies) find exactly the closed sets
+    /// derivable from row subsets.
+    #[test]
+    fn closed_miners_equal_oracle(d in arb_dataset(), min_sup in 1usize..4) {
+        let mut expected: Vec<(Vec<u32>, usize)> = {
+            let mut out = std::collections::HashSet::new();
+            for mask in 1u32..(1 << d.n_rows()) {
+                let rows = RowSet::from_ids(
+                    d.n_rows(),
+                    (0..d.n_rows()).filter(|&r| mask & (1 << r) != 0),
+                );
+                let items = d.items_common_to(&rows);
+                if items.is_empty() {
+                    continue;
+                }
+                let support = d.rows_supporting(&items);
+                if support.len() >= min_sup {
+                    let closed = d.items_common_to(&support);
+                    out.insert((closed.as_slice().to_vec(), support.len()));
+                }
+            }
+            out.into_iter().collect()
+        };
+        expected.sort();
+
+        let mut got_carp: Vec<(Vec<u32>, usize)> = carpenter(&d, min_sup)
+            .patterns
+            .into_iter()
+            .map(|p| {
+                let sup = p.support();
+                (p.items.as_slice().to_vec(), sup)
+            })
+            .collect();
+        got_carp.sort();
+        prop_assert_eq!(&got_carp, &expected);
+
+        for policy in [SwitchPolicy::Auto, SwitchPolicy::ColumnsOnly, SwitchPolicy::RowThreshold(4)] {
+            let mut got: Vec<(Vec<u32>, usize)> = cobbler(&d, min_sup, policy)
+                .patterns
+                .into_iter()
+                .map(|p| (p.items.as_slice().to_vec(), p.support))
+                .collect();
+            got.sort();
+            prop_assert_eq!(&got, &expected, "policy {:?}", policy);
+        }
+    }
+
+    /// MineLB equals the brute-force minimal generators for every rule
+    /// group of the dataset.
+    #[test]
+    fn minelb_equals_oracle(d in arb_dataset()) {
+        for g in enumerate_rule_groups(&d, 0) {
+            if g.upper.len() > 10 {
+                continue; // keep the naive side cheap
+            }
+            let mut got: Vec<Vec<u32>> = mine_lower_bounds(&g.upper, &g.rows, &d)
+                .into_iter()
+                .map(|l| l.as_slice().to_vec())
+                .collect();
+            got.sort();
+            let mut want: Vec<Vec<u32>> = naive_lower_bounds(&g.upper, &g.rows, &d)
+                .into_iter()
+                .map(|l| l.as_slice().to_vec())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want, "group {:?}", g.upper);
+        }
+    }
+
+    /// Top-k per-row results equal the oracle's ranking prefix.
+    #[test]
+    fn topk_equals_oracle(d in arb_dataset(), k in 1usize..4, min_sup in 1usize..3) {
+        let got = mine_top_k(&d, 0, k, min_sup);
+        // oracle: rank all covering groups per row
+        let groups = enumerate_rule_groups(&d, 0);
+        for r in 0..d.n_rows() {
+            let mut covering: Vec<(f64, usize, std::cmp::Reverse<usize>)> = groups
+                .iter()
+                .filter(|g| g.sup_p >= min_sup && g.rows.contains(r))
+                .map(|g| (g.confidence(), g.sup_p, std::cmp::Reverse(g.upper.len())))
+                .collect();
+            covering.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            covering.truncate(k);
+            let got_keys: Vec<(f64, usize, std::cmp::Reverse<usize>)> = got.per_row[r]
+                .iter()
+                .map(|g| (g.confidence(), g.sup, std::cmp::Reverse(g.upper.len())))
+                .collect();
+            prop_assert_eq!(got_keys, covering, "row {}", r);
+        }
+    }
+
+    /// Group invariants: closure, support decomposition, lower bounds.
+    #[test]
+    fn mined_group_invariants(d in arb_dataset(), min_sup in 1usize..3) {
+        let result = Farmer::new(MiningParams::new(1).min_sup(min_sup)).mine(&d);
+        for g in &result.groups {
+            let support = d.rows_supporting(&g.upper);
+            prop_assert_eq!(&support, &g.support_set);
+            prop_assert_eq!(d.items_common_to(&support), g.upper.clone());
+            let sup_p = support.iter().filter(|&r| d.label(r as u32) == 1).count();
+            prop_assert_eq!(sup_p, g.sup);
+            prop_assert_eq!(support.len() - sup_p, g.neg_sup);
+            for low in &g.lower {
+                prop_assert!(low.is_subset(&g.upper));
+                prop_assert_eq!(d.rows_supporting(low), g.support_set.clone());
+            }
+        }
+    }
+}

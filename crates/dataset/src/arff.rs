@@ -1,0 +1,292 @@
+//! ARFF (Attribute-Relation File Format) support.
+//!
+//! Public microarray benchmarks very often ship as WEKA ARFF files:
+//! numeric gene attributes plus one nominal class attribute. This module
+//! reads that shape into an [`ExpressionMatrix`] (missing values `?`
+//! become NaN — impute with
+//! [`ExpressionMatrix::impute_gene_means`]) and writes matrices back
+//! out.
+//!
+//! Supported subset: `@RELATION`, `@ATTRIBUTE <name> NUMERIC|REAL` for
+//! genes, exactly one `@ATTRIBUTE <name> {v1,v2,…}` nominal attribute
+//! (anywhere in the list) as the class, `%` comments, and dense
+//! comma-separated `@DATA` rows.
+
+use crate::io::IoError;
+use crate::{ClassLabel, ExpressionMatrix};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads an ARFF file with numeric gene attributes and one nominal
+/// class attribute.
+pub fn load_arff(path: &Path) -> Result<ExpressionMatrix, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+
+    enum Attr {
+        Gene(String),
+        Class(Vec<String>),
+    }
+    let mut attrs: Vec<Attr> = Vec::new();
+    let mut in_data = false;
+    let mut rows: Vec<(Vec<f64>, ClassLabel)> = Vec::new();
+    let mut class_idx: Option<usize> = None;
+
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        if !in_data {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("@relation") {
+                continue;
+            }
+            if lower.starts_with("@attribute") {
+                let rest = line["@attribute".len()..].trim();
+                // attribute name may be quoted
+                let (name, ty) = split_attr(rest)
+                    .ok_or_else(|| parse_err(lineno, "malformed @ATTRIBUTE"))?;
+                let ty_l = ty.trim().to_ascii_lowercase();
+                if ty_l == "numeric" || ty_l == "real" || ty_l == "integer" {
+                    attrs.push(Attr::Gene(name));
+                } else if ty.trim().starts_with('{') {
+                    if class_idx.is_some() {
+                        return Err(parse_err(lineno, "multiple nominal attributes; expected exactly one class"));
+                    }
+                    class_idx = Some(attrs.len());
+                    let values: Vec<String> = ty
+                        .trim()
+                        .trim_start_matches('{')
+                        .trim_end_matches('}')
+                        .split(',')
+                        .map(|v| v.trim().trim_matches('\'').trim_matches('"').to_string())
+                        .collect();
+                    if values.is_empty() {
+                        return Err(parse_err(lineno, "empty nominal value list"));
+                    }
+                    attrs.push(Attr::Class(values));
+                } else {
+                    return Err(parse_err(lineno, format!("unsupported attribute type '{ty}'")));
+                }
+                continue;
+            }
+            if lower.starts_with("@data") {
+                if class_idx.is_none() {
+                    return Err(parse_err(lineno, "no nominal class attribute before @DATA"));
+                }
+                in_data = true;
+                continue;
+            }
+            return Err(parse_err(lineno, format!("unexpected header line '{line}'")));
+        }
+
+        // data row
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != attrs.len() {
+            return Err(parse_err(
+                lineno,
+                format!("expected {} fields, got {}", attrs.len(), fields.len()),
+            ));
+        }
+        let mut values = Vec::with_capacity(attrs.len() - 1);
+        let mut label: ClassLabel = 0;
+        for (field, attr) in fields.iter().zip(&attrs) {
+            match attr {
+                Attr::Gene(_) => {
+                    let v = if *field == "?" {
+                        f64::NAN
+                    } else {
+                        field
+                            .parse()
+                            .map_err(|e| parse_err(lineno, format!("bad value '{field}': {e}")))?
+                    };
+                    values.push(v);
+                }
+                Attr::Class(classes) => {
+                    let cleaned = field.trim_matches('\'').trim_matches('"');
+                    label = classes
+                        .iter()
+                        .position(|c| c == cleaned)
+                        .ok_or_else(|| parse_err(lineno, format!("unknown class '{field}'")))?
+                        as ClassLabel;
+                }
+            }
+        }
+        rows.push((values, label));
+    }
+
+    if !in_data {
+        return Err(parse_err(0, "missing @DATA section"));
+    }
+    let gene_names: Vec<String> = attrs
+        .iter()
+        .filter_map(|a| match a {
+            Attr::Gene(n) => Some(n.clone()),
+            Attr::Class(_) => None,
+        })
+        .collect();
+    let n_classes = attrs
+        .iter()
+        .find_map(|a| match a {
+            Attr::Class(v) => Some(v.len() as u32),
+            Attr::Gene(_) => None,
+        })
+        .expect("class attribute checked above");
+    let n_rows = rows.len();
+    let n_genes = gene_names.len();
+    let mut values = Vec::with_capacity(n_rows * n_genes);
+    let mut labels = Vec::with_capacity(n_rows);
+    for (v, l) in rows {
+        values.extend(v);
+        labels.push(l);
+    }
+    Ok(ExpressionMatrix::new(n_rows, n_genes, values, labels, n_classes)
+        .with_gene_names(gene_names))
+}
+
+/// Splits an `@ATTRIBUTE` body into (name, type), handling quoted names.
+fn split_attr(rest: &str) -> Option<(String, &str)> {
+    let rest = rest.trim();
+    if let Some(stripped) = rest.strip_prefix('\'') {
+        let end = stripped.find('\'')?;
+        Some((stripped[..end].to_string(), &stripped[end + 1..]))
+    } else if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some((stripped[..end].to_string(), &stripped[end + 1..]))
+    } else {
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let name = parts.next()?.to_string();
+        Some((name, parts.next()?))
+    }
+}
+
+/// Writes an expression matrix as ARFF (class attribute last, named
+/// `class`, with values `c0..c<k>`; NaN becomes `?`).
+pub fn save_arff(matrix: &ExpressionMatrix, relation: &str, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "@RELATION {relation}")?;
+    for g in 0..matrix.n_genes() {
+        writeln!(w, "@ATTRIBUTE {} NUMERIC", matrix.gene_name(g))?;
+    }
+    let classes: Vec<String> = (0..matrix.n_classes()).map(|c| format!("c{c}")).collect();
+    writeln!(w, "@ATTRIBUTE class {{{}}}", classes.join(","))?;
+    writeln!(w, "@DATA")?;
+    for r in 0..matrix.n_rows() {
+        for &v in matrix.row(r) {
+            if v.is_nan() {
+                write!(w, "?,")?;
+            } else {
+                write!(w, "{v},")?;
+            }
+        }
+        writeln!(w, "c{}", matrix.label(r))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("farmer-arff-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = SynthConfig {
+            n_rows: 5,
+            n_genes: 3,
+            n_class1: 2,
+            n_signature: 1,
+            ..Default::default()
+        }
+        .generate();
+        let p = tmp("rt.arff");
+        save_arff(&m, "cohort", &p).unwrap();
+        let m2 = load_arff(&p).unwrap();
+        assert_eq!(m2.n_rows(), 5);
+        assert_eq!(m2.n_genes(), 3);
+        assert_eq!(m2.labels(), m.labels());
+        for r in 0..5 {
+            for g in 0..3 {
+                assert!((m.value(r, g) - m2.value(r, g)).abs() < 1e-9);
+            }
+        }
+        assert_eq!(m2.gene_name(1), "g1");
+    }
+
+    #[test]
+    fn parses_weka_style_file() {
+        let p = tmp("weka.arff");
+        std::fs::write(
+            &p,
+            "% a comment\n\
+             @RELATION leukemia\n\
+             @ATTRIBUTE 'AFFX-1' REAL\n\
+             @ATTRIBUTE gene_2 NUMERIC\n\
+             @ATTRIBUTE class {ALL, AML}\n\
+             @DATA\n\
+             1.5, -2.25, ALL\n\
+             ?, 0.5, AML\n",
+        )
+        .unwrap();
+        let m = load_arff(&p).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_genes(), 2);
+        assert_eq!(m.gene_name(0), "AFFX-1");
+        assert_eq!(m.labels(), &[0, 1]);
+        assert!(m.value(1, 0).is_nan());
+        assert_eq!(m.value(0, 1), -2.25);
+    }
+
+    #[test]
+    fn class_attribute_mid_list() {
+        let p = tmp("mid.arff");
+        std::fs::write(
+            &p,
+            "@RELATION x\n\
+             @ATTRIBUTE g0 NUMERIC\n\
+             @ATTRIBUTE class {a,b}\n\
+             @ATTRIBUTE g1 NUMERIC\n\
+             @DATA\n\
+             1.0, b, 2.0\n",
+        )
+        .unwrap();
+        let m = load_arff(&p).unwrap();
+        assert_eq!(m.n_genes(), 2);
+        assert_eq!(m.label(0), 1);
+        assert_eq!(m.value(0, 1), 2.0);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        let cases = [
+            ("noclass.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@DATA\n1.0\n"),
+            ("twoclass.arff", "@RELATION x\n@ATTRIBUTE c1 {a}\n@ATTRIBUTE c2 {b}\n@DATA\n"),
+            ("badtype.arff", "@RELATION x\n@ATTRIBUTE g STRING\n@ATTRIBUTE c {a}\n@DATA\n"),
+            ("ragged.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n@DATA\n1.0\n"),
+            ("nodata.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n"),
+            ("badclass.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n@DATA\n1.0,zz\n"),
+        ];
+        for (name, contents) in cases {
+            let p = tmp(name);
+            std::fs::write(&p, contents).unwrap();
+            assert!(load_arff(&p).is_err(), "{name} should fail");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! ChiMerge discretization (Kerber, AAAI 1992).
+//!
+//! Bottom-up, χ²-driven: every distinct value starts as its own
+//! interval; the adjacent pair whose class distributions are most alike
+//! (lowest pairwise χ²) is merged repeatedly, until every remaining
+//! adjacent pair differs significantly (χ² above the threshold) or a
+//! maximum interval count is reached. Complements the entropy/MDL
+//! method with the same statistic FARMER prunes on.
+
+use crate::ClassLabel;
+
+/// Computes ChiMerge cut points for one gene.
+///
+/// `threshold` is the χ² significance cutoff (4.61 ≈ 90% for two
+/// classes / one degree of freedom); `max_intervals` caps the result
+/// (`usize::MAX` for unbounded). Returns strictly ascending cuts; a
+/// value `v` falls into the bin counting cuts `<= v`, consistent with
+/// [`crate::ExpressionMatrix::to_dataset`].
+pub fn chi_merge_cuts(
+    values: &[f64],
+    labels: &[ClassLabel],
+    threshold: f64,
+    max_intervals: usize,
+) -> Vec<f64> {
+    assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
+    assert!(max_intervals >= 1, "need at least one interval");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let n_classes = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(1);
+
+    // one interval per distinct value, with class counts
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in expression values"));
+    let mut intervals: Vec<(f64, Vec<usize>)> = Vec::new(); // (lowest value, class counts)
+    for &i in &idx {
+        match intervals.last_mut() {
+            Some((v, counts)) if *v == values[i] => counts[labels[i] as usize] += 1,
+            _ => {
+                let mut counts = vec![0usize; n_classes];
+                counts[labels[i] as usize] += 1;
+                intervals.push((values[i], counts));
+            }
+        }
+    }
+
+    // merge while the most-similar adjacent pair is below threshold or
+    // the interval budget is exceeded
+    while intervals.len() > 1 {
+        let (best, chi) = (0..intervals.len() - 1)
+            .map(|k| (k, pair_chi(&intervals[k].1, &intervals[k + 1].1)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("at least one adjacent pair");
+        if chi >= threshold && intervals.len() <= max_intervals {
+            break;
+        }
+        let (_, right_counts) = intervals.remove(best + 1);
+        for (a, b) in intervals[best].1.iter_mut().zip(right_counts) {
+            *a += b;
+        }
+    }
+
+    intervals.iter().skip(1).map(|&(v, _)| v).collect()
+}
+
+/// Pairwise χ² between two intervals' class-count vectors (0 when a
+/// class is absent from both — the standard ChiMerge convention of
+/// skipping empty expected cells).
+fn pair_chi(a: &[usize], b: &[usize]) -> f64 {
+    let ra: usize = a.iter().sum();
+    let rb: usize = b.iter().sum();
+    let n = (ra + rb) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut chi = 0.0;
+    for j in 0..a.len() {
+        let cj = (a[j] + b[j]) as f64;
+        if cj == 0.0 {
+            continue;
+        }
+        let ea = ra as f64 * cj / n;
+        let eb = rb as f64 * cj / n;
+        if ea > 0.0 {
+            chi += (a[j] as f64 - ea).powi(2) / ea;
+        }
+        if eb > 0.0 {
+            chi += (b[j] as f64 - eb).powi(2) / eb;
+        }
+    }
+    chi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_classes_keep_one_cut() {
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let labels: Vec<ClassLabel> = (0..20).map(|i| u32::from(i >= 10)).collect();
+        let cuts = chi_merge_cuts(&values, &labels, 4.61, usize::MAX);
+        assert_eq!(cuts, vec![10.0]);
+    }
+
+    #[test]
+    fn pure_column_merges_to_one_interval() {
+        let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let labels = vec![0; 10];
+        assert!(chi_merge_cuts(&values, &labels, 4.61, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn alternating_labels_merge_away() {
+        // adjacent intervals with alternating classes have low pairwise
+        // chi^2 once merged pairwise, so everything collapses
+        let values: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let labels: Vec<ClassLabel> = (0..16).map(|i| (i % 2) as u32).collect();
+        let cuts = chi_merge_cuts(&values, &labels, 4.61, usize::MAX);
+        assert!(cuts.len() <= 2, "noise should mostly merge: {cuts:?}");
+    }
+
+    #[test]
+    fn max_intervals_enforced() {
+        // three clear segments but a budget of two intervals
+        let values: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let labels: Vec<ClassLabel> = (0..30)
+            .map(|i| if i < 10 { 0 } else if i < 20 { 1 } else { 0 })
+            .collect();
+        let unbounded = chi_merge_cuts(&values, &labels, 4.61, usize::MAX);
+        assert_eq!(unbounded.len(), 2);
+        let capped = chi_merge_cuts(&values, &labels, 4.61, 2);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn ties_grouped_before_merging() {
+        let values = vec![1.0, 1.0, 2.0, 2.0];
+        let labels = vec![0, 0, 1, 1];
+        let cuts = chi_merge_cuts(&values, &labels, 0.1, usize::MAX);
+        assert_eq!(cuts, vec![2.0]);
+    }
+
+    #[test]
+    fn pair_chi_zero_for_identical_distributions() {
+        assert!(pair_chi(&[5, 5], &[5, 5]) < 1e-12);
+        assert!(pair_chi(&[10, 0], &[0, 10]) > 4.61);
+        assert_eq!(pair_chi(&[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chi_merge_cuts(&[], &[], 4.61, usize::MAX).is_empty());
+    }
+}

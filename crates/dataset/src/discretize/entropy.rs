@@ -1,0 +1,185 @@
+//! Fayyad–Irani entropy-minimized discretization with the MDL stopping
+//! criterion.
+//!
+//! This is the "entropy-minimized partition" the paper applies before
+//! building its classifiers (it cites the MLC++ implementation). The
+//! method recursively bisects a gene's sorted value range at the boundary
+//! minimizing class-label entropy, accepting a split only when the
+//! information gain clears the MDLP threshold
+//!
+//! ```text
+//! gain(S; T) > ( log2(N-1) + log2(3^k - 2) - k·Ent(S)
+//!                + k1·Ent(S1) + k2·Ent(S2) ) / N
+//! ```
+//!
+//! where `k`, `k1`, `k2` are the numbers of distinct class labels in the
+//! full segment and the two halves.
+
+use crate::ClassLabel;
+
+/// Computes MDL-accepted cut points for one gene.
+///
+/// `values[i]` is the expression of the gene in sample `i`, whose label is
+/// `labels[i]`. Returns strictly ascending cut points; an empty result
+/// means the gene never passed the MDL criterion (the caller should drop
+/// it — see [`crate::ExpressionMatrix::to_dataset`]).
+pub fn entropy_mdl_cuts(values: &[f64], labels: &[ClassLabel]) -> Vec<f64> {
+    assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in expression values"));
+    let sorted: Vec<(f64, ClassLabel)> = idx.iter().map(|&i| (values[i], labels[i])).collect();
+
+    let mut cuts = Vec::new();
+    recurse(&sorted, &mut cuts);
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.dedup();
+    cuts
+}
+
+/// Class-entropy of a segment, in bits.
+fn entropy(seg: &[(f64, ClassLabel)]) -> f64 {
+    let mut counts = std::collections::HashMap::new();
+    for &(_, l) in seg {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    let n = seg.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn n_classes(seg: &[(f64, ClassLabel)]) -> usize {
+    let mut set: Vec<ClassLabel> = seg.iter().map(|&(_, l)| l).collect();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+fn recurse(seg: &[(f64, ClassLabel)], cuts: &mut Vec<f64>) {
+    let n = seg.len();
+    if n < 2 {
+        return;
+    }
+    let ent_s = entropy(seg);
+    if ent_s == 0.0 {
+        return; // pure segment, nothing to gain
+    }
+
+    // candidate boundaries: between adjacent distinct values; Fayyad's
+    // theorem says optimal cuts lie between points of different classes,
+    // but scanning all value boundaries is simpler and still correct.
+    let mut best: Option<(usize, f64)> = None; // (split index, weighted entropy)
+    let mut i = 1;
+    while i < n {
+        if seg[i].0 > seg[i - 1].0 {
+            let (l, r) = seg.split_at(i);
+            let w = (l.len() as f64 * entropy(l) + r.len() as f64 * entropy(r)) / n as f64;
+            if best.is_none_or(|(_, bw)| w < bw) {
+                best = Some((i, w));
+            }
+        }
+        i += 1;
+    }
+    let Some((split, w_ent)) = best else {
+        return; // constant segment
+    };
+
+    let gain = ent_s - w_ent;
+    let (l, r) = seg.split_at(split);
+    let (k, k1, k2) = (n_classes(seg) as f64, n_classes(l) as f64, n_classes(r) as f64);
+    let delta = (3f64.powf(k) - 2.0).log2() - (k * ent_s - k1 * entropy(l) - k2 * entropy(r));
+    let threshold = ((n as f64 - 1.0).log2() + delta) / n as f64;
+
+    if gain > threshold {
+        // cut point: midpoint convention is common, but our binning rule is
+        // "bin = #cuts <= v", so using the right half's first value puts
+        // that value in the upper bin, exactly splitting at `split`.
+        cuts.push(r[0].0);
+        recurse(l, cuts);
+        recurse(r, cuts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separable_gets_one_cut() {
+        let values = vec![0.0, 0.1, 0.2, 5.0, 5.1, 5.2];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let cuts = entropy_mdl_cuts(&values, &labels);
+        assert_eq!(cuts, vec![5.0]);
+    }
+
+    #[test]
+    fn pure_column_no_cut() {
+        let values = vec![0.0, 1.0, 2.0, 3.0];
+        let labels = vec![0, 0, 0, 0];
+        assert!(entropy_mdl_cuts(&values, &labels).is_empty());
+    }
+
+    #[test]
+    fn random_labels_rejected_by_mdl() {
+        // alternating labels on an ascending ramp: no cut gains enough
+        let values: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let labels: Vec<ClassLabel> = (0..16).map(|i| (i % 2) as ClassLabel).collect();
+        assert!(entropy_mdl_cuts(&values, &labels).is_empty());
+    }
+
+    #[test]
+    fn three_segments_two_cuts() {
+        // 0..20 -> class 0, 20..40 -> class 1, 40..60 -> class 0.
+        // (With only 10 points per segment the MDL threshold correctly
+        // rejects the split; 20 per segment clears it.)
+        let values: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let labels: Vec<ClassLabel> = (0..60)
+            .map(|i| if (20..40).contains(&i) { 1 } else { 0 })
+            .collect();
+        let cuts = entropy_mdl_cuts(&values, &labels);
+        assert_eq!(cuts, vec![20.0, 40.0]);
+    }
+
+    #[test]
+    fn small_three_segments_rejected() {
+        // 10 per segment: gain 0.251 < MDLP threshold 0.261 — must reject.
+        let values: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let labels: Vec<ClassLabel> = (0..30)
+            .map(|i| if (10..20).contains(&i) { 1 } else { 0 })
+            .collect();
+        assert!(entropy_mdl_cuts(&values, &labels).is_empty());
+    }
+
+    #[test]
+    fn ties_respected() {
+        // all values identical: no valid boundary
+        let values = vec![1.0; 8];
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(entropy_mdl_cuts(&values, &labels).is_empty());
+    }
+
+    #[test]
+    fn entropy_helper() {
+        let seg: Vec<(f64, ClassLabel)> = vec![(0.0, 0), (0.0, 0), (0.0, 1), (0.0, 1)];
+        assert!((entropy(&seg) - 1.0).abs() < 1e-12);
+        let pure: Vec<(f64, ClassLabel)> = vec![(0.0, 0); 4];
+        assert_eq!(entropy(&pure), 0.0);
+    }
+
+    #[test]
+    fn multiclass() {
+        let values = vec![0.0, 0.1, 5.0, 5.1, 10.0, 10.1, 0.05, 5.05, 10.05];
+        let labels = vec![0, 0, 1, 1, 2, 2, 0, 1, 2];
+        let cuts = entropy_mdl_cuts(&values, &labels);
+        assert_eq!(cuts.len(), 2);
+        assert!(cuts[0] > 0.1 && cuts[0] <= 5.0);
+        assert!(cuts[1] > 5.1 && cuts[1] <= 10.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Equal-depth (equal-frequency) partitioning.
+
+/// Computes cut points that split `values` into up to `buckets` bins of
+/// (as near as possible) equal population.
+///
+/// Cut points are placed at values taken from the sorted column so that
+/// bin `k` receives roughly `n/buckets` entries; duplicate candidate cuts
+/// are collapsed, so columns with heavy ties may yield fewer than
+/// `buckets` bins. Returned cuts are strictly ascending. A value `v`
+/// belongs to the bin counting cuts `<= v`, consistent with
+/// [`crate::ExpressionMatrix::to_dataset`].
+pub fn equal_depth_cuts(values: &[f64], buckets: usize) -> Vec<f64> {
+    assert!(buckets >= 1, "need at least one bucket");
+    if values.is_empty() || buckets == 1 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in expression values"));
+    let n = sorted.len();
+    let mut cuts = Vec::with_capacity(buckets - 1);
+    for k in 1..buckets {
+        // first index of bucket k
+        let idx = (k * n).div_ceil(buckets).min(n - 1);
+        let c = sorted[idx];
+        // drop degenerate cuts: equal to a previous cut or below the minimum
+        if c > sorted[0] && cuts.last().is_none_or(|&p| c > p) {
+            cuts.push(c);
+        }
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin_of(cuts: &[f64], v: f64) -> usize {
+        cuts.partition_point(|&c| c <= v)
+    }
+
+    #[test]
+    fn splits_evenly() {
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let cuts = equal_depth_cuts(&vals, 2);
+        assert_eq!(cuts, vec![5.0]);
+        let lo = vals.iter().filter(|&&v| bin_of(&cuts, v) == 0).count();
+        assert_eq!(lo, 5);
+    }
+
+    #[test]
+    fn ten_buckets_on_100_values() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cuts = equal_depth_cuts(&vals, 10);
+        assert_eq!(cuts.len(), 9);
+        let mut counts = vec![0usize; 10];
+        for &v in &vals {
+            counts[bin_of(&cuts, v)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn ties_collapse_cuts() {
+        let vals = vec![1.0; 50];
+        let cuts = equal_depth_cuts(&vals, 10);
+        assert!(cuts.is_empty());
+        // every value in bin 0
+        assert!(vals.iter().all(|&v| bin_of(&cuts, v) == 0));
+    }
+
+    #[test]
+    fn mixed_ties() {
+        let mut vals = vec![0.0; 30];
+        vals.extend(vec![1.0; 30]);
+        vals.extend(vec![2.0; 40]);
+        let cuts = equal_depth_cuts(&vals, 4);
+        // only boundaries between distinct values can survive
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        assert!(!cuts.is_empty());
+        assert!(bin_of(&cuts, 0.0) < bin_of(&cuts, 2.0));
+    }
+
+    #[test]
+    fn empty_and_single_bucket() {
+        assert!(equal_depth_cuts(&[], 10).is_empty());
+        assert!(equal_depth_cuts(&[1.0, 2.0], 1).is_empty());
+    }
+
+    #[test]
+    fn more_buckets_than_values() {
+        let cuts = equal_depth_cuts(&[3.0, 1.0, 2.0], 10);
+        assert!(cuts.len() <= 2);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,55 @@
+//! Equal-width partitioning.
+
+/// Computes cut points splitting the range `[min, max]` of `values` into
+/// `buckets` intervals of equal width.
+///
+/// A constant column (or an empty one) yields no cuts.
+pub fn equal_width_cuts(values: &[f64], buckets: usize) -> Vec<f64> {
+    assert!(buckets >= 1, "need at least one bucket");
+    if values.is_empty() || buckets == 1 {
+        return Vec::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        assert!(!v.is_nan(), "NaN in expression values");
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        return Vec::new();
+    }
+    let width = (hi - lo) / buckets as f64;
+    (1..buckets).map(|k| lo + width * k as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_range() {
+        let vals = vec![0.0, 10.0];
+        assert_eq!(equal_width_cuts(&vals, 2), vec![5.0]);
+        assert_eq!(equal_width_cuts(&vals, 5), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn constant_column() {
+        assert!(equal_width_cuts(&[3.0, 3.0, 3.0], 4).is_empty());
+    }
+
+    #[test]
+    fn empty_or_single_bucket() {
+        assert!(equal_width_cuts(&[], 3).is_empty());
+        assert!(equal_width_cuts(&[1.0, 2.0], 1).is_empty());
+    }
+
+    #[test]
+    fn cuts_strictly_ascending() {
+        let vals = vec![-2.5, 7.5, 1.0];
+        let cuts = equal_width_cuts(&vals, 7);
+        assert_eq!(cuts.len(), 6);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        assert!(cuts[0] > -2.5 && *cuts.last().unwrap() < 7.5);
+    }
+}

@@ -1,0 +1,278 @@
+//! Plain-text persistence for expression matrices and transactional
+//! datasets.
+//!
+//! Two formats:
+//!
+//! * **Matrix CSV** — header `label,<gene>,<gene>,…`, then one line per
+//!   sample: `label,v0,v1,…`. This is the shape public microarray data
+//!   usually ships in, so real datasets can be dropped into the harness.
+//! * **Transactions** — one line per row: `<label>: item item item …`
+//!   with whitespace-separated item names. This is the discretized form.
+
+use crate::{ClassLabel, Dataset, DatasetBuilder, ExpressionMatrix};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors arising when reading the text formats.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A line did not match the expected format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Writes an expression matrix as CSV (`label,<genes…>` header).
+pub fn save_matrix_csv(matrix: &ExpressionMatrix, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "label")?;
+    for g in 0..matrix.n_genes() {
+        write!(w, ",{}", matrix.gene_name(g))?;
+    }
+    writeln!(w)?;
+    for r in 0..matrix.n_rows() {
+        write!(w, "{}", matrix.label(r))?;
+        for &v in matrix.row(r) {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an expression matrix from CSV written by [`save_matrix_csv`] (or
+/// any CSV with a `label` first column and numeric gene columns).
+pub fn load_matrix_csv(path: &Path) -> Result<ExpressionMatrix, IoError> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))??;
+    let mut cols = header.split(',');
+    if cols.next() != Some("label") {
+        return Err(parse_err(1, "first header column must be 'label'"));
+    }
+    let gene_names: Vec<String> = cols.map(str::to_string).collect();
+    let n_genes = gene_names.len();
+    if n_genes == 0 {
+        return Err(parse_err(1, "no gene columns"));
+    }
+
+    let mut values = Vec::new();
+    let mut labels: Vec<ClassLabel> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let label: ClassLabel = fields
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing label"))?
+            .trim()
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad label: {e}")))?;
+        labels.push(label);
+        let mut n = 0usize;
+        for f in fields {
+            let t = f.trim();
+            // empty cells and the usual NA spellings become missing
+            // values; impute with ExpressionMatrix::impute_gene_means
+            let v: f64 = if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") {
+                f64::NAN
+            } else {
+                t.parse()
+                    .map_err(|e| parse_err(lineno, format!("bad value '{f}': {e}")))?
+            };
+            values.push(v);
+            n += 1;
+        }
+        if n != n_genes {
+            return Err(parse_err(lineno, format!("expected {n_genes} values, got {n}")));
+        }
+    }
+    let n_rows = labels.len();
+    let n_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
+    Ok(ExpressionMatrix::new(n_rows, n_genes, values, labels, n_classes)
+        .with_gene_names(gene_names))
+}
+
+/// Writes a transactional dataset: one `label: item item …` line per row.
+pub fn save_transactions(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for r in 0..dataset.n_rows() {
+        write!(w, "{}:", dataset.label(r as u32))?;
+        for i in dataset.row(r as u32).iter() {
+            write!(w, " {}", dataset.item_name(i))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a transactional dataset written by [`save_transactions`].
+pub fn load_transactions(path: &Path) -> Result<Dataset, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut rows: Vec<(ClassLabel, Vec<String>)> = Vec::new();
+    let mut max_label = 0;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (label_s, items_s) = line
+            .split_once(':')
+            .ok_or_else(|| parse_err(lineno, "missing ':' separator"))?;
+        let label: ClassLabel = label_s
+            .trim()
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad label: {e}")))?;
+        max_label = max_label.max(label);
+        let items: Vec<String> = items_s.split_whitespace().map(str::to_string).collect();
+        rows.push((label, items));
+    }
+    let mut b = DatasetBuilder::new(max_label + 1);
+    for (label, items) in &rows {
+        let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+        b.add_row_named(&refs, *label);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+    use crate::synth::SynthConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("farmer-dataset-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = SynthConfig {
+            n_rows: 6,
+            n_genes: 4,
+            n_class1: 3,
+            n_signature: 2,
+            ..Default::default()
+        }
+        .generate();
+        let p = tmp("m.csv");
+        save_matrix_csv(&m, &p).unwrap();
+        let m2 = load_matrix_csv(&p).unwrap();
+        assert_eq!(m2.n_rows(), 6);
+        assert_eq!(m2.n_genes(), 4);
+        assert_eq!(m2.labels(), m.labels());
+        for r in 0..6 {
+            for g in 0..4 {
+                assert!((m.value(r, g) - m2.value(r, g)).abs() < 1e-9);
+            }
+        }
+        assert_eq!(m2.gene_name(2), "g2");
+    }
+
+    #[test]
+    fn transactions_roundtrip() {
+        let d = paper_example();
+        let p = tmp("t.txt");
+        save_transactions(&d, &p).unwrap();
+        let d2 = load_transactions(&p).unwrap();
+        assert_eq!(d2.n_rows(), d.n_rows());
+        assert_eq!(d2.n_items(), d.n_items());
+        assert_eq!(d2.labels(), d.labels());
+        for r in 0..d.n_rows() as u32 {
+            let names: Vec<&str> = d.row(r).iter().map(|i| d.item_name(i)).collect();
+            let names2: Vec<&str> = d2.row(r).iter().map(|i| d2.item_name(i)).collect();
+            let mut a = names.clone();
+            let mut b = names2.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn load_matrix_accepts_missing_values() {
+        let p = tmp("na.csv");
+        std::fs::write(&p, "label,g0,g1\n0,1.5,NA\n1,,2.5\n0,nan,3.5\n").unwrap();
+        let m = load_matrix_csv(&p).unwrap();
+        assert_eq!(m.n_missing(), 3);
+        assert!(m.value(0, 1).is_nan());
+        assert!(m.value(1, 0).is_nan());
+        assert_eq!(m.value(2, 1), 3.5);
+        let imp = m.impute_gene_means();
+        assert!(!imp.has_missing());
+        assert!((imp.value(0, 1) - 3.0).abs() < 1e-12); // mean of 2.5, 3.5
+    }
+
+    #[test]
+    fn load_matrix_rejects_bad_header() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "foo,g0\n0,1.0\n").unwrap();
+        let err = load_matrix_csv(&p).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_matrix_rejects_ragged_rows() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "label,g0,g1\n0,1.0\n").unwrap();
+        let err = load_matrix_csv(&p).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn load_transactions_rejects_missing_colon() {
+        let p = tmp("badt.txt");
+        std::fs::write(&p, "0 a b c\n").unwrap();
+        assert!(load_transactions(&p).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = parse_err(3, "boom");
+        assert_eq!(e.to_string(), "parse error at line 3: boom");
+    }
+}

@@ -1,0 +1,131 @@
+//! Row replication and shuffling utilities.
+//!
+//! The paper's scalability note (§4.1) grows the row dimension by
+//! replicating each dataset 2–10×; [`replicate_rows`] reproduces that
+//! transformation. [`shuffled`] supports random train/test splits.
+
+use crate::{Dataset, RowId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns a dataset whose rows are `dataset`'s rows repeated `factor`
+/// times (replica `k` of row `r` appears at index `k * n_rows + r`).
+///
+/// Item universe and labels are preserved. `factor = 1` returns a plain
+/// copy.
+pub fn replicate_rows(dataset: &Dataset, factor: usize) -> Dataset {
+    assert!(factor >= 1, "factor must be >= 1");
+    let n = dataset.n_rows();
+    let order: Vec<RowId> = (0..factor)
+        .flat_map(|_| 0..n as RowId)
+        .collect();
+    dataset.subset(&order)
+}
+
+/// Returns a dataset with the rows randomly permuted (deterministic in
+/// `seed`).
+pub fn shuffled(dataset: &Dataset, seed: u64) -> Dataset {
+    let mut order: Vec<RowId> = (0..dataset.n_rows() as RowId).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    dataset.subset(&order)
+}
+
+/// Returns a class-stratified random split `(train, test)` with `n_train`
+/// training rows, keeping each class's proportion as close as possible.
+pub fn stratified_split(dataset: &Dataset, n_train: usize, seed: u64) -> (Dataset, Dataset) {
+    assert!(n_train <= dataset.n_rows());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train: Vec<RowId> = Vec::with_capacity(n_train);
+    let mut test: Vec<RowId> = Vec::new();
+    let frac = n_train as f64 / dataset.n_rows() as f64;
+    let mut want_total = 0usize;
+    for c in 0..dataset.n_classes() as u32 {
+        let mut rows: Vec<RowId> = (0..dataset.n_rows() as RowId)
+            .filter(|&r| dataset.label(r) == c)
+            .collect();
+        rows.shuffle(&mut rng);
+        let want = ((rows.len() as f64 * frac).round() as usize).min(rows.len());
+        want_total += want;
+        train.extend(&rows[..want]);
+        test.extend(&rows[want..]);
+    }
+    // fix rounding drift so train has exactly n_train rows
+    while want_total > n_train {
+        test.push(train.pop().expect("train nonempty"));
+        want_total -= 1;
+    }
+    while want_total < n_train {
+        train.push(test.pop().expect("test nonempty"));
+        want_total += 1;
+    }
+    (dataset.subset(&train), dataset.subset(&test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn replicate_preserves_structure() {
+        let d = paper_example();
+        let r3 = replicate_rows(&d, 3);
+        assert_eq!(r3.n_rows(), 15);
+        assert_eq!(r3.n_items(), d.n_items());
+        for k in 0..3 {
+            for r in 0..5 {
+                assert_eq!(r3.row((k * 5 + r) as RowId), d.row(r as RowId));
+                assert_eq!(r3.label((k * 5 + r) as RowId), d.label(r as RowId));
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_identity() {
+        let d = paper_example();
+        let r1 = replicate_rows(&d, 1);
+        assert_eq!(r1.n_rows(), d.n_rows());
+        assert_eq!(r1.row(2), d.row(2));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let d = paper_example();
+        let s = shuffled(&d, 7);
+        assert_eq!(s.n_rows(), d.n_rows());
+        let mut counts0 = vec![0; d.n_items()];
+        let mut counts1 = vec![0; d.n_items()];
+        for r in 0..5 {
+            for i in d.row(r).iter() {
+                counts0[i as usize] += 1;
+            }
+            for i in s.row(r).iter() {
+                counts1[i as usize] += 1;
+            }
+        }
+        assert_eq!(counts0, counts1);
+        assert_eq!(s.class_count(0), d.class_count(0));
+    }
+
+    #[test]
+    fn stratified_split_sizes_and_strata() {
+        let d = replicate_rows(&paper_example(), 4); // 20 rows: 12 c0, 8 c1
+        let (tr, te) = stratified_split(&d, 10, 3);
+        assert_eq!(tr.n_rows(), 10);
+        assert_eq!(te.n_rows(), 10);
+        assert_eq!(tr.class_count(0), 6);
+        assert_eq!(tr.class_count(1), 4);
+    }
+
+    #[test]
+    fn stratified_split_extremes() {
+        let d = paper_example();
+        let (tr, te) = stratified_split(&d, 5, 0);
+        assert_eq!(tr.n_rows(), 5);
+        assert_eq!(te.n_rows(), 0);
+        let (tr, te) = stratified_split(&d, 0, 0);
+        assert_eq!(tr.n_rows(), 0);
+        assert_eq!(te.n_rows(), 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! The transposed table `TT`: the item-major view FARMER scans.
+
+use crate::{ClassLabel, Dataset, ItemId, RowId};
+
+/// One tuple of the transposed table: an item together with the sorted
+/// list of row ids that contain it.
+///
+/// Row ids are sorted by the dataset's row order, which for mining is the
+/// `ORD` order (target-class rows first) — see
+/// [`Dataset::reordered_for_class`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tuple {
+    /// The item this tuple belongs to.
+    pub item: ItemId,
+    /// Sorted row ids containing the item.
+    pub rows: Vec<RowId>,
+}
+
+/// The transposed table `TT` of a dataset (Figure 1(b) of the paper):
+/// one [`Tuple`] per item, listing the rows that contain it.
+///
+/// FARMER's conditional transposed tables `TT|X` are *not* materialized as
+/// copies of this structure; the miner keeps per-tuple cursor positions
+/// into these row lists (the "conditional pointer lists" of §3.3). This
+/// type therefore only needs to be built once per mining run.
+#[derive(Clone, Debug)]
+pub struct TransposedTable {
+    tuples: Vec<Tuple>,
+    n_rows: usize,
+    /// Number of leading rows whose label equals the mining target class
+    /// (`R(C)`), when built via [`for_mining`](Self::for_mining). Rows
+    /// `0..n_target` have the target class, rows `n_target..n_rows` do not.
+    n_target: usize,
+}
+
+impl TransposedTable {
+    /// Transposes `dataset` as-is (no reordering).
+    ///
+    /// `n_target` is computed as the length of the *leading run* of rows
+    /// labeled `target`; use [`for_mining`](Self::for_mining) to guarantee
+    /// all target rows lead.
+    pub fn new(dataset: &Dataset, target: ClassLabel) -> Self {
+        let tuples = (0..dataset.n_items() as ItemId)
+            .map(|item| Tuple {
+                item,
+                rows: dataset.item_rows(item).iter().map(|r| r as RowId).collect(),
+            })
+            .collect();
+        let n_target = dataset
+            .labels()
+            .iter()
+            .take_while(|&&l| l == target)
+            .count();
+        TransposedTable {
+            tuples,
+            n_rows: dataset.n_rows(),
+            n_target,
+        }
+    }
+
+    /// Reorders `dataset` into `ORD` order (target-class rows first) and
+    /// transposes it.
+    ///
+    /// Returns the table, the reordered dataset, and the permutation
+    /// mapping new row ids back to original ones.
+    pub fn for_mining(dataset: &Dataset, target: ClassLabel) -> (Self, Dataset, Vec<RowId>) {
+        let (reordered, order) = dataset.reordered_for_class(target);
+        let tt = TransposedTable::new(&reordered, target);
+        (tt, reordered, order)
+    }
+
+    /// The tuples (one per item), in item-id order.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of rows in the underlying dataset.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of leading rows with the target class; rows `< n_target`
+    /// are positive (class `C`), rows `>= n_target` are negative (`¬C`).
+    #[inline]
+    pub fn n_target(&self) -> usize {
+        self.n_target
+    }
+
+    /// `true` iff row `r` carries the target class under the `ORD` layout.
+    #[inline]
+    pub fn is_positive(&self, r: RowId) -> bool {
+        (r as usize) < self.n_target
+    }
+
+    /// Number of tuples (= items).
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn transpose_matches_figure_1b() {
+        let d = paper_example();
+        let (tt, reordered, order) = TransposedTable::for_mining(&d, 0);
+        // class-0 rows already lead in the example; permutation is identity
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(tt.n_rows(), 5);
+        assert_eq!(tt.n_target(), 3);
+        // tuple for 'a' lists rows 1,2,3,4 in the paper = 0,1,2,3 here
+        let a = reordered.item_by_name("a").unwrap();
+        assert_eq!(tt.tuples()[a as usize].rows, vec![0, 1, 2, 3]);
+        let d_item = reordered.item_by_name("d").unwrap();
+        assert_eq!(tt.tuples()[d_item as usize].rows, vec![1, 4]);
+        assert!(tt.is_positive(2));
+        assert!(!tt.is_positive(3));
+    }
+
+    #[test]
+    fn for_mining_reorders_other_class() {
+        let d = paper_example();
+        let (tt, reordered, order) = TransposedTable::for_mining(&d, 1);
+        assert_eq!(order, vec![3, 4, 0, 1, 2]);
+        assert_eq!(tt.n_target(), 2);
+        assert_eq!(reordered.labels(), &[1, 1, 0, 0, 0]);
+        // item 'g' occurs only in old row 4 -> new row 1
+        let g = reordered.item_by_name("g").unwrap();
+        assert_eq!(tt.tuples()[g as usize].rows, vec![1]);
+    }
+}

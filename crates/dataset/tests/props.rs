@@ -1,0 +1,221 @@
+//! Property-based tests for the dataset substrate: the Galois connection
+//! between rows and items, discretizer invariants, and structural
+//! transformations.
+
+use farmer_dataset::discretize::{entropy_mdl_cuts, equal_depth_cuts, equal_width_cuts};
+use farmer_dataset::replicate::{replicate_rows, shuffled, stratified_split};
+use farmer_dataset::{Dataset, DatasetBuilder, ExpressionMatrix};
+use proptest::prelude::*;
+use rowset::{IdList, RowSet};
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..8, 2usize..10).prop_flat_map(|(n_rows, n_items)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..n_items as u32, 0..n_items),
+                0u32..2,
+            ),
+            n_rows,
+        )
+        .prop_map(move |rows| {
+            let mut b = DatasetBuilder::new(2);
+            for (items, label) in rows {
+                b.add_row(items, label);
+            }
+            // ensure a stable item universe independent of which items
+            // appear: add one row containing the max item then drop it?
+            // simpler: the builder derives universe from max id; that is
+            // fine for these properties.
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// R and I form a Galois connection: both closure operators are
+    /// extensive, monotone, and idempotent.
+    #[test]
+    fn galois_connection(d in arb_dataset(), seed_rows in proptest::collection::btree_set(0usize..8, 1..4)) {
+        let rows = RowSet::from_ids(d.n_rows(), seed_rows.into_iter().filter(|&r| r < d.n_rows()));
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let items = d.items_common_to(&rows);
+        let closure_rows = d.rows_supporting(&items);
+        // extensive
+        prop_assert!(rows.is_subset(&closure_rows));
+        // idempotent
+        prop_assert_eq!(d.items_common_to(&closure_rows), items.clone());
+        prop_assert_eq!(d.rows_supporting(&d.items_common_to(&closure_rows)), closure_rows.clone());
+        // every item's support set contains the closure rows
+        for i in items.iter() {
+            prop_assert!(closure_rows.is_subset(d.item_rows(i)));
+        }
+    }
+
+    /// Per-item row sets are consistent with row item lists.
+    #[test]
+    fn item_rows_match_rows(d in arb_dataset()) {
+        for i in 0..d.n_items() as u32 {
+            for r in 0..d.n_rows() as u32 {
+                prop_assert_eq!(d.item_rows(i).contains(r as usize), d.row(r).contains(i));
+            }
+        }
+        let total: usize = (0..d.n_items() as u32).map(|i| d.item_support(i)).sum();
+        prop_assert_eq!(total, d.n_incidences());
+    }
+
+    /// Reordering for a class preserves content and leads with the class.
+    #[test]
+    fn reorder_partition_invariants(d in arb_dataset(), class in 0u32..2) {
+        let (r, order) = d.reordered_for_class(class);
+        let k = d.class_count(class);
+        prop_assert!(r.labels()[..k].iter().all(|&l| l == class));
+        prop_assert!(r.labels()[k..].iter().all(|&l| l != class));
+        for (new, &old) in order.iter().enumerate() {
+            prop_assert_eq!(r.row(new as u32), d.row(old));
+        }
+    }
+
+    /// Replication scales supports exactly.
+    #[test]
+    fn replication_scales_support(d in arb_dataset(), k in 1usize..4) {
+        let rep = replicate_rows(&d, k);
+        prop_assert_eq!(rep.n_rows(), d.n_rows() * k);
+        for i in 0..d.n_items() as u32 {
+            prop_assert_eq!(rep.item_support(i), d.item_support(i) * k);
+        }
+    }
+
+    /// Shuffling preserves the multiset of (row, label) pairs.
+    #[test]
+    fn shuffle_preserves_rows(d in arb_dataset(), seed in 0u64..50) {
+        let s = shuffled(&d, seed);
+        let canon = |d: &Dataset| {
+            let mut v: Vec<(Vec<u32>, u32)> = (0..d.n_rows() as u32)
+                .map(|r| (d.row(r).as_slice().to_vec(), d.label(r)))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(canon(&s), canon(&d));
+    }
+
+    /// Stratified splits have exact sizes and preserve each row.
+    #[test]
+    fn stratified_split_sizes(d in arb_dataset(), frac in 0.2f64..0.8, seed in 0u64..10) {
+        let n_train = (d.n_rows() as f64 * frac) as usize;
+        let (tr, te) = stratified_split(&d, n_train, seed);
+        prop_assert_eq!(tr.n_rows(), n_train);
+        prop_assert_eq!(te.n_rows(), d.n_rows() - n_train);
+        prop_assert_eq!(tr.class_count(0) + te.class_count(0), d.class_count(0));
+    }
+
+    /// Equal-depth cuts are strictly ascending, inside the value range,
+    /// and no bucket exceeds twice the ideal size (for distinct values).
+    #[test]
+    fn equal_depth_invariants(mut values in proptest::collection::vec(-100.0f64..100.0, 4..40), buckets in 2usize..8) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        if values.len() < 2 { return Ok(()); }
+        let cuts = equal_depth_cuts(&values, buckets);
+        prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        for &c in &cuts {
+            prop_assert!(c > values[0] && c <= *values.last().unwrap());
+        }
+        prop_assert!(cuts.len() < buckets);
+    }
+
+    /// Equal-width cuts split the range evenly.
+    #[test]
+    fn equal_width_invariants(values in proptest::collection::vec(-50.0f64..50.0, 2..30), buckets in 2usize..8) {
+        let cuts = equal_width_cuts(&values, buckets);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if lo == hi {
+            prop_assert!(cuts.is_empty());
+        } else {
+            prop_assert_eq!(cuts.len(), buckets - 1);
+            let width = (hi - lo) / buckets as f64;
+            for (k, &c) in cuts.iter().enumerate() {
+                prop_assert!((c - (lo + width * (k + 1) as f64)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Entropy-MDL never cuts a label-pure column, and every cut lies
+    /// strictly inside the value range.
+    #[test]
+    fn entropy_invariants(pairs in proptest::collection::vec((-50.0f64..50.0, 0u32..2), 4..40)) {
+        let values: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+        let labels: Vec<u32> = pairs.iter().map(|&(_, l)| l).collect();
+        let cuts = entropy_mdl_cuts(&values, &labels);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &c in &cuts {
+            prop_assert!(c > lo && c <= hi);
+        }
+        prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        // pure labels -> no cut
+        let pure = entropy_mdl_cuts(&values, &vec![0; values.len()]);
+        prop_assert!(pure.is_empty());
+    }
+
+    /// Matrix discretization gives each row exactly one item per kept
+    /// gene, and the item encodes the right bin.
+    #[test]
+    fn matrix_binning(values in proptest::collection::vec(-10.0f64..10.0, 12..48)) {
+        let n_rows = 4;
+        let n_genes = values.len() / n_rows;
+        let values = &values[..n_rows * n_genes];
+        let m = ExpressionMatrix::new(n_rows, n_genes, values.to_vec(), vec![0, 0, 1, 1], 2);
+        let cuts: Vec<Vec<f64>> = (0..n_genes).map(|g| equal_depth_cuts(&m.gene_column(g), 3)).collect();
+        let d = m.to_dataset(&cuts, false);
+        for r in 0..n_rows as u32 {
+            prop_assert_eq!(d.row(r).len(), n_genes, "one item per gene");
+        }
+        // reconstruct: each item name is <gene>@<bin>
+        for r in 0..n_rows as u32 {
+            for i in d.row(r).iter() {
+                let name = d.item_name(i);
+                let (g, k) = name.split_once('@').unwrap();
+                let g: usize = g[1..].parse().unwrap();
+                let k: usize = k.parse().unwrap();
+                let v = m.value(r as usize, g);
+                prop_assert_eq!(k, cuts[g].partition_point(|&c| c <= v));
+            }
+        }
+    }
+
+    /// Transactions written and re-read mine identically (name-level).
+    #[test]
+    fn io_preserves_structure(d in arb_dataset()) {
+        let dir = std::env::temp_dir().join("farmer-dataset-props");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{}.txt", std::process::id()));
+        farmer_dataset::io::save_transactions(&d, &path).unwrap();
+        let d2 = farmer_dataset::io::load_transactions(&path).unwrap();
+        prop_assert_eq!(d2.n_rows(), d.n_rows());
+        for r in 0..d.n_rows() as u32 {
+            let mut a: Vec<&str> = d.row(r).iter().map(|i| d.item_name(i)).collect();
+            let mut b: Vec<&str> = d2.row(r).iter().map(|i| d2.item_name(i)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn support_with_class_decomposes() {
+    let mut b = DatasetBuilder::new(2);
+    b.add_row([0, 1], 0);
+    b.add_row([0], 1);
+    b.add_row([1], 0);
+    let d = b.build();
+    let items = IdList::from_iter([0]);
+    assert_eq!(
+        d.support_with_class(&items, 0) + d.support_with_class(&items, 1),
+        d.rows_supporting(&items).len()
+    );
+}

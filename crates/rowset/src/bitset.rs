@@ -1,0 +1,409 @@
+//! Fixed-capacity bitset over row identifiers.
+
+use std::fmt;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-capacity set of row identifiers `0..capacity`, stored as packed
+/// 64-bit words.
+///
+/// All binary operations (`intersect_with`, `union_with`, …) require both
+/// operands to have the same capacity and panic otherwise: mixing sets from
+/// different datasets is always a logic error in the miners built on top.
+///
+/// The capacity is fixed at construction; inserting an id `>= capacity`
+/// panics.
+///
+/// ```
+/// use rowset::RowSet;
+/// let a = RowSet::from_ids(100, [1, 5, 64]);
+/// let b = RowSet::from_ids(100, [5, 64, 99]);
+/// assert_eq!(a.intersection(&b).to_vec(), vec![5, 64]);
+/// assert_eq!(a.intersection_len(&b), 2);
+/// assert!(a.intersection(&b).is_subset(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RowSet {
+    /// Number of valid ids; bits at positions `>= capacity` are always zero.
+    capacity: usize,
+    words: Vec<u64>,
+}
+
+impl RowSet {
+    /// Creates an empty set over the universe `0..capacity`. `O(n)`.
+    pub fn empty(capacity: usize) -> Self {
+        RowSet {
+            capacity,
+            words: vec![0; capacity.div_ceil(BITS)],
+        }
+    }
+
+    /// Creates the full set `{0, …, capacity-1}`. `O(n)`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::empty(capacity);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * BITS;
+            let hi = (lo + BITS).min(capacity);
+            *w = if hi - lo == BITS {
+                u64::MAX
+            } else {
+                (1u64 << (hi - lo)) - 1
+            };
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of ids. `O(n + k)`.
+    ///
+    /// Panics if any id is `>= capacity`.
+    pub fn from_ids<I: IntoIterator<Item = usize>>(capacity: usize, ids: I) -> Self {
+        let mut s = Self::empty(capacity);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// The universe size this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of ids in the set (popcount). `O(n/64)`.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set contains no ids. `O(n/64)`.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Inserts `id`, returning `true` if it was newly added. `O(1)`.
+    #[inline]
+    pub fn insert(&mut self, id: usize) -> bool {
+        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        let (w, b) = (id / BITS, id % BITS);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `id`, returning `true` if it was present. `O(1)`.
+    #[inline]
+    pub fn remove(&mut self, id: usize) -> bool {
+        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        let (w, b) = (id / BITS, id % BITS);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test. `O(1)`. Ids outside the capacity are never members.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        if id >= self.capacity {
+            return false;
+        }
+        self.words[id / BITS] & (1 << (id % BITS)) != 0
+    }
+
+    /// Removes all ids. `O(n/64)`.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place intersection with `other`. `O(n/64)`.
+    pub fn intersect_with(&mut self, other: &RowSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other`. `O(n/64)`.
+    pub fn union_with(&mut self, other: &RowSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference: removes every id of `other`. `O(n/64)`.
+    pub fn difference_with(&mut self, other: &RowSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∩ other` as a new set. `O(n/64)`.
+    pub fn intersection(&self, other: &RowSet) -> RowSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self ∪ other` as a new set. `O(n/64)`.
+    pub fn union(&self, other: &RowSet) -> RowSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self \ other` as a new set. `O(n/64)`.
+    pub fn difference(&self, other: &RowSet) -> RowSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating. `O(n/64)`.
+    pub fn intersection_len(&self, other: &RowSet) -> usize {
+        self.check(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` iff every id of `self` is in `other`. `O(n/64)`.
+    pub fn is_subset(&self, other: &RowSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff every id of `other` is in `self`. `O(n/64)`.
+    pub fn is_superset(&self, other: &RowSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// `true` iff the sets share no id. `O(n/64)`.
+    pub fn is_disjoint(&self, other: &RowSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Smallest id in the set, if any. `O(n/64)`.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest id in the set, if any. `O(n/64)`.
+    pub fn last(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(i * BITS + (BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> RowSetIter<'_> {
+        RowSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the ids into a `Vec`, ascending. `O(n/64 + k)`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    #[inline]
+    fn check(&self, other: &RowSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "RowSet capacity mismatch: {} vs {}",
+            self.capacity, other.capacity
+        );
+    }
+}
+
+impl fmt::Debug for RowSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a RowSet {
+    type Item = usize;
+    type IntoIter = RowSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Extend<usize> for RowSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+/// Ascending iterator over the ids of a [`RowSet`].
+pub struct RowSetIter<'a> {
+    set: &'a RowSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for RowSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining: usize = self
+            .set
+            .words
+            .get(self.word_idx + 1..)
+            .unwrap_or(&[])
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+            + self.current.count_ones() as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for RowSetIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = RowSet::empty(70);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert_eq!(e.capacity(), 70);
+
+        let f = RowSet::full(70);
+        assert_eq!(f.len(), 70);
+        assert!(f.contains(0));
+        assert!(f.contains(69));
+        assert!(!f.contains(70));
+        assert_eq!(f.to_vec(), (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_on_word_boundary() {
+        for cap in [0, 1, 63, 64, 65, 128] {
+            let f = RowSet::full(cap);
+            assert_eq!(f.len(), cap, "cap={cap}");
+            assert_eq!(f.to_vec(), (0..cap).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RowSet::empty(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.contains(5));
+        assert!(s.contains(64));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        RowSet::empty(10).insert(10);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RowSet::from_ids(130, [1, 2, 3, 64, 65, 129]);
+        let b = RowSet::from_ids(130, [2, 3, 4, 65, 128]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3, 65]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 64, 65, 128, 129]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 64, 129]);
+        assert_eq!(a.intersection_len(&b), 3);
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.union(&b).is_superset(&a));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+    }
+
+    #[test]
+    fn subset_reflexive_and_empty() {
+        let a = RowSet::from_ids(40, [0, 39]);
+        let e = RowSet::empty(40);
+        assert!(a.is_subset(&a));
+        assert!(e.is_subset(&a));
+        assert!(!a.is_subset(&e));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mixed_capacity_panics() {
+        let a = RowSet::empty(10);
+        let b = RowSet::empty(11);
+        a.is_subset(&b);
+    }
+
+    #[test]
+    fn first_last_iter() {
+        let s = RowSet::from_ids(200, [7, 63, 64, 199]);
+        assert_eq!(s.first(), Some(7));
+        assert_eq!(s.last(), Some(199));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7, 63, 64, 199]);
+        assert_eq!(s.iter().len(), 4);
+        assert_eq!(RowSet::empty(5).first(), None);
+        assert_eq!(RowSet::empty(5).last(), None);
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut s = RowSet::empty(10);
+        s.extend([1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = RowSet::from_ids(10, [1, 4]);
+        assert_eq!(format!("{s:?}"), "{1, 4}");
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = RowSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(RowSet::full(0).len(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests: RowSet and IdList must agree with a model based on
+//! `std::collections::BTreeSet`.
+
+use proptest::prelude::*;
+use rowset::{IdList, RowSet};
+use std::collections::BTreeSet;
+
+const CAP: usize = 257; // deliberately not a multiple of 64
+
+fn ids() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..CAP, 0..64)
+}
+
+fn model(v: &[usize]) -> BTreeSet<usize> {
+    v.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn rowset_roundtrip(v in ids()) {
+        let s = RowSet::from_ids(CAP, v.iter().copied());
+        let m = model(&v);
+        prop_assert_eq!(s.to_vec(), m.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(s.len(), m.len());
+        prop_assert_eq!(s.first(), m.iter().next().copied());
+        prop_assert_eq!(s.last(), m.iter().next_back().copied());
+    }
+
+    #[test]
+    fn rowset_algebra_matches_model(a in ids(), b in ids()) {
+        let (sa, sb) = (RowSet::from_ids(CAP, a.iter().copied()), RowSet::from_ids(CAP, b.iter().copied()));
+        let (ma, mb) = (model(&a), model(&b));
+        prop_assert_eq!(sa.intersection(&sb).to_vec(), ma.intersection(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa.union(&sb).to_vec(), ma.union(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa.difference(&sb).to_vec(), ma.difference(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(sa.intersection_len(&sb), ma.intersection(&mb).count());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+    }
+
+    #[test]
+    fn rowset_laws(a in ids(), b in ids(), c in ids()) {
+        let sa = RowSet::from_ids(CAP, a.iter().copied());
+        let sb = RowSet::from_ids(CAP, b.iter().copied());
+        let sc = RowSet::from_ids(CAP, c.iter().copied());
+        // commutativity
+        prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        // associativity
+        prop_assert_eq!(sa.intersection(&sb).intersection(&sc), sa.intersection(&sb.intersection(&sc)));
+        // distributivity
+        prop_assert_eq!(
+            sa.intersection(&sb.union(&sc)),
+            sa.intersection(&sb).union(&sa.intersection(&sc))
+        );
+        // De Morgan via the full set
+        let full = RowSet::full(CAP);
+        let not = |s: &RowSet| full.difference(s);
+        prop_assert_eq!(not(&sa.union(&sb)), not(&sa).intersection(&not(&sb)));
+    }
+
+    #[test]
+    fn idlist_matches_model(a in ids(), b in ids()) {
+        let la = IdList::from_iter(a.iter().map(|&x| x as u32));
+        let lb = IdList::from_iter(b.iter().map(|&x| x as u32));
+        let ma: BTreeSet<u32> = a.iter().map(|&x| x as u32).collect();
+        let mb: BTreeSet<u32> = b.iter().map(|&x| x as u32).collect();
+        prop_assert_eq!(la.intersection(&lb).into_vec(), ma.intersection(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(la.union(&lb).into_vec(), ma.union(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(la.difference(&lb).into_vec(), ma.difference(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(la.is_subset(&lb), ma.is_subset(&mb));
+        prop_assert_eq!(la.intersection_len(&lb), ma.intersection(&mb).count());
+    }
+
+    #[test]
+    fn rowset_idlist_agree(a in ids(), b in ids()) {
+        let sa = RowSet::from_ids(CAP, a.iter().copied());
+        let sb = RowSet::from_ids(CAP, b.iter().copied());
+        let la = IdList::from_iter(a.iter().map(|&x| x as u32));
+        let lb = IdList::from_iter(b.iter().map(|&x| x as u32));
+        let as_list = |s: &RowSet| IdList::from_iter(s.iter().map(|x| x as u32));
+        prop_assert_eq!(as_list(&sa.intersection(&sb)), la.intersection(&lb));
+        prop_assert_eq!(as_list(&sa.union(&sb)), la.union(&lb));
+        prop_assert_eq!(as_list(&sa.difference(&sb)), la.difference(&lb));
+    }
+
+    #[test]
+    fn insert_remove_consistent(v in ids(), x in 0..CAP) {
+        let mut s = RowSet::from_ids(CAP, v.iter().copied());
+        let before = s.contains(x);
+        prop_assert_eq!(s.insert(x), !before);
+        prop_assert!(s.contains(x));
+        prop_assert!(s.remove(x));
+        prop_assert!(!s.contains(x));
+        prop_assert!(!s.remove(x));
+    }
+}

@@ -1,0 +1,103 @@
+//! Four ways to mine the same closed patterns: CARPENTER (row
+//! enumeration), CHARM (vertical tidsets), CLOSET+ (FP-trees), and
+//! Apriori + closure filtering — demonstrating that they agree exactly
+//! and how differently they scale on a microarray-shaped input.
+//!
+//! ```text
+//! cargo run --release --example closed_pattern_miners
+//! ```
+
+use farmer_suite::baselines::apriori::apriori;
+use farmer_suite::baselines::charm::charm;
+use farmer_suite::baselines::closet::closet;
+use farmer_suite::baselines::Budgeted;
+use farmer_suite::core::carpenter::carpenter;
+use farmer_suite::dataset::discretize::Discretizer;
+use farmer_suite::dataset::synth::SynthConfig;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn main() {
+    // a small microarray-shaped table: 40 samples, 300 genes
+    let matrix = SynthConfig {
+        n_rows: 40,
+        n_genes: 300,
+        n_class1: 20,
+        n_signature: 100,
+        clusters_per_class: 2,
+        cluster_spread: 1.8,
+        cluster_noise: 0.35,
+        ..Default::default()
+    }
+    .generate();
+    let data = Discretizer::EqualDepth { buckets: 8 }.discretize(&matrix);
+    let min_sup = 5;
+    println!(
+        "dataset: {} rows x {} items, min_sup {min_sup}\n",
+        data.n_rows(),
+        data.n_items()
+    );
+
+    let t = Instant::now();
+    let carp = carpenter(&data, min_sup);
+    println!(
+        "CARPENTER  (row enumeration): {:>5} closed patterns in {:>9.2?} ({} nodes)",
+        carp.patterns.len(),
+        t.elapsed(),
+        carp.stats.nodes_visited
+    );
+
+    let t = Instant::now();
+    let ch = charm(&data, min_sup);
+    println!(
+        "CHARM      (vertical tidsets): {:>4} closed patterns in {:>9.2?} ({} pairs)",
+        ch.closed.len(),
+        t.elapsed(),
+        ch.stats.pairs_examined
+    );
+
+    let t = Instant::now();
+    let cl = closet(&data, min_sup);
+    println!(
+        "CLOSET+    (FP-trees):         {:>4} closed patterns in {:>9.2?} ({} trees)",
+        cl.closed.len(),
+        t.elapsed(),
+        cl.stats.trees_built
+    );
+
+    let t = Instant::now();
+    let ap = apriori(&data, min_sup, Some(100_000_000));
+    match &ap {
+        Budgeted::Done(sets) => {
+            // closed = frequent sets no proper superset of which has the
+            // same support
+            let closed = sets
+                .iter()
+                .filter(|s| {
+                    !sets.iter().any(|t| {
+                        t.support == s.support
+                            && t.items.len() > s.items.len()
+                            && s.items.is_subset(&t.items)
+                    })
+                })
+                .count();
+            println!(
+                "Apriori    (levelwise):        {closed:>4} closed of {} frequent in {:>9.2?}",
+                sets.len(),
+                t.elapsed()
+            );
+        }
+        Budgeted::BudgetExhausted { nodes } => {
+            println!("Apriori    (levelwise):        gave up after {nodes} candidates — the combinatorial explosion the paper describes");
+        }
+    }
+
+    // cross-check: the three closed-set miners agree item for item
+    let canon = |items: &rowset::IdList| items.as_slice().to_vec();
+    let a: HashSet<Vec<u32>> = carp.patterns.iter().map(|p| canon(&p.items)).collect();
+    let b: HashSet<Vec<u32>> = ch.closed.iter().map(|c| canon(&c.items)).collect();
+    let c: HashSet<Vec<u32>> = cl.closed.iter().map(|c| canon(&c.items)).collect();
+    assert_eq!(a, b, "CARPENTER and CHARM disagree");
+    assert_eq!(b, c, "CHARM and CLOSET+ disagree");
+    println!("\nall closed-set miners agree on {} patterns ✓", a.len());
+}

@@ -1,0 +1,57 @@
+//! Quickstart: mine interesting rule groups from the paper's running
+//! example (Figure 1) and print them with their lower bounds.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use farmer_suite::core::{Farmer, MiningParams};
+use farmer_suite::dataset::paper_example;
+
+fn main() {
+    // Figure 1(a): five rows over items a..t, three labeled C (class 0),
+    // two labeled ¬C (class 1)
+    let data = paper_example();
+    println!(
+        "dataset: {} rows, {} items, {} class-C rows\n",
+        data.n_rows(),
+        data.n_items(),
+        data.class_count(0)
+    );
+
+    // find every interesting rule group predicting class C with
+    // support >= 1 (lower bounds included)
+    let params = MiningParams::new(0).min_sup(1).min_conf(0.0);
+    let result = Farmer::new(params).mine(&data);
+
+    println!("{} interesting rule groups:\n", result.len());
+    for group in result.ranked() {
+        println!("  {}", group.display(&data));
+        let lows: Vec<String> = group
+            .lower
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|i| data.item_name(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("")
+            })
+            .collect();
+        println!("    lower bounds: {{{}}}", lows.join(", "));
+        println!(
+            "    covers rows {:?} | search saw {} nodes",
+            group.support_set.to_vec(),
+            result.stats.nodes_visited
+        );
+    }
+
+    // one concrete membership query: is "eh -> C" a member of some group?
+    let e = data.item_by_name("e").expect("item e");
+    let h = data.item_by_name("h").expect("item h");
+    let eh = rowset::IdList::from_iter([e, h]);
+    let holder = result.groups.iter().find(|g| g.contains_rule(&eh));
+    match holder {
+        Some(g) => println!("\nrule eh -> C belongs to the group of {}", g.display(&data)),
+        None => println!("\nrule eh -> C belongs to no *interesting* group"),
+    }
+}

@@ -1,0 +1,23 @@
+//! # farmer-suite
+//!
+//! Umbrella crate of the FARMER reproduction: re-exports the public API
+//! of every member crate so the examples and integration tests have one
+//! coherent namespace. Library users should usually depend on the
+//! individual crates instead.
+//!
+//! * [`dataset`] — data model, discretization, synthesis, IO
+//!   (`farmer-dataset`);
+//! * [`core`] — the FARMER miner, CARPENTER, measures, MineLB
+//!   (`farmer-core`);
+//! * [`baselines`] — Apriori, CHARM, CLOSET+, ColumnE
+//!   (`farmer-baselines`);
+//! * [`classify`] — IRG/CBA/SVM classifiers (`farmer-classify`);
+//! * [`rowset`] — the bitset/id-list substrate.
+
+#![forbid(unsafe_code)]
+
+pub use farmer_baselines as baselines;
+pub use farmer_classify as classify;
+pub use farmer_core as core;
+pub use farmer_dataset as dataset;
+pub use rowset;

@@ -1,0 +1,72 @@
+//! Multi-class behavior: the data model, miners, and rule-list
+//! classifiers all support more than two class labels (mining is always
+//! "target class vs rest").
+
+use farmer_suite::classify::{CbaClassifier, IrgClassifier};
+use farmer_suite::core::naive::mine_naive;
+use farmer_suite::core::{Farmer, MiningParams, RuleGroup};
+use farmer_suite::dataset::{Dataset, DatasetBuilder};
+
+/// Three classes, each marked by its own item plus shared noise items.
+fn three_class_dataset() -> Dataset {
+    let mut b = DatasetBuilder::new(3);
+    // class 0: marker 0; class 1: marker 1; class 2: marker 2
+    b.add_row([0, 10, 11], 0);
+    b.add_row([0, 11, 12], 0);
+    b.add_row([0, 10, 12], 0);
+    b.add_row([1, 10, 11], 1);
+    b.add_row([1, 11, 12], 1);
+    b.add_row([1, 10, 12], 1);
+    b.add_row([2, 10, 11], 2);
+    b.add_row([2, 11, 12], 2);
+    b.add_row([2, 10, 12], 2);
+    b.build()
+}
+
+fn canon(groups: &[RuleGroup]) -> Vec<(Vec<u32>, usize, usize)> {
+    let mut v: Vec<_> = groups
+        .iter()
+        .map(|g| (g.upper.as_slice().to_vec(), g.sup, g.neg_sup))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn mining_each_class_matches_oracle() {
+    let d = three_class_dataset();
+    for class in 0..3u32 {
+        let params = MiningParams::new(class).min_sup(2).min_conf(0.5).lower_bounds(false);
+        let farmer = Farmer::new(params.clone()).mine(&d);
+        let naive = mine_naive(&d, &params);
+        assert_eq!(canon(&farmer.groups), canon(&naive), "class {class}");
+        // the class marker itself must be an IRG (perfect confidence)
+        let marker = rowset::IdList::from_iter([class]);
+        assert!(
+            farmer.groups.iter().any(|g| g.upper == marker),
+            "marker {class} missing: {:?}",
+            farmer.groups.iter().map(|g| g.upper.clone()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn classifiers_handle_three_classes() {
+    let d = three_class_dataset();
+    let irg = IrgClassifier::train(&d, 0.6, 0.7);
+    assert_eq!(irg.predict_dataset(&d), d.labels());
+    let cba = CbaClassifier::train(&d, 0.6, 0.7);
+    assert_eq!(cba.predict_dataset(&d), d.labels());
+    // unseen combinations still route through the markers
+    assert_eq!(irg.predict(&rowset::IdList::from_iter([2, 99])), 2);
+}
+
+#[test]
+fn class_rows_partition() {
+    let d = three_class_dataset();
+    let total: usize = (0..3).map(|c| d.class_count(c)).sum();
+    assert_eq!(total, d.n_rows());
+    for c in 0..3u32 {
+        assert_eq!(d.class_rows(c).len(), 3);
+    }
+}
