@@ -105,8 +105,16 @@ fn all_subsets_frequent(cand: &[u32], level: &[(Vec<u32>, RowSet)]) -> bool {
     // skipping either of the two last items reproduces the join's parents
     for skip in 0..cand.len().saturating_sub(2) {
         sub.clear();
-        sub.extend(cand.iter().enumerate().filter(|&(j, _)| j != skip).map(|(_, &i)| i));
-        if level.binary_search_by(|probe| probe.0.as_slice().cmp(sub.as_slice())).is_err() {
+        sub.extend(
+            cand.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != skip)
+                .map(|(_, &i)| i),
+        );
+        if level
+            .binary_search_by(|probe| probe.0.as_slice().cmp(sub.as_slice()))
+            .is_err()
+        {
             return false;
         }
     }
@@ -141,7 +149,9 @@ mod tests {
                 .filter(|&(j, _)| mask & (1 << j) != 0)
                 .map(|(_, &i)| i)
                 .collect();
-            let sup = data.rows_supporting(&IdList::from_sorted(set.clone())).len();
+            let sup = data
+                .rows_supporting(&IdList::from_sorted(set.clone()))
+                .len();
             if sup >= min_sup {
                 out.insert((set, sup));
             }

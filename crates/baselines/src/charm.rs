@@ -348,8 +348,7 @@ mod tests {
     use super::*;
     use farmer_core::carpenter::carpenter;
     use farmer_dataset::{paper_example, DatasetBuilder};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use farmer_support::rng::{Rng, SeedableRng, StdRng};
     use std::collections::HashSet;
 
     fn canon_charm(r: &CharmResult) -> HashSet<(Vec<u32>, Vec<usize>)> {
@@ -389,8 +388,7 @@ mod tests {
             let n_rows = rng.gen_range(3..=9);
             let n_items = rng.gen_range(3..=12);
             for _ in 0..n_rows {
-                let items: Vec<u32> =
-                    (0..n_items as u32).filter(|_| rng.gen_bool(0.5)).collect();
+                let items: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(0.5)).collect();
                 b.add_row(items, 0);
             }
             let d = b.build();
@@ -423,8 +421,7 @@ mod tests {
             let n_rows = rng.gen_range(3..=9);
             let n_items = rng.gen_range(3..=12);
             for _ in 0..n_rows {
-                let items: Vec<u32> =
-                    (0..n_items as u32).filter(|_| rng.gen_bool(0.6)).collect();
+                let items: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(0.6)).collect();
                 b.add_row(items, 0);
             }
             let d = b.build();
@@ -441,7 +438,12 @@ mod tests {
     fn outputs_are_closed() {
         let d = paper_example();
         for c in charm(&d, 1).closed {
-            assert_eq!(d.items_common_to(&c.rows), c.items, "not closed: {:?}", c.items);
+            assert_eq!(
+                d.items_common_to(&c.rows),
+                c.items,
+                "not closed: {:?}",
+                c.items
+            );
             assert_eq!(d.rows_supporting(&c.items), c.rows);
         }
     }

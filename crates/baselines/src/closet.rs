@@ -83,7 +83,8 @@ pub fn closet_budgeted(
         .by_support
         .into_iter()
         .flat_map(|(support, sets)| {
-            sets.into_iter().map(move |items| ClosedSet { items, support })
+            sets.into_iter()
+                .map(move |items| ClosedSet { items, support })
         })
         .collect();
     crate::Budgeted::Done(ClosetResult {
@@ -151,7 +152,10 @@ impl ClosetCtx {
                 .iter()
                 .map(|(path, w)| {
                     (
-                        path.iter().copied().filter(|i| !merged.contains(i)).collect(),
+                        path.iter()
+                            .copied()
+                            .filter(|i| !merged.contains(i))
+                            .collect(),
                         *w,
                     )
                 })
@@ -195,8 +199,7 @@ mod tests {
     use super::*;
     use crate::charm::charm;
     use farmer_dataset::{paper_example, DatasetBuilder};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use farmer_support::rng::{Rng, SeedableRng, StdRng};
     use std::collections::HashSet;
 
     fn canon(r: &ClosetResult) -> HashSet<(Vec<u32>, usize)> {
@@ -220,7 +223,11 @@ mod tests {
     fn agrees_with_charm_on_paper_example() {
         let d = paper_example();
         for min_sup in 1..=4 {
-            assert_eq!(canon(&closet(&d, min_sup)), canon_charm(&d, min_sup), "min_sup={min_sup}");
+            assert_eq!(
+                canon(&closet(&d, min_sup)),
+                canon_charm(&d, min_sup),
+                "min_sup={min_sup}"
+            );
         }
     }
 
@@ -251,7 +258,12 @@ mod tests {
         for c in closet(&d, 2).closed {
             let support = d.rows_supporting(&c.items);
             assert_eq!(support.len(), c.support);
-            assert_eq!(d.items_common_to(&support), c.items, "not closed: {:?}", c.items);
+            assert_eq!(
+                d.items_common_to(&support),
+                c.items,
+                "not closed: {:?}",
+                c.items
+            );
         }
     }
 

@@ -188,8 +188,7 @@ mod tests {
     use super::*;
     use farmer_core::Farmer;
     use farmer_dataset::{paper_example, DatasetBuilder};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
     fn canon(groups: &[RuleGroup]) -> Vec<(Vec<u32>, Vec<usize>, usize, usize)> {
         let mut v: Vec<_> = groups

@@ -48,8 +48,11 @@ impl FpTree {
         // rank: frequency desc, item id asc for determinism
         let mut order: Vec<(ItemId, usize)> = freq.iter().map(|(&i, &c)| (i, c)).collect();
         order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: HashMap<ItemId, usize> =
-            order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+        let rank: HashMap<ItemId, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(r, &(i, _))| (i, r))
+            .collect();
 
         let mut tree = FpTree {
             nodes: vec![Node {

@@ -8,14 +8,14 @@ use farmer_baselines::column_e::column_e;
 use farmer_core::carpenter::carpenter;
 use farmer_core::{Farmer, MiningParams};
 use farmer_dataset::{Dataset, DatasetBuilder};
-use proptest::prelude::*;
+use farmer_support::check::prelude::*;
 use std::collections::HashSet;
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (3usize..8, 3usize..10).prop_flat_map(|(n_rows, n_items)| {
-        proptest::collection::vec(
+        collection::vec(
             (
-                proptest::collection::btree_set(0..n_items as u32, 1..n_items),
+                collection::btree_set(0..n_items as u32, 1..n_items),
                 0u32..2,
             ),
             n_rows,
@@ -30,8 +30,8 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+check! {
+    #![config(cases = 64)]
 
     /// CHARM = CLOSET+ = CARPENTER, closed set for closed set.
     #[test]
@@ -96,7 +96,7 @@ proptest! {
         d in arb_dataset(),
         class in 0u32..2,
         min_sup in 1usize..3,
-        conf_pct in prop::sample::select(vec![0usize, 60]),
+        conf_pct in select(vec![0usize, 60]),
     ) {
         let params = MiningParams::new(class)
             .min_sup(min_sup)

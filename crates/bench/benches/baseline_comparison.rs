@@ -2,7 +2,6 @@
 //! setting per dataset analog (the head-to-head the whole paper is
 //! about), plus the scalability replication bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use farmer_baselines::charm::charm;
 use farmer_baselines::closet::closet;
 use farmer_baselines::column_e::column_e;
@@ -10,6 +9,8 @@ use farmer_bench::workloads::WorkloadCache;
 use farmer_core::{Farmer, MiningParams};
 use farmer_dataset::replicate::replicate_rows;
 use farmer_dataset::synth::PaperDataset;
+use farmer_support::bench::{BenchmarkId, Criterion};
+use farmer_support::{criterion_group, criterion_main};
 use std::time::Duration;
 
 /// CT analog at minsup 5: every algorithm finishes quickly enough for
@@ -20,13 +21,13 @@ fn head_to_head(c: &mut Criterion) {
     let minsup = 5usize;
     let params = MiningParams::new(1).min_sup(minsup);
     let mut group = c.benchmark_group("head_to_head_CT");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("FARMER", |b| {
         b.iter(|| Farmer::new(params.clone()).mine(&d))
     });
-    group.bench_function("ColumnE", |b| {
-        b.iter(|| column_e(&d, &params, None))
-    });
+    group.bench_function("ColumnE", |b| b.iter(|| column_e(&d, &params, None)));
     group.bench_function("CHARM", |b| b.iter(|| charm(&d, minsup)));
     group.bench_function("CLOSET+", |b| b.iter(|| closet(&d, minsup)));
     group.finish();
@@ -38,7 +39,9 @@ fn replication_scalability(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let base = cache.efficiency(PaperDataset::ColonTumor);
     let mut group = c.benchmark_group("replication");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for k in [1usize, 2, 4] {
         let d = replicate_rows(&base, k);
         let params = MiningParams::new(1).min_sup(5 * k);

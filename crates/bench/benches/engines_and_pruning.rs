@@ -1,23 +1,37 @@
 //! Ablation benches: the two conditional-table engines and each pruning
 //! strategy toggled off (DESIGN.md A1/A2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use farmer_bench::workloads::WorkloadCache;
 use farmer_core::{Engine, Farmer, MiningParams, PruningConfig};
 use farmer_dataset::synth::PaperDataset;
+use farmer_support::bench::Criterion;
+use farmer_support::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn engines(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let d = cache.efficiency(PaperDataset::ColonTumor);
-    let params = MiningParams::new(1).min_sup(4).min_conf(0.8).lower_bounds(false);
+    let params = MiningParams::new(1)
+        .min_sup(4)
+        .min_conf(0.8)
+        .lower_bounds(false);
     let mut group = c.benchmark_group("engines_CT");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("bitset", |b| {
-        b.iter(|| Farmer::new(params.clone()).with_engine(Engine::Bitset).mine(&d))
+        b.iter(|| {
+            Farmer::new(params.clone())
+                .with_engine(Engine::Bitset)
+                .mine(&d)
+        })
     });
     group.bench_function("pointer_list", |b| {
-        b.iter(|| Farmer::new(params.clone()).with_engine(Engine::PointerList).mine(&d))
+        b.iter(|| {
+            Farmer::new(params.clone())
+                .with_engine(Engine::PointerList)
+                .mine(&d)
+        })
     });
     group.finish();
 }
@@ -25,14 +39,38 @@ fn engines(c: &mut Criterion) {
 fn pruning_ablation(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let d = cache.efficiency(PaperDataset::ColonTumor);
-    let params = MiningParams::new(1).min_sup(4).min_conf(0.8).lower_bounds(false);
+    let params = MiningParams::new(1)
+        .min_sup(4)
+        .min_conf(0.8)
+        .lower_bounds(false);
     let mut group = c.benchmark_group("pruning_CT");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let configs: Vec<(&str, PruningConfig)> = vec![
         ("all", PruningConfig::all()),
-        ("no_compression", PruningConfig { strategy1_compression: false, ..PruningConfig::all() }),
-        ("no_duplicate", PruningConfig { strategy2_duplicate: false, ..PruningConfig::all() }),
-        ("no_bounds", PruningConfig { strategy3_loose: false, strategy3_tight: false, ..PruningConfig::all() }),
+        (
+            "no_compression",
+            PruningConfig {
+                strategy1_compression: false,
+                ..PruningConfig::all()
+            },
+        ),
+        (
+            "no_duplicate",
+            PruningConfig {
+                strategy2_duplicate: false,
+                ..PruningConfig::all()
+            },
+        ),
+        (
+            "no_bounds",
+            PruningConfig {
+                strategy3_loose: false,
+                strategy3_tight: false,
+                ..PruningConfig::all()
+            },
+        ),
     ];
     for (name, cfg) in configs {
         group.bench_function(name, |b| {
@@ -46,12 +84,12 @@ fn lower_bounds(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let d = cache.efficiency(PaperDataset::ColonTumor);
     let mut group = c.benchmark_group("minelb_CT");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, on) in [("with_lower_bounds", true), ("upper_bounds_only", false)] {
         let params = MiningParams::new(1).min_sup(4).lower_bounds(on);
-        group.bench_function(name, |b| {
-            b.iter(|| Farmer::new(params.clone()).mine(&d))
-        });
+        group.bench_function(name, |b| b.iter(|| Farmer::new(params.clone()).mine(&d)));
     }
     group.finish();
 }

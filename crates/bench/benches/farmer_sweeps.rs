@@ -3,27 +3,26 @@
 //! analogs (the two datasets small enough for statistically tight
 //! Criterion runs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use farmer_bench::workloads::WorkloadCache;
 use farmer_core::{Farmer, MiningParams};
 use farmer_dataset::synth::PaperDataset;
+use farmer_support::bench::{BenchmarkId, Criterion};
+use farmer_support::{criterion_group, criterion_main};
 use std::time::Duration;
 
 fn fig10_minsup(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let mut group = c.benchmark_group("fig10_minsup");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for p in [PaperDataset::ColonTumor, PaperDataset::Leukemia] {
         let d = cache.efficiency(p);
         for minsup in [7usize, 5, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(p.code(), minsup),
-                &minsup,
-                |b, &minsup| {
-                    let params = MiningParams::new(1).min_sup(minsup);
-                    b.iter(|| Farmer::new(params.clone()).mine(&d));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(p.code(), minsup), &minsup, |b, &minsup| {
+                let params = MiningParams::new(1).min_sup(minsup);
+                b.iter(|| Farmer::new(params.clone()).mine(&d));
+            });
         }
     }
     group.finish();
@@ -33,7 +32,9 @@ fn fig11_minconf(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let d = cache.efficiency(PaperDataset::ColonTumor);
     let mut group = c.benchmark_group("fig11_minconf");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for conf_pct in [0usize, 70, 90] {
         group.bench_with_input(BenchmarkId::new("CT", conf_pct), &conf_pct, |b, &pct| {
             let params = MiningParams::new(1).min_sup(3).min_conf(pct as f64 / 100.0);
@@ -47,7 +48,9 @@ fn fig11_minchi(c: &mut Criterion) {
     let cache = WorkloadCache::new(0.05);
     let d = cache.efficiency(PaperDataset::ColonTumor);
     let mut group = c.benchmark_group("fig11_minchi");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for chi in [0u32, 10] {
         group.bench_with_input(BenchmarkId::new("CT_conf80", chi), &chi, |b, &chi| {
             let params = MiningParams::new(1)

@@ -1,13 +1,13 @@
 //! Micro-benchmarks of the substrates: RowSet/IdList set algebra, the
 //! discretizers, and classifier training (Table 2's inner loop).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use farmer_classify::pipeline::DiscretizedSplit;
 use farmer_classify::{IrgClassifier, SvmClassifier, SvmConfig};
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::SynthConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::bench::{BenchmarkId, Criterion};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
+use farmer_support::{criterion_group, criterion_main};
 use rowset::{IdList, RowSet};
 use std::time::Duration;
 
@@ -19,7 +19,9 @@ fn rowset_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("rowset");
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("intersection", |bch| bch.iter(|| a.intersection(&b)));
-    group.bench_function("intersection_len", |bch| bch.iter(|| a.intersection_len(&b)));
+    group.bench_function("intersection_len", |bch| {
+        bch.iter(|| a.intersection_len(&b))
+    });
     group.bench_function("is_subset", |bch| bch.iter(|| a.is_subset(&b)));
     group.bench_function("iter_collect", |bch| bch.iter(|| a.to_vec()));
     group.finish();
@@ -46,7 +48,9 @@ fn discretizers(c: &mut Criterion) {
     }
     .generate();
     let mut group = c.benchmark_group("discretize");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, d) in [
         ("equal_depth_10", Discretizer::EqualDepth { buckets: 10 }),
         ("equal_width_10", Discretizer::EqualWidth { buckets: 10 }),
@@ -74,7 +78,9 @@ fn classifiers(c: &mut Criterion) {
     .generate();
     let (tr, te) = m.stratified_split(47, 1);
     let mut group = c.benchmark_group("classify");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("irg_train", |b| {
         let split = DiscretizedSplit::fit(&tr, &te, &Discretizer::EntropyMdl);
         b.iter(|| IrgClassifier::train(&split.train, 0.7, 0.8));

@@ -15,7 +15,10 @@ use farmer_dataset::synth::PaperDataset;
 pub fn run(opts: &Opts, cache: &WorkloadCache) {
     let p = PaperDataset::ColonTumor;
     let d = cache.efficiency(p);
-    let params = MiningParams::new(1).min_sup(4).min_conf(0.8).lower_bounds(false);
+    let params = MiningParams::new(1)
+        .min_sup(4)
+        .min_conf(0.8)
+        .lower_bounds(false);
     println!(
         "== Ablation: pruning strategies on the {} analog (minsup 4, minconf 0.8) ==\n",
         p.code()
@@ -25,19 +28,31 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
         ("all strategies", PruningConfig::all()),
         (
             "no strategy 1 (compression)",
-            PruningConfig { strategy1_compression: false, ..PruningConfig::all() },
+            PruningConfig {
+                strategy1_compression: false,
+                ..PruningConfig::all()
+            },
         ),
         (
             "no strategy 2 (duplicate)",
-            PruningConfig { strategy2_duplicate: false, ..PruningConfig::all() },
+            PruningConfig {
+                strategy2_duplicate: false,
+                ..PruningConfig::all()
+            },
         ),
         (
             "no loose bounds",
-            PruningConfig { strategy3_loose: false, ..PruningConfig::all() },
+            PruningConfig {
+                strategy3_loose: false,
+                ..PruningConfig::all()
+            },
         ),
         (
             "no tight bounds",
-            PruningConfig { strategy3_tight: false, ..PruningConfig::all() },
+            PruningConfig {
+                strategy3_tight: false,
+                ..PruningConfig::all()
+            },
         ),
         (
             "no strategy 3 at all",
@@ -68,7 +83,10 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
 
     println!("== Ablation: conditional-table engines (same search, different layout) ==\n");
     let mut t = Table::new(&["engine", "runtime", "nodes", "#IRGs"]);
-    for (name, engine) in [("bitset", Engine::Bitset), ("pointer-list (paper §3.3)", Engine::PointerList)] {
+    for (name, engine) in [
+        ("bitset", Engine::Bitset),
+        ("pointer-list (paper §3.3)", Engine::PointerList),
+    ] {
         let (res, dt) = time(|| Farmer::new(params.clone()).with_engine(engine).mine(&d));
         assert_eq!(Some(res.len()), reference, "engines disagree!");
         t.row_owned(vec![

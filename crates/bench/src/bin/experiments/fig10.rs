@@ -15,7 +15,10 @@ use farmer_dataset::synth::PaperDataset;
 
 pub fn run(opts: &Opts, cache: &WorkloadCache) {
     println!("== Figure 10: runtime (ms) vs minimum support (minconf = minchi = 0) ==");
-    println!("'>budget' marks a column-enumeration run cut off at {} nodes\n", opts.budget);
+    println!(
+        "'>budget' marks a column-enumeration run cut off at {} nodes\n",
+        opts.budget
+    );
 
     let mut counts = Table::new(&["dataset", "minsup", "#IRGs"]);
     for (panel, p) in PaperDataset::all().into_iter().enumerate() {
@@ -39,7 +42,9 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
         let mut charm_dead = false;
         let mut closet_dead = false;
         for minsup in grid {
-            let params = MiningParams::new(opts.target_class).min_sup(minsup).min_conf(0.0);
+            let params = MiningParams::new(opts.target_class)
+                .min_sup(minsup)
+                .min_conf(0.0);
             let (res, t_farmer) = time(|| Farmer::new(params.clone()).mine(&d));
             counts.row_owned(vec![
                 p.code().to_string(),

@@ -30,15 +30,12 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
             char::from(b'a' + panel as u8),
             p.code(),
         );
-        let mut t = Table::new(&[
-            "minconf",
-            "FARMER",
-            "FARMER minchi=10",
-            "ColumnE",
-        ]);
+        let mut t = Table::new(&["minconf", "FARMER", "FARMER minchi=10", "ColumnE"]);
         let mut cole_dead = false;
         for conf in grid {
-            let params = MiningParams::new(opts.target_class).min_sup(minsup).min_conf(conf);
+            let params = MiningParams::new(opts.target_class)
+                .min_sup(minsup)
+                .min_conf(conf);
             let (res, t_plain) = time(|| Farmer::new(params.clone()).mine(&d));
             let (_, t_chi) = time(|| Farmer::new(params.clone().min_chi(10.0)).mine(&d));
             counts.row_owned(vec![

@@ -71,7 +71,9 @@ fn main() -> ExitCode {
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone()
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
         };
         match a.as_str() {
             "--col-scale" => opts.col_scale = val("--col-scale").parse().expect("numeric scale"),

@@ -19,13 +19,19 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
     println!("== Scalability: row replication x1..x10 (PC analog, minsup scaled with rows) ==\n");
     let base = cache.efficiency(PaperDataset::ProstateCancer);
     let base_minsup = 8usize;
-    let factors: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4, 6, 8, 10] };
+    let factors: &[usize] = if opts.quick {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 6, 8, 10]
+    };
 
     let mut t = Table::new(&["factor", "rows", "FARMER", "#IRGs", "CHARM", "CLOSET+"]);
     for &k in factors {
         let d = replicate_rows(&base, k);
         let minsup = base_minsup * k;
-        let params = MiningParams::new(opts.target_class).min_sup(minsup).min_conf(0.0);
+        let params = MiningParams::new(opts.target_class)
+            .min_sup(minsup)
+            .min_conf(0.0);
         let (res, t_farmer) = time(|| Farmer::new(params).mine(&d));
         let (ch, t_charm) = time(|| charm_budgeted(&d, minsup, Some(opts.budget)));
         let charm_cell = match ch {

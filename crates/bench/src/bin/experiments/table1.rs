@@ -6,8 +6,13 @@ use farmer_bench::workloads::{efficiency_dataset, matrix_for};
 use farmer_dataset::synth::PaperDataset;
 
 pub fn run(opts: &Opts) {
-    println!("== Table 1: microarray dataset analogs (col-scale {}) ==", opts.col_scale);
-    println!("paper columns are the original dimensions; analog columns are what this run synthesizes\n");
+    println!(
+        "== Table 1: microarray dataset analogs (col-scale {}) ==",
+        opts.col_scale
+    );
+    println!(
+        "paper columns are the original dimensions; analog columns are what this run synthesizes\n"
+    );
     let mut t = Table::new(&[
         "dataset",
         "paper rows",

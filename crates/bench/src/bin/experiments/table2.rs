@@ -22,18 +22,22 @@ struct Row {
 }
 
 pub fn run(opts: &Opts) {
-    println!("== Table 2: classification accuracy (entropy-MDL discretization, paper split sizes) ==");
+    println!(
+        "== Table 2: classification accuracy (entropy-MDL discretization, paper split sizes) =="
+    );
     println!("CBA params: minsup = 0.7 x |class|, minconf = 0.8 (same for the IRG classifier)\n");
 
     // the five datasets are independent: evaluate them on worker threads
-    let mut rows: Vec<Row> = crossbeam::thread::scope(|scope| {
+    let mut rows: Vec<Row> = farmer_support::thread::scope(|scope| {
         let handles: Vec<_> = PaperDataset::all()
             .into_iter()
-            .map(|p| scope.spawn(move |_| evaluate(p, opts)))
+            .map(|p| scope.spawn(move || evaluate(p, opts)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     rows.sort_by_key(|r| PaperDataset::all().iter().position(|p| p.code() == r.code));
 
     let mut t = Table::new(&[

@@ -18,7 +18,7 @@
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::PaperDataset;
 use farmer_dataset::{Dataset, ExpressionMatrix};
-use parking_lot::Mutex;
+use farmer_support::thread::Mutex;
 use std::collections::HashMap;
 
 /// Default fraction of the paper's column count used by the harness.

@@ -134,10 +134,7 @@ impl TopKCommittee {
     /// member fires (ties to the smaller label).
     pub fn predict(&self, items: &IdList) -> ClassLabel {
         let scores = self.scores(items);
-        let best = scores
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         if best <= 0.0 {
             return self.majority;
         }
@@ -150,7 +147,9 @@ impl TopKCommittee {
 
     /// Predicts every row of `data`.
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<ClassLabel> {
-        (0..data.n_rows() as u32).map(|r| self.predict(data.row(r))).collect()
+        (0..data.n_rows() as u32)
+            .map(|r| self.predict(data.row(r)))
+            .collect()
     }
 }
 

@@ -4,9 +4,7 @@ use crate::eval::accuracy;
 use crate::pipeline::DiscretizedSplit;
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::{ClassLabel, ExpressionMatrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use farmer_support::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Per-fold and aggregate accuracy of one cross-validated evaluation.
 #[derive(Clone, Debug, PartialEq)]
@@ -98,8 +96,12 @@ pub fn cross_validate<M>(
     let fold_of = stratified_folds(matrix.labels(), folds, seed);
     let mut fold_accuracies = Vec::with_capacity(folds);
     for fold in 0..folds {
-        let train_rows: Vec<usize> = (0..matrix.n_rows()).filter(|&r| fold_of[r] != fold).collect();
-        let test_rows: Vec<usize> = (0..matrix.n_rows()).filter(|&r| fold_of[r] == fold).collect();
+        let train_rows: Vec<usize> = (0..matrix.n_rows())
+            .filter(|&r| fold_of[r] != fold)
+            .collect();
+        let test_rows: Vec<usize> = (0..matrix.n_rows())
+            .filter(|&r| fold_of[r] == fold)
+            .collect();
         if test_rows.is_empty() || train_rows.is_empty() {
             continue;
         }
@@ -164,10 +166,18 @@ mod tests {
 
     #[test]
     fn cv_result_stats() {
-        let r = CvResult { fold_accuracies: vec![0.5, 1.0] };
+        let r = CvResult {
+            fold_accuracies: vec![0.5, 1.0],
+        };
         assert!((r.mean() - 0.75).abs() < 1e-12);
         assert!((r.std_dev() - 0.25).abs() < 1e-12);
-        assert_eq!(CvResult { fold_accuracies: vec![] }.mean(), 0.0);
+        assert_eq!(
+            CvResult {
+                fold_accuracies: vec![]
+            }
+            .mean(),
+            0.0
+        );
     }
 
     #[test]

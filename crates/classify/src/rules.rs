@@ -46,7 +46,13 @@ impl ScoredRule {
     }
 
     /// A fingerprint rule matching rows containing ≥ `theta` of `items`.
-    pub fn fingerprint(items: IdList, theta: f64, class: ClassLabel, sup: usize, conf: f64) -> Self {
+    pub fn fingerprint(
+        items: IdList,
+        theta: f64,
+        class: ClassLabel,
+        sup: usize,
+        conf: f64,
+    ) -> Self {
         assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
         ScoredRule {
             antecedents: Vec::new(),
@@ -183,7 +189,9 @@ impl RuleListClassifier {
 
     /// Predicts every row of `data`.
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<ClassLabel> {
-        (0..data.n_rows() as u32).map(|r| self.predict(data.row(r))).collect()
+        (0..data.n_rows() as u32)
+            .map(|r| self.predict(data.row(r)))
+            .collect()
     }
 
     /// Accuracy on a labeled dataset.

@@ -8,8 +8,7 @@
 //! deterministic in the configured seed.
 
 use farmer_dataset::{ClassLabel, ExpressionMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Hyperparameters for [`SvmClassifier::train`].
 #[derive(Clone, Debug, PartialEq)]
@@ -153,7 +152,9 @@ impl SvmClassifier {
 
     /// Predicts every sample of `matrix`.
     pub fn predict_matrix(&self, matrix: &ExpressionMatrix) -> Vec<ClassLabel> {
-        (0..matrix.n_rows()).map(|r| self.predict(matrix.row(r))).collect()
+        (0..matrix.n_rows())
+            .map(|r| self.predict(matrix.row(r)))
+            .collect()
     }
 
     /// Accuracy on a labeled matrix.
@@ -201,7 +202,13 @@ mod tests {
         let b = SvmClassifier::train(&m, &SvmConfig::default());
         assert_eq!(a.weights, b.weights);
         assert_eq!(a.bias, b.bias);
-        let c = SvmClassifier::train(&m, &SvmConfig { seed: 9, ..Default::default() });
+        let c = SvmClassifier::train(
+            &m,
+            &SvmConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.weights, c.weights);
     }
 

@@ -164,7 +164,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             test: path_required(&opts, "test")?,
             method: get_or(&opts, "method", "irg"),
         })),
-        other => Err(CliError(format!("unknown command '{other}'; try `farmer help`"))),
+        other => Err(CliError(format!(
+            "unknown command '{other}'; try `farmer help`"
+        ))),
     }
 }
 
@@ -233,7 +235,15 @@ mod tests {
     #[test]
     fn parses_mine() {
         let c = parse(&sv(&[
-            "mine", "--in", "d.txt", "--class", "0", "--min-sup", "4", "--min-conf", "0.9",
+            "mine",
+            "--in",
+            "d.txt",
+            "--class",
+            "0",
+            "--min-sup",
+            "4",
+            "--min-conf",
+            "0.9",
             "--no-lower-bounds",
         ]))
         .unwrap();

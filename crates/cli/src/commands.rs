@@ -45,7 +45,9 @@ fn synth(a: SynthArgs, out: &mut dyn Write) -> Result<()> {
                 .into_iter()
                 .find(|p| p.code() == code)
                 .ok_or_else(|| {
-                    CliError(format!("unknown preset '{code}' (BC, LC, CT, PC, ALL, custom)"))
+                    CliError(format!(
+                        "unknown preset '{code}' (BC, LC, CT, PC, ALL, custom)"
+                    ))
                 })?;
             let mut cfg = preset.synth_config(a.col_scale);
             cfg.seed = a.seed;
@@ -68,19 +70,31 @@ fn parse_discretizer(method: &str) -> Result<Discretizer> {
         return Ok(Discretizer::EntropyMdl);
     }
     if let Some(n) = method.strip_prefix("equal-depth:") {
-        let buckets = n.parse().map_err(|_| CliError(format!("bad bucket count '{n}'")))?;
+        let buckets = n
+            .parse()
+            .map_err(|_| CliError(format!("bad bucket count '{n}'")))?;
         return Ok(Discretizer::EqualDepth { buckets });
     }
     if let Some(n) = method.strip_prefix("equal-width:") {
-        let buckets = n.parse().map_err(|_| CliError(format!("bad bucket count '{n}'")))?;
+        let buckets = n
+            .parse()
+            .map_err(|_| CliError(format!("bad bucket count '{n}'")))?;
         return Ok(Discretizer::EqualWidth { buckets });
     }
     if method == "chi-merge" {
-        return Ok(Discretizer::ChiMerge { threshold: 4.61, max_intervals: 6 });
+        return Ok(Discretizer::ChiMerge {
+            threshold: 4.61,
+            max_intervals: 6,
+        });
     }
     if let Some(t) = method.strip_prefix("chi-merge:") {
-        let threshold = t.parse().map_err(|_| CliError(format!("bad chi threshold '{t}'")))?;
-        return Ok(Discretizer::ChiMerge { threshold, max_intervals: 6 });
+        let threshold = t
+            .parse()
+            .map_err(|_| CliError(format!("bad chi threshold '{t}'")))?;
+        return Ok(Discretizer::ChiMerge {
+            threshold,
+            max_intervals: 6,
+        });
     }
     Err(CliError(format!(
         "unknown method '{method}' (entropy, equal-depth:<n>, equal-width:<n>, chi-merge[:<chi>])"
@@ -100,7 +114,11 @@ fn load_matrix(path: &std::path::Path) -> Result<farmer_dataset::ExpressionMatri
     };
     // missing values break the discretizers and the SVM; impute here so
     // every downstream command sees a dense matrix
-    Ok(if m.has_missing() { m.impute_gene_means() } else { m })
+    Ok(if m.has_missing() {
+        m.impute_gene_means()
+    } else {
+        m
+    })
 }
 
 fn discretize(a: DiscretizeArgs, out: &mut dyn Write) -> Result<()> {
@@ -162,8 +180,7 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
                 .collect(),
         };
         if let Some(json_path) = &a.json {
-            let file = std::fs::File::create(json_path)?;
-            serde_json::to_writer_pretty(std::io::BufWriter::new(file), &payload)
+            std::fs::write(json_path, payload.to_json().pretty())
                 .map_err(|e| CliError(format!("json write failed: {e}")))?;
             writeln!(out, "wrote JSON to {}", json_path.display())?;
         }
@@ -235,7 +252,12 @@ fn closed(a: ClosedArgs, out: &mut dyn Write) -> Result<()> {
             )))
         }
     };
-    writeln!(out, "{} closed patterns with support >= {}", patterns.len(), a.min_sup)?;
+    writeln!(
+        out,
+        "{} closed patterns with support >= {}",
+        patterns.len(),
+        a.min_sup
+    )?;
     let mut sorted = patterns;
     sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     for (items, sup) in sorted.into_iter().take(limit) {
@@ -263,7 +285,9 @@ fn classify(a: ClassifyArgs, out: &mut dyn Write) -> Result<()> {
             accuracy(split.test.labels(), &clf.predict_dataset(&split.test))
         }
         other => {
-            return Err(CliError(format!("unknown method '{other}' (irg, cba, svm)")));
+            return Err(CliError(format!(
+                "unknown method '{other}' (irg, cba, svm)"
+            )));
         }
     };
     writeln!(
@@ -297,34 +321,103 @@ mod tests {
         let txt = tmp("p.txt");
         let json = tmp("p.json");
         let s = run_ok(&[
-            "synth", "--preset", "custom", "--rows", "24", "--genes", "60", "--out",
+            "synth",
+            "--preset",
+            "custom",
+            "--rows",
+            "24",
+            "--genes",
+            "60",
+            "--out",
             csv.to_str().unwrap(),
         ]);
         assert!(s.contains("24 samples x 60 genes"), "{s}");
         let s = run_ok(&[
-            "discretize", "--in", csv.to_str().unwrap(), "--method", "equal-depth:4", "--out",
+            "discretize",
+            "--in",
+            csv.to_str().unwrap(),
+            "--method",
+            "equal-depth:4",
+            "--out",
             txt.to_str().unwrap(),
         ]);
         assert!(s.contains("24 rows"), "{s}");
         let s = run_ok(&[
-            "mine", "--in", txt.to_str().unwrap(), "--class", "1", "--min-sup", "3",
-            "--min-conf", "0.8", "--json", json.to_str().unwrap(),
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--class",
+            "1",
+            "--min-sup",
+            "3",
+            "--min-conf",
+            "0.8",
+            "--json",
+            json.to_str().unwrap(),
         ]);
         assert!(s.contains("interesting rule groups"), "{s}");
-        let payload: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
-        assert_eq!(payload["n_rows"], 24);
+        let payload =
+            farmer_support::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(payload["n_rows"].as_u64(), Some(24));
     }
 
     #[test]
     fn closed_all_algorithms() {
         let csv = tmp("c.csv");
         let txt = tmp("c.txt");
-        run_ok(&["synth", "--preset", "custom", "--rows", "16", "--genes", "40", "--out", csv.to_str().unwrap()]);
-        run_ok(&["discretize", "--in", csv.to_str().unwrap(), "--method", "equal-width:3", "--out", txt.to_str().unwrap()]);
-        let a = run_ok(&["closed", "--in", txt.to_str().unwrap(), "--algo", "carpenter", "--min-sup", "4", "--limit", "0"]);
-        let b = run_ok(&["closed", "--in", txt.to_str().unwrap(), "--algo", "charm", "--min-sup", "4", "--limit", "0"]);
-        let c = run_ok(&["closed", "--in", txt.to_str().unwrap(), "--algo", "closet", "--min-sup", "4", "--limit", "0"]);
+        run_ok(&[
+            "synth",
+            "--preset",
+            "custom",
+            "--rows",
+            "16",
+            "--genes",
+            "40",
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "discretize",
+            "--in",
+            csv.to_str().unwrap(),
+            "--method",
+            "equal-width:3",
+            "--out",
+            txt.to_str().unwrap(),
+        ]);
+        let a = run_ok(&[
+            "closed",
+            "--in",
+            txt.to_str().unwrap(),
+            "--algo",
+            "carpenter",
+            "--min-sup",
+            "4",
+            "--limit",
+            "0",
+        ]);
+        let b = run_ok(&[
+            "closed",
+            "--in",
+            txt.to_str().unwrap(),
+            "--algo",
+            "charm",
+            "--min-sup",
+            "4",
+            "--limit",
+            "0",
+        ]);
+        let c = run_ok(&[
+            "closed",
+            "--in",
+            txt.to_str().unwrap(),
+            "--algo",
+            "closet",
+            "--min-sup",
+            "4",
+            "--limit",
+            "0",
+        ]);
         // same pattern count and, since output is sorted, same first line
         assert_eq!(a.lines().next(), b.lines().next());
         assert_eq!(b, c);
@@ -336,13 +429,22 @@ mod tests {
         use farmer_dataset::discretize::Discretizer;
         assert_eq!(
             super::parse_discretizer("chi-merge").unwrap(),
-            Discretizer::ChiMerge { threshold: 4.61, max_intervals: 6 }
+            Discretizer::ChiMerge {
+                threshold: 4.61,
+                max_intervals: 6
+            }
         );
         assert_eq!(
             super::parse_discretizer("chi-merge:2.7").unwrap(),
-            Discretizer::ChiMerge { threshold: 2.7, max_intervals: 6 }
+            Discretizer::ChiMerge {
+                threshold: 2.7,
+                max_intervals: 6
+            }
         );
-        assert_eq!(super::parse_discretizer("entropy").unwrap(), Discretizer::EntropyMdl);
+        assert_eq!(
+            super::parse_discretizer("entropy").unwrap(),
+            Discretizer::EntropyMdl
+        );
         assert!(super::parse_discretizer("magic").is_err());
         assert!(super::parse_discretizer("equal-depth:x").is_err());
     }
@@ -351,9 +453,35 @@ mod tests {
     fn topk_runs() {
         let csv = tmp("t.csv");
         let txt = tmp("t.txt");
-        run_ok(&["synth", "--preset", "custom", "--rows", "12", "--genes", "30", "--out", csv.to_str().unwrap()]);
-        run_ok(&["discretize", "--in", csv.to_str().unwrap(), "--method", "equal-depth:3", "--out", txt.to_str().unwrap()]);
-        let s = run_ok(&["topk", "--in", txt.to_str().unwrap(), "--k", "2", "--min-sup", "2"]);
+        run_ok(&[
+            "synth",
+            "--preset",
+            "custom",
+            "--rows",
+            "12",
+            "--genes",
+            "30",
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "discretize",
+            "--in",
+            csv.to_str().unwrap(),
+            "--method",
+            "equal-depth:3",
+            "--out",
+            txt.to_str().unwrap(),
+        ]);
+        let s = run_ok(&[
+            "topk",
+            "--in",
+            txt.to_str().unwrap(),
+            "--k",
+            "2",
+            "--min-sup",
+            "2",
+        ]);
         assert!(s.contains("top-2"), "{s}");
         assert!(s.contains("row 0"), "{s}");
     }
@@ -362,10 +490,42 @@ mod tests {
     fn classify_all_methods() {
         let train = tmp("tr.csv");
         let test = tmp("te.csv");
-        run_ok(&["synth", "--preset", "custom", "--rows", "30", "--genes", "50", "--seed", "3", "--out", train.to_str().unwrap()]);
-        run_ok(&["synth", "--preset", "custom", "--rows", "14", "--genes", "50", "--seed", "4", "--out", test.to_str().unwrap()]);
+        run_ok(&[
+            "synth",
+            "--preset",
+            "custom",
+            "--rows",
+            "30",
+            "--genes",
+            "50",
+            "--seed",
+            "3",
+            "--out",
+            train.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "synth",
+            "--preset",
+            "custom",
+            "--rows",
+            "14",
+            "--genes",
+            "50",
+            "--seed",
+            "4",
+            "--out",
+            test.to_str().unwrap(),
+        ]);
         for method in ["irg", "cba", "svm"] {
-            let s = run_ok(&["classify", "--train", train.to_str().unwrap(), "--test", test.to_str().unwrap(), "--method", method]);
+            let s = run_ok(&[
+                "classify",
+                "--train",
+                train.to_str().unwrap(),
+                "--test",
+                test.to_str().unwrap(),
+                "--method",
+                method,
+            ]);
             assert!(s.contains("accuracy"), "{s}");
         }
     }
@@ -378,7 +538,13 @@ mod tests {
         let err = crate::run(&["mine".to_string()], &mut out).unwrap_err();
         assert!(err.to_string().contains("--in"), "{err}");
         let err = crate::run(
-            &["synth".to_string(), "--preset".into(), "XX".into(), "--out".into(), "/tmp/x".into()],
+            &[
+                "synth".to_string(),
+                "--preset".into(),
+                "XX".into(),
+                "--out".into(),
+                "/tmp/x".into(),
+            ],
             &mut out,
         )
         .unwrap_err();
@@ -402,8 +568,13 @@ mod arff_tests {
         .unwrap();
         let txt = dir.join("d.txt");
         let argv: Vec<String> = [
-            "discretize", "--in", arff.to_str().unwrap(), "--method", "equal-width:2",
-            "--out", txt.to_str().unwrap(),
+            "discretize",
+            "--in",
+            arff.to_str().unwrap(),
+            "--method",
+            "equal-width:2",
+            "--out",
+            txt.to_str().unwrap(),
         ]
         .iter()
         .map(|s| s.to_string())

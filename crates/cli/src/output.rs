@@ -2,10 +2,10 @@
 
 use farmer_core::RuleGroup;
 use farmer_dataset::Dataset;
-use serde::Serialize;
+use farmer_support::json::{Json, ObjBuilder};
 
 /// JSON shape of one mined rule group.
-#[derive(Serialize, Debug)]
+#[derive(Debug)]
 pub struct GroupJson {
     /// Upper-bound antecedent, as item display names.
     pub upper: Vec<String>,
@@ -30,7 +30,10 @@ impl GroupJson {
     /// display names.
     pub fn from_group(g: &RuleGroup, data: &Dataset) -> Self {
         let names = |items: &rowset::IdList| -> Vec<String> {
-            items.iter().map(|i| data.item_name(i).to_string()).collect()
+            items
+                .iter()
+                .map(|i| data.item_name(i).to_string())
+                .collect()
         };
         GroupJson {
             upper: names(&g.upper),
@@ -43,10 +46,32 @@ impl GroupJson {
             rows: g.support_set.to_vec(),
         }
     }
+
+    /// Serializes into a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let strings =
+            |xs: &[String]| Json::Arr(xs.iter().map(|s| Json::from(s.as_str())).collect());
+        ObjBuilder::new()
+            .field("upper", strings(&self.upper))
+            .field(
+                "lower",
+                Json::Arr(self.lower.iter().map(|l| strings(l)).collect()),
+            )
+            .field("class", self.class.as_str())
+            .field("support", self.support)
+            .field("confidence", self.confidence)
+            .field("chi_square", self.chi_square)
+            .field("lift", self.lift)
+            .field(
+                "rows",
+                Json::Arr(self.rows.iter().map(|&r| Json::from(r)).collect()),
+            )
+            .build()
+    }
 }
 
 /// JSON shape of a whole mining run.
-#[derive(Serialize, Debug)]
+#[derive(Debug)]
 pub struct MineJson {
     /// Dataset dimensions `(rows, items)`.
     pub n_rows: usize,
@@ -58,6 +83,22 @@ pub struct MineJson {
     pub nodes_visited: u64,
     /// The groups, ranked.
     pub groups: Vec<GroupJson>,
+}
+
+impl MineJson {
+    /// Serializes into a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("n_rows", self.n_rows)
+            .field("n_items", self.n_items)
+            .field("n_groups", self.n_groups)
+            .field("nodes_visited", self.nodes_visited)
+            .field(
+                "groups",
+                Json::Arr(self.groups.iter().map(GroupJson::to_json).collect()),
+            )
+            .build()
+    }
 }
 
 /// Renders a self-contained HTML report of a mining run — the
@@ -111,7 +152,9 @@ pub fn render_html(title: &str, mine: &MineJson) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -129,7 +172,11 @@ mod tests {
             n_items: d.n_items(),
             n_groups: res.len(),
             nodes_visited: res.stats.nodes_visited,
-            groups: res.groups.iter().map(|g| GroupJson::from_group(g, &d)).collect(),
+            groups: res
+                .groups
+                .iter()
+                .map(|g| GroupJson::from_group(g, &d))
+                .collect(),
         };
         let html = render_html("paper <example>", &mine);
         assert!(html.starts_with("<!DOCTYPE html>"));
@@ -147,7 +194,9 @@ mod tests {
         let j = GroupJson::from_group(g, &d);
         assert_eq!(j.upper.len(), g.upper.len());
         assert_eq!(j.support, g.sup);
-        let s = serde_json::to_string(&j).unwrap();
+        let s = j.to_json().to_string();
         assert!(s.contains("\"confidence\""), "{s}");
+        let parsed = Json::parse(&s).unwrap();
+        assert_eq!(parsed["support"].as_u64(), Some(g.sup as u64));
     }
 }

@@ -110,7 +110,12 @@ impl CarpCtx {
         // tuple, means the subtree repeats an earlier one
         if !is_root {
             let last = last.expect("non-root") as usize;
-            if ins.z.iter().take_while(|&r| r < last).any(|r| !counted.contains(r)) {
+            if ins
+                .z
+                .iter()
+                .take_while(|&r| r < last)
+                .any(|r| !counted.contains(r))
+            {
                 self.stats.pruned_duplicate += 1;
                 return;
             }
@@ -131,7 +136,12 @@ impl CarpCtx {
             remaining.remove(r);
             let mut counted_child = counted_next.clone();
             counted_child.insert(r);
-            self.visit(&node.child(r as RowId), Some(r as RowId), &counted_child, remaining.clone());
+            self.visit(
+                &node.child(r as RowId),
+                Some(r as RowId),
+                &counted_child,
+                remaining.clone(),
+            );
         }
 
         if !is_root && ins.z.len() >= self.min_sup {
@@ -181,11 +191,7 @@ mod tests {
         let d = paper_example();
         for min_sup in 1..=4 {
             let got = carpenter(&d, min_sup);
-            assert_eq!(
-                as_set(&got),
-                naive_closed(&d, min_sup),
-                "min_sup={min_sup}"
-            );
+            assert_eq!(as_set(&got), naive_closed(&d, min_sup), "min_sup={min_sup}");
             // no duplicates emitted
             assert_eq!(got.patterns.len(), as_set(&got).len());
         }

@@ -180,8 +180,10 @@ impl CobCtx<'_> {
                 // estimated deepest column level: multiply the candidate
                 // support ratios (descending) until the expected support
                 // drops below min_sup
-                let mut ratios: Vec<f64> =
-                    cands.iter().map(|&(_, s)| s as f64 / n_rows as f64).collect();
+                let mut ratios: Vec<f64> = cands
+                    .iter()
+                    .map(|&(_, s)| s as f64 / n_rows as f64)
+                    .collect();
                 ratios.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
                 let mut expected = n_rows as f64;
                 let mut col_depth = 0usize;
@@ -228,8 +230,7 @@ impl CobCtx<'_> {
 mod tests {
     use super::*;
     use farmer_dataset::{paper_example, DatasetBuilder};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
     fn canon(r: &CobblerResult) -> Vec<(Vec<u32>, usize)> {
         let mut v: Vec<(Vec<u32>, usize)> = r

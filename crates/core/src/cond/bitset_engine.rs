@@ -63,7 +63,10 @@ impl CondNode for BitsetNode {
             .copied()
             .filter(|&i| self.tuples[i as usize].contains(r as usize))
             .collect();
-        debug_assert!(!items.is_empty(), "child({r}) has no tuples; r was not a candidate");
+        debug_assert!(
+            !items.is_empty(),
+            "child({r}) has no tuples; r was not a candidate"
+        );
         BitsetNode {
             tuples: Rc::clone(&self.tuples),
             items,

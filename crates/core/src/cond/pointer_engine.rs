@@ -107,7 +107,10 @@ impl CondNode for PointerNode {
                 entries.push((item, start + off as u32 + 1));
             }
         }
-        debug_assert!(!entries.is_empty(), "child({r}) has no tuples; r was not a candidate");
+        debug_assert!(
+            !entries.is_empty(),
+            "child({r}) has no tuples; r was not a candidate"
+        );
         PointerNode {
             base: Rc::clone(&self.base),
             items: entries.iter().map(|&(i, _)| i).collect(),

@@ -127,7 +127,11 @@ mod tests {
             for g in idx.covering_row(row) {
                 assert!(g.support_set.contains(row));
             }
-            let direct = idx.groups().iter().filter(|g| g.support_set.contains(row)).count();
+            let direct = idx
+                .groups()
+                .iter()
+                .filter(|g| g.support_set.contains(row))
+                .count();
             assert_eq!(idx.covering_row(row).count(), direct);
         }
     }

@@ -39,7 +39,11 @@ impl Contingency {
         assert!(y <= m, "y={y} > m={m}");
         assert!(x <= n, "x={x} > n={n}");
         assert!(m <= n, "m={m} > n={n}");
-        assert!(x - y <= n - m, "A∪¬C count {x}-{y} exceeds ¬C margin {}", n - m);
+        assert!(
+            x - y <= n - m,
+            "A∪¬C count {x}-{y} exceeds ¬C margin {}",
+            n - m
+        );
         Contingency { x, y, n, m }
     }
 

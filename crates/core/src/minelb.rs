@@ -65,9 +65,7 @@ pub fn mine_lower_bounds(upper: &IdList, support_set: &RowSet, data: &Dataset) -
 
     // Γ: current lower bounds, as positional bitsets. Initially the
     // singletons of A.
-    let mut gamma: Vec<RowSet> = (0..width)
-        .map(|p| RowSet::from_ids(width, [p]))
-        .collect();
+    let mut gamma: Vec<RowSet> = (0..width).map(|p| RowSet::from_ids(width, [p])).collect();
 
     for a_prime in &blockers {
         let (gamma1, gamma2): (Vec<RowSet>, Vec<RowSet>) =
@@ -140,13 +138,20 @@ mod tests {
         b.add_row_named(&["c", "d", "e", "g"], 0);
         let d = b.build();
         let upper = IdList::from_iter(
-            ["a", "b", "c", "d", "e"].iter().map(|n| d.item_by_name(n).unwrap()),
+            ["a", "b", "c", "d", "e"]
+                .iter()
+                .map(|n| d.item_by_name(n).unwrap()),
         );
         let support = RowSet::from_ids(3, [0]);
         let mut lows = mine_lower_bounds(&upper, &support, &d);
         let mut names: Vec<String> = lows
             .drain(..)
-            .map(|l| l.iter().map(|i| d.item_name(i).to_string()).collect::<Vec<_>>().join(""))
+            .map(|l| {
+                l.iter()
+                    .map(|i| d.item_name(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("")
+            })
             .collect();
         names.sort();
         assert_eq!(names, vec!["ad", "ae", "bd", "be"]);
@@ -204,7 +209,9 @@ mod tests {
         b.add_row_named(&["a", "c", "x"], 0);
         let d = b.build();
         let upper = IdList::from_iter(
-            ["a", "b", "c", "d"].iter().map(|n| d.item_by_name(n).unwrap()),
+            ["a", "b", "c", "d"]
+                .iter()
+                .map(|n| d.item_by_name(n).unwrap()),
         );
         let support = d.rows_supporting(&upper);
         assert_eq!(support.to_vec(), vec![0, 1]);

@@ -1,9 +1,7 @@
 //! The FARMER search: depth-first row enumeration with pruning.
 
 use crate::cond::{BitsetNode, CondNode, PointerNode};
-use crate::measures::{
-    self, chi_square, chi_square_upper_bound, convex_upper_bound, Contingency,
-};
+use crate::measures::{self, chi_square, chi_square_upper_bound, convex_upper_bound, Contingency};
 use crate::minelb::mine_lower_bounds;
 use crate::params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
 use crate::rule::{MineResult, MineStats, RuleGroup};
@@ -138,16 +136,13 @@ impl Farmer {
         let m = tt.n_target();
         let eff_min_conf = self.effective_min_conf(n, m);
         let threads = self.threads;
-        let per_thread_budget = self
-            .params
-            .node_budget
-            .map(|b| (b / threads as u64).max(1));
+        let per_thread_budget = self.params.node_budget.map(|b| (b / threads as u64).max(1));
 
-        let results: Vec<(Vec<Pending>, MineStats)> = crossbeam::thread::scope(|scope| {
+        let results: Vec<(Vec<Pending>, MineStats)> = farmer_support::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let make_root = &make_root;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let root = make_root();
                         let mut ctx = Ctx {
                             params: &self.params,
@@ -162,8 +157,8 @@ impl Farmer {
                             defer_interesting: true,
                         };
                         ctx.stats.nodes_visited += 1; // the shared root
-                        // replicate the sequential root step (no
-                        // compression at the root, exact candidates)
+                                                      // replicate the sequential root step (no
+                                                      // compression at the root, exact candidates)
                         let e_p = RowSet::from_ids(n, 0..m);
                         let e_n = RowSet::from_ids(n, m..n);
                         let ins = root.inspect(&e_p, &e_n);
@@ -212,8 +207,7 @@ impl Farmer {
                 .into_iter()
                 .map(|h| h.join().expect("mining worker panicked"))
                 .collect()
-        })
-        .expect("thread scope");
+        });
 
         // merge: dedupe by upper bound, combine stats
         let mut stats = MineStats::default();

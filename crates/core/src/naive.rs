@@ -109,9 +109,7 @@ pub fn mine_naive(data: &Dataset, params: &MiningParams) -> Vec<RuleGroup> {
             continue;
         }
         let dominated = accepted.iter().any(|a| {
-            a.upper.len() < g.upper.len()
-                && a.upper.is_subset(&g.upper)
-                && a.confidence() >= conf
+            a.upper.len() < g.upper.len() && a.upper.is_subset(&g.upper) && a.confidence() >= conf
         });
         if !dominated {
             accepted.push(g);
@@ -173,9 +171,15 @@ mod tests {
     fn finds_the_aeh_group() {
         let d = paper_example();
         let groups = enumerate_rule_groups(&d, 0);
-        let aeh: Vec<u32> = ["a", "e", "h"].iter().map(|n| d.item_by_name(n).unwrap()).collect();
+        let aeh: Vec<u32> = ["a", "e", "h"]
+            .iter()
+            .map(|n| d.item_by_name(n).unwrap())
+            .collect();
         let aeh = IdList::from_iter(aeh);
-        let g = groups.iter().find(|g| g.upper == aeh).expect("aeh group exists");
+        let g = groups
+            .iter()
+            .find(|g| g.upper == aeh)
+            .expect("aeh group exists");
         assert_eq!(g.rows.to_vec(), vec![1, 2, 3]);
         assert_eq!(g.sup_p, 2);
         assert_eq!(g.sup_n, 1);
@@ -199,7 +203,10 @@ mod tests {
     #[test]
     fn irg_rejects_dominated_groups() {
         let d = paper_example();
-        let params = MiningParams::new(0).min_sup(1).min_conf(0.0).lower_bounds(false);
+        let params = MiningParams::new(0)
+            .min_sup(1)
+            .min_conf(0.0)
+            .lower_bounds(false);
         let irgs = mine_naive(&d, &params);
         // every IRG must not be dominated by a more general IRG
         for g in &irgs {
@@ -225,11 +232,18 @@ mod tests {
         b.add_row_named(&["c", "d", "e", "g"], 0);
         let d = b.build();
         let upper = IdList::from_iter(
-            ["a", "b", "c", "d", "e"].iter().map(|n| d.item_by_name(n).unwrap()),
+            ["a", "b", "c", "d", "e"]
+                .iter()
+                .map(|n| d.item_by_name(n).unwrap()),
         );
         let mut names: Vec<String> = naive_lower_bounds(&upper, &RowSet::from_ids(3, [0]), &d)
             .into_iter()
-            .map(|l| l.iter().map(|i| d.item_name(i).to_string()).collect::<Vec<_>>().join(""))
+            .map(|l| {
+                l.iter()
+                    .map(|i| d.item_name(i).to_string())
+                    .collect::<Vec<_>>()
+                    .join("")
+            })
             .collect();
         names.sort();
         assert_eq!(names, vec!["ad", "ae", "bd", "be"]);

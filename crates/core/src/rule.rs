@@ -229,7 +229,11 @@ mod tests {
 
     #[test]
     fn ranking_order() {
-        let hi = RuleGroup { sup: 3, neg_sup: 0, ..group() };
+        let hi = RuleGroup {
+            sup: 3,
+            neg_sup: 0,
+            ..group()
+        };
         let lo = group();
         let res = MineResult {
             groups: vec![lo.clone(), hi.clone()],

@@ -40,7 +40,11 @@ impl TopKGroup {
 
     /// The ranking key: confidence desc, support desc, shorter upper.
     fn rank_key(&self) -> (f64, usize, std::cmp::Reverse<usize>) {
-        (self.confidence(), self.sup, std::cmp::Reverse(self.upper.len()))
+        (
+            self.confidence(),
+            self.sup,
+            std::cmp::Reverse(self.upper.len()),
+        )
     }
 }
 
@@ -207,7 +211,12 @@ impl TopKCtx<'_> {
         // duplicate-subtree pruning, as in FARMER strategy 2
         if !is_root {
             let last = last.expect("non-root") as usize;
-            if ins.z.iter().take_while(|&r| r < last).any(|r| !counted.contains(r)) {
+            if ins
+                .z
+                .iter()
+                .take_while(|&r| r < last)
+                .any(|r| !counted.contains(r))
+            {
                 return;
             }
         }
@@ -370,7 +379,11 @@ mod tests {
         let res = mine_top_k(&d, 0, 2, 1);
         for (r, groups) in res.per_row.iter().enumerate() {
             for g in groups {
-                assert!(g.support_set.contains(r), "row {r} not covered by {:?}", g.upper);
+                assert!(
+                    g.support_set.contains(r),
+                    "row {r} not covered by {:?}",
+                    g.upper
+                );
                 assert_eq!(d.rows_supporting(&g.upper), g.support_set);
             }
         }

@@ -27,21 +27,35 @@ fn budget_flag_and_subset() {
     let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
     let full = Farmer::new(params.clone()).mine(&d);
     assert!(!full.stats.budget_exhausted);
-    assert!(full.len() > 5, "need a non-trivial workload: {}", full.len());
+    assert!(
+        full.len() > 5,
+        "need a non-trivial workload: {}",
+        full.len()
+    );
 
-    let tiny = Farmer::new(params.clone().node_budget(Some(full.stats.nodes_visited / 4))).mine(&d);
+    let tiny = Farmer::new(
+        params
+            .clone()
+            .node_budget(Some(full.stats.nodes_visited / 4)),
+    )
+    .mine(&d);
     assert!(tiny.stats.budget_exhausted);
     assert!(tiny.stats.nodes_visited <= full.stats.nodes_visited / 4 + 1);
 
     // every truncated group is a genuine rule group meeting thresholds
-    let full_uppers: HashSet<Vec<u32>> =
-        full.groups.iter().map(|g| g.upper.as_slice().to_vec()).collect();
+    let full_uppers: HashSet<Vec<u32>> = full
+        .groups
+        .iter()
+        .map(|g| g.upper.as_slice().to_vec())
+        .collect();
     for g in &tiny.groups {
-        assert!(full_uppers.contains(g.upper.as_slice()) || {
-            // a truncated run may keep a group the full run later
-            // rejected as dominated — but it must still be valid
-            d.items_common_to(&d.rows_supporting(&g.upper)) == g.upper
-        });
+        assert!(
+            full_uppers.contains(g.upper.as_slice()) || {
+                // a truncated run may keep a group the full run later
+                // rejected as dominated — but it must still be valid
+                d.items_common_to(&d.rows_supporting(&g.upper)) == g.upper
+            }
+        );
         assert!(g.sup >= 2);
         assert_eq!(d.rows_supporting(&g.upper), g.support_set);
     }
@@ -55,8 +69,11 @@ fn generous_budget_changes_nothing() {
     let budgeted = Farmer::new(params.node_budget(Some(u64::MAX / 2))).mine(&d);
     assert!(!budgeted.stats.budget_exhausted);
     let canon = |r: &farmer_core::MineResult| -> Vec<Vec<u32>> {
-        let mut v: Vec<Vec<u32>> =
-            r.groups.iter().map(|g| g.upper.as_slice().to_vec()).collect();
+        let mut v: Vec<Vec<u32>> = r
+            .groups
+            .iter()
+            .map(|g| g.upper.as_slice().to_vec())
+            .collect();
         v.sort();
         v
     };

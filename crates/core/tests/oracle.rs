@@ -6,8 +6,7 @@
 use farmer_core::naive::{mine_naive, naive_lower_bounds};
 use farmer_core::{Engine, ExtraConstraint, Farmer, MiningParams, PruningConfig, RuleGroup};
 use farmer_dataset::{paper_example, Dataset, DatasetBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Canonical, comparable form of one group:
 /// (upper, support rows, sup, neg_sup, sorted lower bounds).
@@ -77,7 +76,9 @@ fn check_all_configs(data: &Dataset, params: &MiningParams) {
 fn random_dataset(rng: &mut StdRng, n_rows: usize, n_items: usize, density: f64) -> Dataset {
     let mut b = DatasetBuilder::new(2);
     for _ in 0..n_rows {
-        let items: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(density)).collect();
+        let items: Vec<u32> = (0..n_items as u32)
+            .filter(|_| rng.gen_bool(density))
+            .collect();
         let label = u32::from(rng.gen_bool(0.5));
         b.add_row(items, label);
     }
@@ -124,8 +125,8 @@ fn random_datasets_default_pruning() {
         let d = random_dataset(&mut rng, n_rows, n_items, density);
         let params = MiningParams::new(rng.gen_range(0..2))
             .min_sup(rng.gen_range(1..=3))
-            .min_conf([0.0, 0.5, 0.8][rng.gen_range(0..3)])
-            .min_chi([0.0, 0.0, 1.0][rng.gen_range(0..3)]);
+            .min_conf([0.0, 0.5, 0.8][rng.gen_range(0..3usize)])
+            .min_chi([0.0, 0.0, 1.0][rng.gen_range(0..3usize)]);
         let expected = canon(&mine_naive(&d, &params));
         for engine in engines() {
             let result = Farmer::new(params.clone()).with_engine(engine).mine(&d);
@@ -225,7 +226,11 @@ fn extra_constraints_on_random_data() {
         let expected = canon(&mine_naive(&d, &params));
         for engine in engines() {
             let got = Farmer::new(params.clone()).with_engine(engine).mine(&d);
-            assert_eq!(canon(&got.groups), expected, "trial={trial} engine={engine:?}");
+            assert_eq!(
+                canon(&got.groups),
+                expected,
+                "trial={trial} engine={engine:?}"
+            );
         }
     }
 }
@@ -267,7 +272,11 @@ fn paper_example_known_irg() {
     let d = paper_example();
     let result = Farmer::new(MiningParams::new(0)).mine(&d);
     let name = |g: &RuleGroup| -> String {
-        g.upper.iter().map(|i| d.item_name(i).to_string()).collect::<Vec<_>>().join("")
+        g.upper
+            .iter()
+            .map(|i| d.item_name(i).to_string())
+            .collect::<Vec<_>>()
+            .join("")
     };
     let uppers: Vec<String> = result.groups.iter().map(&name).collect();
     assert!(uppers.iter().any(|u| u == "a"), "{uppers:?}");

@@ -4,8 +4,7 @@ use farmer_core::{Engine, Farmer, MiningParams, RuleGroup};
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::SynthConfig;
 use farmer_dataset::{paper_example, DatasetBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
 /// (upper, support rows, sup, neg_sup, sorted lower bounds).
 type CanonGroup = (Vec<u32>, Vec<usize>, usize, usize, Vec<Vec<u32>>);
@@ -37,7 +36,9 @@ fn parallel_equals_sequential_on_paper_example() {
             let params = MiningParams::new(class).min_sup(min_sup).min_conf(min_conf);
             let seq = Farmer::new(params.clone()).mine(&d);
             for threads in [2usize, 3, 8] {
-                let par = Farmer::new(params.clone()).with_parallelism(threads).mine(&d);
+                let par = Farmer::new(params.clone())
+                    .with_parallelism(threads)
+                    .mine(&d);
                 assert_eq!(
                     canon(&par.groups),
                     canon(&seq.groups),
@@ -82,7 +83,10 @@ fn parallel_equals_sequential_on_analog() {
     }
     .generate();
     let d = Discretizer::EqualDepth { buckets: 8 }.discretize(&m);
-    let params = MiningParams::new(1).min_sup(4).min_conf(0.8).lower_bounds(false);
+    let params = MiningParams::new(1)
+        .min_sup(4)
+        .min_conf(0.8)
+        .lower_bounds(false);
     let seq = Farmer::new(params.clone()).mine(&d);
     for engine in [Engine::Bitset, Engine::PointerList] {
         let par = Farmer::new(params.clone())
@@ -108,12 +112,42 @@ fn parallelism_one_is_sequential() {
 }
 
 #[test]
+fn parallel_mining_is_deterministic() {
+    // Two runs with the same parallelism must yield byte-identical IRG
+    // sets — and the same set as the sequential run — regardless of
+    // thread scheduling.
+    let m = SynthConfig {
+        n_rows: 24,
+        n_genes: 120,
+        n_class1: 12,
+        n_signature: 30,
+        ..Default::default()
+    }
+    .generate();
+    let d = Discretizer::EqualDepth { buckets: 6 }.discretize(&m);
+    let params = MiningParams::new(1).min_sup(3).min_conf(0.7);
+    let run = || Farmer::new(params.clone()).with_parallelism(4).mine(&d);
+    let first = run();
+    let second = run();
+    assert_eq!(canon(&first.groups), canon(&second.groups));
+    assert_eq!(first.stats, second.stats, "even the traversal stats repeat");
+    let seq = Farmer::new(params.clone()).mine(&d);
+    assert_eq!(canon(&first.groups), canon(&seq.groups));
+    assert!(
+        !first.groups.is_empty(),
+        "test must exercise a non-trivial mine"
+    );
+}
+
+#[test]
 fn more_threads_than_candidates() {
     let mut b = DatasetBuilder::new(2);
     b.add_row([0, 1], 0);
     b.add_row([1, 2], 1);
     let d = b.build();
     let seq = Farmer::new(MiningParams::new(0)).mine(&d);
-    let par = Farmer::new(MiningParams::new(0)).with_parallelism(16).mine(&d);
+    let par = Farmer::new(MiningParams::new(0))
+        .with_parallelism(16)
+        .mine(&d);
     assert_eq!(canon(&par.groups), canon(&seq.groups));
 }

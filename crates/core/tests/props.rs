@@ -9,14 +9,14 @@ use farmer_core::naive::{enumerate_rule_groups, mine_naive, naive_lower_bounds};
 use farmer_core::topk::mine_top_k;
 use farmer_core::{Engine, Farmer, MiningParams};
 use farmer_dataset::{Dataset, DatasetBuilder};
-use proptest::prelude::*;
+use farmer_support::check::prelude::*;
 use rowset::RowSet;
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (3usize..8, 3usize..10).prop_flat_map(|(n_rows, n_items)| {
-        proptest::collection::vec(
+        collection::vec(
             (
-                proptest::collection::btree_set(0..n_items as u32, 1..n_items),
+                collection::btree_set(0..n_items as u32, 1..n_items),
                 0u32..2,
             ),
             n_rows,
@@ -47,8 +47,8 @@ fn canon(groups: &[farmer_core::RuleGroup]) -> Vec<(Vec<u32>, Vec<usize>, usize,
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+check! {
+    #![config(cases = 64)]
 
     /// FARMER (both engines) equals the brute-force oracle.
     #[test]
@@ -56,7 +56,7 @@ proptest! {
         d in arb_dataset(),
         class in 0u32..2,
         min_sup in 1usize..4,
-        conf_pct in prop::sample::select(vec![0usize, 50, 80]),
+        conf_pct in select(vec![0usize, 50, 80]),
     ) {
         let params = MiningParams::new(class)
             .min_sup(min_sup)

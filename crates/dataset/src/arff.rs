@@ -54,14 +54,17 @@ pub fn load_arff(path: &Path) -> Result<ExpressionMatrix, IoError> {
             if lower.starts_with("@attribute") {
                 let rest = line["@attribute".len()..].trim();
                 // attribute name may be quoted
-                let (name, ty) = split_attr(rest)
-                    .ok_or_else(|| parse_err(lineno, "malformed @ATTRIBUTE"))?;
+                let (name, ty) =
+                    split_attr(rest).ok_or_else(|| parse_err(lineno, "malformed @ATTRIBUTE"))?;
                 let ty_l = ty.trim().to_ascii_lowercase();
                 if ty_l == "numeric" || ty_l == "real" || ty_l == "integer" {
                     attrs.push(Attr::Gene(name));
                 } else if ty.trim().starts_with('{') {
                     if class_idx.is_some() {
-                        return Err(parse_err(lineno, "multiple nominal attributes; expected exactly one class"));
+                        return Err(parse_err(
+                            lineno,
+                            "multiple nominal attributes; expected exactly one class",
+                        ));
                     }
                     class_idx = Some(attrs.len());
                     let values: Vec<String> = ty
@@ -76,7 +79,10 @@ pub fn load_arff(path: &Path) -> Result<ExpressionMatrix, IoError> {
                     }
                     attrs.push(Attr::Class(values));
                 } else {
-                    return Err(parse_err(lineno, format!("unsupported attribute type '{ty}'")));
+                    return Err(parse_err(
+                        lineno,
+                        format!("unsupported attribute type '{ty}'"),
+                    ));
                 }
                 continue;
             }
@@ -87,7 +93,10 @@ pub fn load_arff(path: &Path) -> Result<ExpressionMatrix, IoError> {
                 in_data = true;
                 continue;
             }
-            return Err(parse_err(lineno, format!("unexpected header line '{line}'")));
+            return Err(parse_err(
+                lineno,
+                format!("unexpected header line '{line}'"),
+            ));
         }
 
         // data row
@@ -150,8 +159,10 @@ pub fn load_arff(path: &Path) -> Result<ExpressionMatrix, IoError> {
         values.extend(v);
         labels.push(l);
     }
-    Ok(ExpressionMatrix::new(n_rows, n_genes, values, labels, n_classes)
-        .with_gene_names(gene_names))
+    Ok(
+        ExpressionMatrix::new(n_rows, n_genes, values, labels, n_classes)
+            .with_gene_names(gene_names),
+    )
 }
 
 /// Splits an `@ATTRIBUTE` body into (name, type), handling quoted names.
@@ -276,12 +287,30 @@ mod tests {
     #[test]
     fn rejects_malformed_files() {
         let cases = [
-            ("noclass.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@DATA\n1.0\n"),
-            ("twoclass.arff", "@RELATION x\n@ATTRIBUTE c1 {a}\n@ATTRIBUTE c2 {b}\n@DATA\n"),
-            ("badtype.arff", "@RELATION x\n@ATTRIBUTE g STRING\n@ATTRIBUTE c {a}\n@DATA\n"),
-            ("ragged.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n@DATA\n1.0\n"),
-            ("nodata.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n"),
-            ("badclass.arff", "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n@DATA\n1.0,zz\n"),
+            (
+                "noclass.arff",
+                "@RELATION x\n@ATTRIBUTE g NUMERIC\n@DATA\n1.0\n",
+            ),
+            (
+                "twoclass.arff",
+                "@RELATION x\n@ATTRIBUTE c1 {a}\n@ATTRIBUTE c2 {b}\n@DATA\n",
+            ),
+            (
+                "badtype.arff",
+                "@RELATION x\n@ATTRIBUTE g STRING\n@ATTRIBUTE c {a}\n@DATA\n",
+            ),
+            (
+                "ragged.arff",
+                "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n@DATA\n1.0\n",
+            ),
+            (
+                "nodata.arff",
+                "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n",
+            ),
+            (
+                "badclass.arff",
+                "@RELATION x\n@ATTRIBUTE g NUMERIC\n@ATTRIBUTE c {a}\n@DATA\n1.0,zz\n",
+            ),
         ];
         for (name, contents) in cases {
             let p = tmp(name);

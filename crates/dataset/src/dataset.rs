@@ -178,7 +178,10 @@ impl Dataset {
     /// Returns a copy with rows permuted by `order` (`order[new] = old`).
     pub fn permuted(&self, order: &[RowId]) -> Dataset {
         assert_eq!(order.len(), self.n_rows());
-        let rows: Vec<IdList> = order.iter().map(|&o| self.rows[o as usize].clone()).collect();
+        let rows: Vec<IdList> = order
+            .iter()
+            .map(|&o| self.rows[o as usize].clone())
+            .collect();
         let labels: Vec<ClassLabel> = order.iter().map(|&o| self.labels[o as usize]).collect();
         let item_rows = build_item_rows(&rows, self.n_items());
         Dataset {
@@ -218,7 +221,10 @@ impl Dataset {
 
     /// Dataset restricted to the given rows (in the given order).
     pub fn subset(&self, rows: &[RowId]) -> Dataset {
-        let sel_rows: Vec<IdList> = rows.iter().map(|&o| self.rows[o as usize].clone()).collect();
+        let sel_rows: Vec<IdList> = rows
+            .iter()
+            .map(|&o| self.rows[o as usize].clone())
+            .collect();
         let labels: Vec<ClassLabel> = rows.iter().map(|&o| self.labels[o as usize]).collect();
         let item_rows = build_item_rows(&sel_rows, self.n_items());
         Dataset {
@@ -286,7 +292,10 @@ impl DatasetBuilder {
     }
 
     /// Overrides the display names of the classes.
-    pub fn class_names<S: Into<String>>(&mut self, names: impl IntoIterator<Item = S>) -> &mut Self {
+    pub fn class_names<S: Into<String>>(
+        &mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> &mut Self {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         assert_eq!(names.len(), self.n_classes as usize);
         self.class_names = names;
@@ -294,8 +303,16 @@ impl DatasetBuilder {
     }
 
     /// Adds a row given dense item ids and a label. Returns the new row id.
-    pub fn add_row<I: IntoIterator<Item = ItemId>>(&mut self, items: I, label: ClassLabel) -> RowId {
-        assert_ne!(self.named_mode, Some(true), "builder already used named items");
+    pub fn add_row<I: IntoIterator<Item = ItemId>>(
+        &mut self,
+        items: I,
+        label: ClassLabel,
+    ) -> RowId {
+        assert_ne!(
+            self.named_mode,
+            Some(true),
+            "builder already used named items"
+        );
         self.named_mode = Some(false);
         assert!(label < self.n_classes, "label {label} out of range");
         let list = IdList::from_iter(items);
@@ -310,7 +327,11 @@ impl DatasetBuilder {
     /// Adds a row given item display names (interned on first use) and a
     /// label. Returns the new row id.
     pub fn add_row_named(&mut self, items: &[&str], label: ClassLabel) -> RowId {
-        assert_ne!(self.named_mode, Some(false), "builder already used dense item ids");
+        assert_ne!(
+            self.named_mode,
+            Some(false),
+            "builder already used dense item ids"
+        );
         self.named_mode = Some(true);
         assert!(label < self.n_classes, "label {label} out of range");
         let ids: Vec<ItemId> = items
@@ -333,7 +354,11 @@ impl DatasetBuilder {
     /// Pre-registers an item name without adding a row (useful to fix the
     /// item-id order).
     pub fn intern_item(&mut self, name: &str) -> ItemId {
-        assert_ne!(self.named_mode, Some(false), "builder already used dense item ids");
+        assert_ne!(
+            self.named_mode,
+            Some(false),
+            "builder already used dense item ids"
+        );
         self.named_mode = Some(true);
         match self.by_name.get(name) {
             Some(&id) => id,
@@ -428,9 +453,7 @@ mod tests {
         // Example 1 of the paper: R({a,e,h}) = {r2,r3,r4} (0-based: 1,2,3),
         // I({r2,r3}) = {a,e,h}.
         let d = crate::paper_example();
-        let aeh = IdList::from_iter(
-            ["a", "e", "h"].iter().map(|n| d.item_by_name(n).unwrap()),
-        );
+        let aeh = IdList::from_iter(["a", "e", "h"].iter().map(|n| d.item_by_name(n).unwrap()));
         assert_eq!(d.rows_supporting(&aeh).to_vec(), vec![1, 2, 3]);
         let r23 = RowSet::from_ids(5, [1, 2]);
         let common = d.items_common_to(&r23);

@@ -31,7 +31,11 @@ pub fn chi_merge_cuts(
 
     // one interval per distinct value, with class counts
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in expression values"));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in expression values")
+    });
     let mut intervals: Vec<(f64, Vec<usize>)> = Vec::new(); // (lowest value, class counts)
     for &i in &idx {
         match intervals.last_mut() {
@@ -125,7 +129,15 @@ mod tests {
         // three clear segments but a budget of two intervals
         let values: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let labels: Vec<ClassLabel> = (0..30)
-            .map(|i| if i < 10 { 0 } else if i < 20 { 1 } else { 0 })
+            .map(|i| {
+                if i < 10 {
+                    0
+                } else if i < 20 {
+                    1
+                } else {
+                    0
+                }
+            })
             .collect();
         let unbounded = chi_merge_cuts(&values, &labels, 4.61, usize::MAX);
         assert_eq!(unbounded.len(), 2);

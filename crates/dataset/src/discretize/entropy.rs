@@ -29,7 +29,11 @@ pub fn entropy_mdl_cuts(values: &[f64], labels: &[ClassLabel]) -> Vec<f64> {
         return Vec::new();
     }
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in expression values"));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in expression values")
+    });
     let sorted: Vec<(f64, ClassLabel)> = idx.iter().map(|&i| (values[i], labels[i])).collect();
 
     let mut cuts = Vec::new();
@@ -93,7 +97,11 @@ fn recurse(seg: &[(f64, ClassLabel)], cuts: &mut Vec<f64>) {
 
     let gain = ent_s - w_ent;
     let (l, r) = seg.split_at(split);
-    let (k, k1, k2) = (n_classes(seg) as f64, n_classes(l) as f64, n_classes(r) as f64);
+    let (k, k1, k2) = (
+        n_classes(seg) as f64,
+        n_classes(l) as f64,
+        n_classes(r) as f64,
+    );
     let delta = (3f64.powf(k) - 2.0).log2() - (k * ent_s - k1 * entropy(l) - k2 * entropy(r));
     let threshold = ((n as f64 - 1.0).log2() + delta) / n as f64;
 

@@ -107,13 +107,7 @@ mod tests {
 
     #[test]
     fn discretizer_dispatch() {
-        let m = ExpressionMatrix::new(
-            4,
-            1,
-            vec![0.0, 1.0, 10.0, 11.0],
-            vec![0, 0, 1, 1],
-            2,
-        );
+        let m = ExpressionMatrix::new(4, 1, vec![0.0, 1.0, 10.0, 11.0], vec![0, 0, 1, 1], 2);
         let d = Discretizer::EqualDepth { buckets: 2 }.discretize(&m);
         assert_eq!(d.n_items(), 2);
         let d = Discretizer::EqualWidth { buckets: 2 }.discretize(&m);
@@ -122,14 +116,22 @@ mod tests {
         // perfectly class-separating gene: one cut, two items
         assert_eq!(d.n_items(), 2);
         assert_eq!(d.item_rows(0).to_vec(), vec![0, 1]);
-        let d = Discretizer::ChiMerge { threshold: 2.0, max_intervals: 8 }.discretize(&m);
+        let d = Discretizer::ChiMerge {
+            threshold: 2.0,
+            max_intervals: 8,
+        }
+        .discretize(&m);
         assert_eq!(d.n_items(), 2);
     }
 
     #[test]
     fn drops_unsplit_flags() {
         assert!(Discretizer::EntropyMdl.drops_unsplit());
-        assert!(Discretizer::ChiMerge { threshold: 4.61, max_intervals: 6 }.drops_unsplit());
+        assert!(Discretizer::ChiMerge {
+            threshold: 4.61,
+            max_intervals: 6
+        }
+        .drops_unsplit());
         assert!(!Discretizer::EqualDepth { buckets: 10 }.drops_unsplit());
         assert!(!Discretizer::EqualWidth { buckets: 10 }.drops_unsplit());
     }

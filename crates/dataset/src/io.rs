@@ -54,7 +54,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes an expression matrix as CSV (`label,<genes…>` header).
@@ -80,9 +83,7 @@ pub fn save_matrix_csv(matrix: &ExpressionMatrix, path: &Path) -> Result<(), IoE
 /// any CSV with a `label` first column and numeric gene columns).
 pub fn load_matrix_csv(path: &Path) -> Result<ExpressionMatrix, IoError> {
     let mut lines = BufReader::new(File::open(path)?).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
     let mut cols = header.split(',');
     if cols.next() != Some("label") {
         return Err(parse_err(1, "first header column must be 'label'"));
@@ -114,23 +115,29 @@ pub fn load_matrix_csv(path: &Path) -> Result<ExpressionMatrix, IoError> {
             let t = f.trim();
             // empty cells and the usual NA spellings become missing
             // values; impute with ExpressionMatrix::impute_gene_means
-            let v: f64 = if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") {
-                f64::NAN
-            } else {
-                t.parse()
-                    .map_err(|e| parse_err(lineno, format!("bad value '{f}': {e}")))?
-            };
+            let v: f64 =
+                if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") {
+                    f64::NAN
+                } else {
+                    t.parse()
+                        .map_err(|e| parse_err(lineno, format!("bad value '{f}': {e}")))?
+                };
             values.push(v);
             n += 1;
         }
         if n != n_genes {
-            return Err(parse_err(lineno, format!("expected {n_genes} values, got {n}")));
+            return Err(parse_err(
+                lineno,
+                format!("expected {n_genes} values, got {n}"),
+            ));
         }
     }
     let n_rows = labels.len();
     let n_classes = labels.iter().copied().max().map_or(1, |m| m + 1);
-    Ok(ExpressionMatrix::new(n_rows, n_genes, values, labels, n_classes)
-        .with_gene_names(gene_names))
+    Ok(
+        ExpressionMatrix::new(n_rows, n_genes, values, labels, n_classes)
+            .with_gene_names(gene_names),
+    )
 }
 
 /// Writes a transactional dataset: one `label: item item …` line per row.

@@ -161,8 +161,7 @@ impl ExpressionMatrix {
     /// (each probe responds differently on a different scanner or in a
     /// different lab). Deterministic in `seed`.
     pub fn shifted_per_gene(&self, sd: f64, seed: u64) -> ExpressionMatrix {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use farmer_support::rng::{Rng, SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let offsets: Vec<f64> = (0..self.n_genes)
             .map(|_| {
@@ -210,18 +209,20 @@ impl ExpressionMatrix {
 
     /// Class-stratified random split `(train, test)` with `n_train`
     /// training samples, deterministic in `seed`.
-    pub fn stratified_split(&self, n_train: usize, seed: u64) -> (ExpressionMatrix, ExpressionMatrix) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
+    pub fn stratified_split(
+        &self,
+        n_train: usize,
+        seed: u64,
+    ) -> (ExpressionMatrix, ExpressionMatrix) {
+        use farmer_support::rng::{SeedableRng, SliceRandom};
         assert!(n_train <= self.n_rows);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = farmer_support::rng::StdRng::seed_from_u64(seed);
         let mut train: Vec<usize> = Vec::with_capacity(n_train);
         let mut test: Vec<usize> = Vec::new();
         let frac = n_train as f64 / self.n_rows as f64;
         let mut got = 0usize;
         for c in 0..self.n_classes {
-            let mut rows: Vec<usize> =
-                (0..self.n_rows).filter(|&r| self.labels[r] == c).collect();
+            let mut rows: Vec<usize> = (0..self.n_rows).filter(|&r| self.labels[r] == c).collect();
             rows.shuffle(&mut rng);
             let want = ((rows.len() as f64 * frac).round() as usize).min(rows.len());
             got += want;

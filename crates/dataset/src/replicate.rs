@@ -5,9 +5,7 @@
 //! transformation. [`shuffled`] supports random train/test splits.
 
 use crate::{Dataset, RowId};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use farmer_support::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// Returns a dataset whose rows are `dataset`'s rows repeated `factor`
 /// times (replica `k` of row `r` appears at index `k * n_rows + r`).
@@ -17,9 +15,7 @@ use rand::SeedableRng;
 pub fn replicate_rows(dataset: &Dataset, factor: usize) -> Dataset {
     assert!(factor >= 1, "factor must be >= 1");
     let n = dataset.n_rows();
-    let order: Vec<RowId> = (0..factor)
-        .flat_map(|_| 0..n as RowId)
-        .collect();
+    let order: Vec<RowId> = (0..factor).flat_map(|_| 0..n as RowId).collect();
     dataset.subset(&order)
 }
 

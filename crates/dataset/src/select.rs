@@ -39,15 +39,32 @@ pub fn gene_score(values: &[f64], labels: &[ClassLabel], metric: GeneMetric) -> 
 /// gene index. Returns `(gene, score)` pairs.
 pub fn rank_genes(matrix: &ExpressionMatrix, metric: GeneMetric) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> = (0..matrix.n_genes())
-        .map(|g| (g, gene_score(&matrix.gene_column(g), matrix.labels(), metric)))
+        .map(|g| {
+            (
+                g,
+                gene_score(&matrix.gene_column(g), matrix.labels(), metric),
+            )
+        })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite scores")
+            .then(a.0.cmp(&b.0))
+    });
     scored
 }
 
 /// Keeps the `n` best genes of `matrix` under `metric` (in rank order).
-pub fn select_top_genes(matrix: &ExpressionMatrix, metric: GeneMetric, n: usize) -> ExpressionMatrix {
-    let genes: Vec<usize> = rank_genes(matrix, metric).into_iter().take(n).map(|(g, _)| g).collect();
+pub fn select_top_genes(
+    matrix: &ExpressionMatrix,
+    metric: GeneMetric,
+    n: usize,
+) -> ExpressionMatrix {
+    let genes: Vec<usize> = rank_genes(matrix, metric)
+        .into_iter()
+        .take(n)
+        .map(|(g, _)| g)
+        .collect();
     matrix.select_genes(&genes)
 }
 
@@ -56,7 +73,11 @@ pub fn select_top_genes(matrix: &ExpressionMatrix, metric: GeneMetric, n: usize)
 fn best_split(values: &[f64], labels: &[ClassLabel]) -> (f64, f64) {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in expression values"));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in expression values")
+    });
     let m = labels.iter().filter(|&&l| l == 1).count();
     let h = |p: f64| -> f64 {
         if p <= 0.0 || p >= 1.0 {
@@ -77,8 +98,8 @@ fn best_split(values: &[f64], labels: &[ClassLabel]) -> (f64, f64) {
         }
         let (nl, nr) = (k, n - k);
         let (pl, pr) = (left_pos, m - left_pos);
-        let cond =
-            nl as f64 / n as f64 * h(pl as f64 / nl as f64) + nr as f64 / n as f64 * h(pr as f64 / nr as f64);
+        let cond = nl as f64 / n as f64 * h(pl as f64 / nl as f64)
+            + nr as f64 / n as f64 * h(pr as f64 / nr as f64);
         best_gain = best_gain.max(base - cond);
         // chi^2 of the 2x2 (left/right x class) table
         let det = (pl * (nr - pr)) as f64 - ((nl - pl) * pr) as f64;
@@ -134,7 +155,10 @@ impl ExpressionMatrix {
                 values.push(self.value(r, g));
             }
         }
-        let names: Vec<String> = genes.iter().map(|&g| self.gene_name(g).to_string()).collect();
+        let names: Vec<String> = genes
+            .iter()
+            .map(|&g| self.gene_name(g).to_string())
+            .collect();
         ExpressionMatrix::new(
             self.n_rows(),
             genes.len(),
@@ -166,11 +190,18 @@ mod tests {
     #[test]
     fn signature_genes_outrank_noise() {
         let m = matrix();
-        for metric in [GeneMetric::InfoGain, GeneMetric::ChiSquare, GeneMetric::VarianceRatio] {
+        for metric in [
+            GeneMetric::InfoGain,
+            GeneMetric::ChiSquare,
+            GeneMetric::VarianceRatio,
+        ] {
             let ranked = rank_genes(&m, metric);
             let top10: Vec<usize> = ranked.iter().take(10).map(|&(g, _)| g).collect();
             let hits = top10.iter().filter(|&&g| g < 10).count();
-            assert!(hits >= 8, "{metric:?}: signature recovery too weak: {top10:?}");
+            assert!(
+                hits >= 8,
+                "{metric:?}: signature recovery too weak: {top10:?}"
+            );
             // scores descend
             assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
         }
@@ -201,10 +232,19 @@ mod tests {
     #[test]
     fn gene_score_edge_cases() {
         // constant gene: no boundary -> zero gain/chi
-        assert_eq!(gene_score(&[1.0; 6], &[0, 0, 0, 1, 1, 1], GeneMetric::InfoGain), 0.0);
-        assert_eq!(gene_score(&[1.0; 6], &[0, 0, 0, 1, 1, 1], GeneMetric::ChiSquare), 0.0);
+        assert_eq!(
+            gene_score(&[1.0; 6], &[0, 0, 0, 1, 1, 1], GeneMetric::InfoGain),
+            0.0
+        );
+        assert_eq!(
+            gene_score(&[1.0; 6], &[0, 0, 0, 1, 1, 1], GeneMetric::ChiSquare),
+            0.0
+        );
         // single-class labels
-        assert_eq!(gene_score(&[1.0, 2.0], &[0, 0], GeneMetric::VarianceRatio), 0.0);
+        assert_eq!(
+            gene_score(&[1.0, 2.0], &[0, 0], GeneMetric::VarianceRatio),
+            0.0
+        );
         // empty
         assert_eq!(gene_score(&[], &[], GeneMetric::InfoGain), 0.0);
         // perfectly separating gene: gain = full entropy, chi = n
@@ -213,7 +253,11 @@ mod tests {
         let chi = gene_score(&[0.0, 0.0, 5.0, 5.0], &[0, 0, 1, 1], GeneMetric::ChiSquare);
         assert!((chi - 4.0).abs() < 1e-12);
         // separated classes with zero within variance -> infinite ratio
-        let vr = gene_score(&[0.0, 0.0, 5.0, 5.0], &[0, 0, 1, 1], GeneMetric::VarianceRatio);
+        let vr = gene_score(
+            &[0.0, 0.0, 5.0, 5.0],
+            &[0, 0, 1, 1],
+            GeneMetric::VarianceRatio,
+        );
         assert!(vr.is_infinite());
     }
 }

@@ -10,8 +10,7 @@
 //! the property FARMER exploits.
 
 use crate::{ClassLabel, ExpressionMatrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration for the synthetic generator.
 ///
@@ -97,10 +96,19 @@ impl SynthConfig {
     /// [`crate::replicate::shuffled`]).
     pub fn generate(&self) -> ExpressionMatrix {
         assert!(self.n_class1 <= self.n_rows, "n_class1 exceeds n_rows");
-        assert!(self.n_signature <= self.n_genes, "n_signature exceeds n_genes");
+        assert!(
+            self.n_signature <= self.n_genes,
+            "n_signature exceeds n_genes"
+        );
         assert!(self.block_size >= 1, "block_size must be >= 1");
-        assert!((0.0..1.0).contains(&self.block_coupling), "block_coupling in [0,1)");
-        assert!(self.clusters_per_class >= 1, "need at least one cluster per class");
+        assert!(
+            (0.0..1.0).contains(&self.block_coupling),
+            "block_coupling in [0,1)"
+        );
+        assert!(
+            self.clusters_per_class >= 1,
+            "need at least one cluster per class"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let labels: Vec<ClassLabel> = (0..self.n_rows)
             .map(|r| if r < self.n_class1 { 1 } else { 0 })
@@ -113,14 +121,22 @@ impl SynthConfig {
                 let (idx, size, base) = if r < self.n_class1 {
                     (r, self.n_class1.max(1), 0)
                 } else {
-                    (r - self.n_class1, (self.n_rows - self.n_class1).max(1), self.clusters_per_class)
+                    (
+                        r - self.n_class1,
+                        (self.n_rows - self.n_class1).max(1),
+                        self.clusters_per_class,
+                    )
                 };
                 base + (idx * self.clusters_per_class) / size
             })
             .collect();
         // per-(signature gene, cluster) offsets — the subtype fingerprints
         let offsets: Vec<Vec<f64>> = (0..self.n_signature)
-            .map(|_| (0..n_clusters).map(|_| self.cluster_spread * gauss(&mut rng)).collect())
+            .map(|_| {
+                (0..n_clusters)
+                    .map(|_| self.cluster_spread * gauss(&mut rng))
+                    .collect()
+            })
             .collect();
 
         let n_blocks = self.n_signature.div_ceil(self.block_size.max(1)).max(1);
@@ -163,7 +179,7 @@ impl SynthConfig {
             .min(self.n_class1)
             .min(self.n_rows - self.n_class1);
         if k > 0 {
-            use rand::seq::SliceRandom;
+            use farmer_support::rng::SliceRandom;
             let mut ones: Vec<usize> = (0..self.n_class1).collect();
             let mut zeros: Vec<usize> = (self.n_class1..self.n_rows).collect();
             ones.shuffle(&mut rng);
@@ -339,7 +355,13 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let cfg = SynthConfig { n_rows: 5, n_genes: 7, n_class1: 2, n_signature: 3, ..Default::default() };
+        let cfg = SynthConfig {
+            n_rows: 5,
+            n_genes: 7,
+            n_class1: 2,
+            n_signature: 3,
+            ..Default::default()
+        };
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a.row(3), b.row(3));

@@ -5,14 +5,14 @@
 use farmer_dataset::discretize::{entropy_mdl_cuts, equal_depth_cuts, equal_width_cuts};
 use farmer_dataset::replicate::{replicate_rows, shuffled, stratified_split};
 use farmer_dataset::{Dataset, DatasetBuilder, ExpressionMatrix};
-use proptest::prelude::*;
+use farmer_support::check::prelude::*;
 use rowset::{IdList, RowSet};
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..8, 2usize..10).prop_flat_map(|(n_rows, n_items)| {
-        proptest::collection::vec(
+        collection::vec(
             (
-                proptest::collection::btree_set(0..n_items as u32, 0..n_items),
+                collection::btree_set(0..n_items as u32, 0..n_items),
                 0u32..2,
             ),
             n_rows,
@@ -31,11 +31,11 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
     })
 }
 
-proptest! {
+check! {
     /// R and I form a Galois connection: both closure operators are
     /// extensive, monotone, and idempotent.
     #[test]
-    fn galois_connection(d in arb_dataset(), seed_rows in proptest::collection::btree_set(0usize..8, 1..4)) {
+    fn galois_connection(d in arb_dataset(), seed_rows in collection::btree_set(0usize..8, 1..4)) {
         let rows = RowSet::from_ids(d.n_rows(), seed_rows.into_iter().filter(|&r| r < d.n_rows()));
         if rows.is_empty() {
             return Ok(());
@@ -114,7 +114,7 @@ proptest! {
     /// Equal-depth cuts are strictly ascending, inside the value range,
     /// and no bucket exceeds twice the ideal size (for distinct values).
     #[test]
-    fn equal_depth_invariants(mut values in proptest::collection::vec(-100.0f64..100.0, 4..40), buckets in 2usize..8) {
+    fn equal_depth_invariants(mut values in collection::vec(-100.0f64..100.0, 4..40), buckets in 2usize..8) {
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         values.dedup();
         if values.len() < 2 { return Ok(()); }
@@ -128,7 +128,7 @@ proptest! {
 
     /// Equal-width cuts split the range evenly.
     #[test]
-    fn equal_width_invariants(values in proptest::collection::vec(-50.0f64..50.0, 2..30), buckets in 2usize..8) {
+    fn equal_width_invariants(values in collection::vec(-50.0f64..50.0, 2..30), buckets in 2usize..8) {
         let cuts = equal_width_cuts(&values, buckets);
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -146,7 +146,7 @@ proptest! {
     /// Entropy-MDL never cuts a label-pure column, and every cut lies
     /// strictly inside the value range.
     #[test]
-    fn entropy_invariants(pairs in proptest::collection::vec((-50.0f64..50.0, 0u32..2), 4..40)) {
+    fn entropy_invariants(pairs in collection::vec((-50.0f64..50.0, 0u32..2), 4..40)) {
         let values: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
         let labels: Vec<u32> = pairs.iter().map(|&(_, l)| l).collect();
         let cuts = entropy_mdl_cuts(&values, &labels);
@@ -164,7 +164,7 @@ proptest! {
     /// Matrix discretization gives each row exactly one item per kept
     /// gene, and the item encodes the right bin.
     #[test]
-    fn matrix_binning(values in proptest::collection::vec(-10.0f64..10.0, 12..48)) {
+    fn matrix_binning(values in collection::vec(-10.0f64..10.0, 12..48)) {
         let n_rows = 4;
         let n_genes = values.len() / n_rows;
         let values = &values[..n_rows * n_genes];

@@ -83,7 +83,11 @@ impl RowSet {
     /// Inserts `id`, returning `true` if it was newly added. `O(1)`.
     #[inline]
     pub fn insert(&mut self, id: usize) -> bool {
-        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (id / BITS, id % BITS);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -93,7 +97,11 @@ impl RowSet {
     /// Removes `id`, returning `true` if it was present. `O(1)`.
     #[inline]
     pub fn remove(&mut self, id: usize) -> bool {
-        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        assert!(
+            id < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (id / BITS, id % BITS);
         let present = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);
@@ -172,7 +180,10 @@ impl RowSet {
     /// `true` iff every id of `self` is in `other`. `O(n/64)`.
     pub fn is_subset(&self, other: &RowSet) -> bool {
         self.check(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` iff every id of `other` is in `self`. `O(n/64)`.
@@ -218,6 +229,20 @@ impl RowSet {
     /// Collects the ids into a `Vec`, ascending. `O(n/64 + k)`.
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
+    }
+
+    /// Serializes as a JSON array of ascending row ids, e.g. `[0,3,7]`.
+    /// Kept dependency-free so any JSON layer can embed it verbatim.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&id.to_string());
+        }
+        out.push(']');
+        out
     }
 
     #[inline]

@@ -35,7 +35,10 @@ impl IdList {
     ///
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted(ids: Vec<u32>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly ascending"
+        );
         IdList { ids }
     }
 
@@ -55,6 +58,20 @@ impl IdList {
     #[inline]
     pub fn as_slice(&self) -> &[u32] {
         &self.ids
+    }
+
+    /// Serializes as a JSON array of ascending ids, e.g. `[0,3,7]`.
+    /// Kept dependency-free so any JSON layer can embed it verbatim.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&id.to_string());
+        }
+        out.push(']');
+        out
     }
 
     /// Membership test by binary search. `O(log k)`.

@@ -1,21 +1,21 @@
 //! Property-based tests: RowSet and IdList must agree with a model based on
 //! `std::collections::BTreeSet`.
 
-use proptest::prelude::*;
+use farmer_support::check::prelude::*;
 use rowset::{IdList, RowSet};
 use std::collections::BTreeSet;
 
 const CAP: usize = 257; // deliberately not a multiple of 64
 
 fn ids() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0..CAP, 0..64)
+    collection::vec(0..CAP, 0..64)
 }
 
 fn model(v: &[usize]) -> BTreeSet<usize> {
     v.iter().copied().collect()
 }
 
-proptest! {
+check! {
     #[test]
     fn rowset_roundtrip(v in ids()) {
         let s = RowSet::from_ids(CAP, v.iter().copied());

@@ -1,0 +1,389 @@
+//! A criterion-lite benchmark timer.
+//!
+//! The `benches/*.rs` files in this workspace are plain binaries
+//! (`harness = false`): [`criterion_group!`](crate::criterion_group)
+//! collects benchmark functions into a runner and
+//! [`criterion_main!`](crate::criterion_main) emits `main`. Each
+//! benchmark is warmed up, sampled N times, and reported as
+//! median/p10/p90 wall-clock time per iteration.
+//!
+//! Environment knobs:
+//!
+//! * `FARMER_BENCH_SAMPLES` — override every group's sample count
+//!   (e.g. `1` for a CI smoke run).
+//! * `FARMER_BENCH_JSON` — path to write a machine-readable report of
+//!   all measurements via [`support::json`](crate::json).
+
+use crate::json::{Json, ObjBuilder};
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 20;
+
+/// A benchmark name with an optional parameter, printed as
+/// `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for groups benching one function over many
+    /// inputs.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// One benchmark's summarized timings, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 10th percentile ns/iter.
+    pub p10_ns: f64,
+    /// 90th percentile ns/iter.
+    pub p90_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    /// JSON shape used by the `FARMER_BENCH_JSON` report.
+    pub fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("id", self.id.as_str())
+            .field("median_ns", self.median_ns)
+            .field("p10_ns", self.p10_ns)
+            .field("p90_ns", self.p90_ns)
+            .field("samples", self.samples)
+            .field("iters_per_sample", self.iters_per_sample)
+            .build()
+    }
+}
+
+/// Top-level benchmark runner; collects [`Measurement`]s across
+/// groups and writes the optional JSON report when dropped.
+pub struct Criterion {
+    sample_override: Option<usize>,
+    json_path: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_override: std::env::var("FARMER_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
+            json_path: std::env::var("FARMER_BENCH_JSON").ok(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores harness CLI arguments (`cargo bench`
+    /// passes `--bench`); kept for criterion signature parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benches a function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Writes the JSON report if `FARMER_BENCH_JSON` is set. Called
+    /// automatically on drop; explicit calls are idempotent enough
+    /// for tests.
+    pub fn finalize(&mut self) {
+        let Some(path) = self.json_path.take() else {
+            return;
+        };
+        let report = ObjBuilder::new()
+            .field(
+                "measurements",
+                Json::Arr(self.results.iter().map(Measurement::to_json).collect()),
+            )
+            .build();
+        if let Err(e) = std::fs::write(&path, report.pretty()) {
+            eprintln!("warning: could not write bench report to {path}: {e}");
+        } else {
+            eprintln!("wrote bench report to {path}");
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+/// A group of benchmarks sharing sample-count and time budgets.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (overridden by
+    /// `FARMER_BENCH_SAMPLES`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Sets the total time budget the samples should roughly fill.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Times `f`'s [`Bencher::iter`] closure and records the result.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full_id = if self.name.is_empty() {
+            id.label.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        let samples = self.parent.sample_override.unwrap_or(self.samples).max(1);
+        let mut bencher = Bencher {
+            samples,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        let Some(mut m) = bencher.result else {
+            eprintln!("{full_id:<40} (no iter() call)");
+            return;
+        };
+        m.id = full_id.clone();
+        eprintln!(
+            "{full_id:<40} median {:>12}  p10 {:>12}  p90 {:>12}  ({} samples x {} iters)",
+            fmt_ns(m.median_ns),
+            fmt_ns(m.p10_ns),
+            fmt_ns(m.p90_ns),
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.parent.results.push(m);
+    }
+
+    /// Like [`bench_function`](Self::bench_function) with an input
+    /// value passed through to the closure.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (prints nothing extra; kept for criterion
+    /// signature parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Self::iter) does the timing.
+pub struct Bencher {
+    samples: usize,
+    measurement_time: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count, warms up, then times `samples`
+    /// batches of `routine`, recording per-iteration nanoseconds.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: double the batch size until one batch takes long
+        // enough to time reliably, or the whole budget would blow up.
+        let per_sample_budget = self.measurement_time.as_secs_f64() / self.samples.max(1) as f64;
+        let min_batch_time = Duration::from_micros(200)
+            .as_secs_f64()
+            .min(per_sample_budget);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= min_batch_time || elapsed >= per_sample_budget || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        // One warmup batch, then the timed samples.
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some(Measurement {
+            id: String::new(),
+            median_ns: percentile(&per_iter_ns, 0.50),
+            p10_ns: percentile(&per_iter_ns, 0.10),
+            p90_ns: percentile(&per_iter_ns, 0.90),
+            samples: self.samples,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a single runner function, like
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::bench::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench binary; tolerates the
+/// extra CLI arguments `cargo bench` passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_plausible_timings() {
+        let mut c = Criterion::default();
+        c.sample_override = Some(3);
+        let mut group = c.benchmark_group("demo");
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..1000 * k).sum::<u64>())
+        });
+        group.finish();
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].id, "demo/sum");
+        assert_eq!(ms[1].id, "demo/scaled/4");
+        for m in ms {
+            assert!(m.median_ns > 0.0);
+            assert!(m.p10_ns <= m.median_ns && m.median_ns <= m.p90_ns);
+            assert_eq!(m.samples, 3);
+        }
+        c.json_path = None;
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let m = Measurement {
+            id: "g/f/1".to_string(),
+            median_ns: 123.5,
+            p10_ns: 100.0,
+            p90_ns: 150.25,
+            samples: 20,
+            iters_per_sample: 1024,
+        };
+        let parsed = Json::parse(&m.to_json().to_string()).unwrap();
+        assert_eq!(parsed["id"].as_str(), Some("g/f/1"));
+        assert_eq!(parsed["median_ns"].as_f64(), Some(123.5));
+        assert_eq!(parsed["p10_ns"].as_f64(), Some(100.0));
+        assert_eq!(parsed["p90_ns"].as_f64(), Some(150.25));
+        assert_eq!(parsed["samples"].as_u64(), Some(20));
+        assert_eq!(parsed["iters_per_sample"].as_u64(), Some(1024));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("entropy").label, "entropy");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+}

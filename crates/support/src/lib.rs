@@ -1,0 +1,26 @@
+//! Zero-dependency test & bench substrate for the FARMER workspace.
+//!
+//! The build environment is hermetic: no crates-io access. This crate
+//! replaces every external dev/test dependency the workspace used to
+//! pull in, with APIs shaped like the originals so call sites port
+//! with import edits:
+//!
+//! * [`rng`] — seedable SplitMix64/xoshiro256++ PRNG with
+//!   `gen_range`, `shuffle`, and Bernoulli/choice helpers.
+//! * [`check`] — property-testing harness with generator combinators
+//!   and greedy integrated shrinking (`FARMER_CHECK_SEED` /
+//!   `FARMER_CHECK_CASES`).
+//! * [`json`] — JSON value type with serializer, pretty-printer, and
+//!   parser.
+//! * [`thread`] — scoped threads, channels, and a poison-tolerant
+//!   mutex over the standard library.
+//! * [`bench`] — criterion-lite timer for `harness = false` bench
+//!   binaries (`FARMER_BENCH_SAMPLES` / `FARMER_BENCH_JSON`).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+pub mod thread;

@@ -1,0 +1,364 @@
+//! Seedable pseudo-random numbers without external crates.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the
+//! textbook combination: SplitMix64 decorrelates adjacent integer
+//! seeds, xoshiro256++ passes BigCrush and costs a handful of ALU ops
+//! per draw. The trait surface deliberately mirrors the subset of the
+//! `rand` crate the workspace used (`StdRng::seed_from_u64`,
+//! `gen`/`gen_range`/`gen_bool`, `SliceRandom::shuffle`), so call
+//! sites read identically; only the `use` lines differ.
+//!
+//! Determinism is a feature, not an accident: every consumer in the
+//! workspace seeds explicitly, and the test suite pins exact output
+//! sequences.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: advances `state` and returns the next output.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard generator: xoshiro256++.
+///
+/// Cloning snapshots the stream — two clones produce identical
+/// sequences, which the property-testing harness exploits to replay
+/// generation during shrinking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0; 4] {
+            // xoshiro's one forbidden state; unreachable from SplitMix64
+            // in practice, but the guard costs nothing
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+/// The uniform-draw surface shared by every consumer.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A value drawn from the type's standard distribution (`[0, 1)`
+    /// for floats, uniform over all values for integers).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    /// A uniform draw from `range` (half-open or inclusive).
+    ///
+    /// Panics on an empty range. Generic over the output type so
+    /// unsuffixed literals infer from context (`gen_range(1..=4)` in a
+    /// `usize` position samples `usize`).
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (Bernoulli draw); `p` must be in
+    /// `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0, 1]: {p}");
+        self.next_f64() < p
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Unbiased uniform draw in `[0, span)` via Lemire's multiply-shift
+/// rejection method. `span` must be nonzero.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types with a standard distribution for [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value.
+    fn standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn standard<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample uniformly. Generic over
+/// the output type (like `rand`) so literal types infer from context.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                match (hi as i128 - lo as i128) as u128 {
+                    // the full u64-wide range cannot be expressed as a span
+                    0x1_0000_0000_0000_0000.. => rng.next_u64() as $t,
+                    span => lo.wrapping_add(uniform_below(rng, span as u64 + 1) as $t),
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let u = rng.next_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // guard the open upper bound against rounding
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Slice helpers mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// Uniform in-place permutation (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let sa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sb);
+        let mut c = StdRng::seed_from_u64(43);
+        let sc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_ne!(sa, sc, "adjacent seeds must decorrelate");
+    }
+
+    #[test]
+    fn clone_snapshots_the_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-2.5f64..4.0);
+            assert!((-2.5..4.0).contains(&f));
+            let u = rng.gen_range(9u32..=9);
+            assert_eq!(u, 9);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((800..1200).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let set: BTreeSet<usize> = v.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert_eq!(set.iter().next_back(), Some(&99));
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle moved something");
+        // determinism
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut w: Vec<usize> = (0..100).collect();
+        w.shuffle(&mut rng2);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn choose_hits_every_element() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let items = [10, 20, 30];
+        let seen: BTreeSet<i32> = (0..200).map(|_| *items.choose(&mut rng).unwrap()).collect();
+        assert_eq!(seen.len(), 3);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Scoped-thread and synchronization shims over the standard library.
+//!
+//! The API mirrors the external crates these replaced at their call
+//! sites: [`scope`] works like the crossbeam scope (modulo the closure
+//! taking no argument and the result not being wrapped in a
+//! `Result`), and [`Mutex`] is a `std::sync::Mutex` whose `lock()`
+//! returns the guard directly, treating poisoning as recoverable the
+//! way parking_lot does.
+
+use std::sync::PoisonError;
+
+pub use std::sync::mpsc::{channel, Receiver, Sender};
+pub use std::thread::{Scope, ScopedJoinHandle};
+
+/// Spawns scoped threads that may borrow from the enclosing stack
+/// frame; joins them all before returning.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
+/// A mutex whose `lock()` never forces the caller to handle
+/// poisoning: a panic while holding the lock leaves the data
+/// accessible to later lockers.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u32, 2, 3, 4];
+        let total: u32 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_reexport_works_across_scope() {
+        let (tx, rx) = channel();
+        scope(|s| {
+            for i in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mutex_recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

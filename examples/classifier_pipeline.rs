@@ -51,7 +51,10 @@ fn main() {
     let committee = TopKCommittee::train(&split.train, 3, 5);
     let com_pred = committee.predict_dataset(&split.test);
 
-    println!("\n{} test samples ({n_test} per the paper's split):", split.test.n_rows());
+    println!(
+        "\n{} test samples ({n_test} per the paper's split):",
+        split.test.n_rows()
+    );
     for (name, pred) in [
         ("IRG", &irg_pred),
         ("CBA", &cba_pred),

@@ -51,7 +51,10 @@ fn main() {
     let eh = rowset::IdList::from_iter([e, h]);
     let holder = result.groups.iter().find(|g| g.contains_rule(&eh));
     match holder {
-        Some(g) => println!("\nrule eh -> C belongs to the group of {}", g.display(&data)),
+        Some(g) => println!(
+            "\nrule eh -> C belongs to the group of {}",
+            g.display(&data)
+        ),
         None => println!("\nrule eh -> C belongs to no *interesting* group"),
     }
 }

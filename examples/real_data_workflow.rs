@@ -11,8 +11,7 @@ use farmer_suite::core::{Farmer, GroupIndex, MiningParams};
 use farmer_suite::dataset::discretize::Discretizer;
 use farmer_suite::dataset::io::{load_matrix_csv, save_matrix_csv};
 use farmer_suite::dataset::synth::SynthConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
 
 fn main() {
     let dir = std::env::temp_dir().join("farmer-real-data-workflow");
@@ -66,7 +65,13 @@ fn main() {
     assert!(!clean.has_missing());
     for (name, disc) in [
         ("entropy-MDL", Discretizer::EntropyMdl),
-        ("ChiMerge(4.61)", Discretizer::ChiMerge { threshold: 4.61, max_intervals: 6 }),
+        (
+            "ChiMerge(4.61)",
+            Discretizer::ChiMerge {
+                threshold: 4.61,
+                max_intervals: 6,
+            },
+        ),
     ] {
         let data = disc.discretize(&clean);
         let params = MiningParams::new(1).min_sup(8).min_conf(0.9);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, format check, bench smoke.
+# The workspace is hermetic (no external crates), so everything below
+# runs with --offline on a machine that has never touched crates.io.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> bench smoke (1 sample, substrates)"
+FARMER_BENCH_SAMPLES=1 cargo bench --offline -p farmer-bench --bench substrates
+
+echo "==> verify OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-dc29ead5f086b29e.d: crates/bench/benches/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-dc29ead5f086b29e: crates/bench/benches/baseline_comparison.rs
+
+crates/bench/benches/baseline_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget-da14e0252647bfbb.d: crates/core/tests/budget.rs
+
+/root/repo/target/debug/deps/budget-da14e0252647bfbb: crates/core/tests/budget.rs
+
+crates/core/tests/budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-33ada5fa486a4d3e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-33ada5fa486a4d3e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines_and_pruning-f06c995e5dc058a5.d: crates/bench/benches/engines_and_pruning.rs
+
+/root/repo/target/debug/deps/engines_and_pruning-f06c995e5dc058a5: crates/bench/benches/engines_and_pruning.rs
+
+crates/bench/benches/engines_and_pruning.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/experiments-686ead2b232efd78.d: crates/bench/src/bin/experiments/main.rs crates/bench/src/bin/experiments/ablation.rs crates/bench/src/bin/experiments/cobbler_exp.rs crates/bench/src/bin/experiments/fig10.rs crates/bench/src/bin/experiments/fig11.rs crates/bench/src/bin/experiments/scale.rs crates/bench/src/bin/experiments/table1.rs crates/bench/src/bin/experiments/table2.rs
+
+/root/repo/target/debug/deps/experiments-686ead2b232efd78: crates/bench/src/bin/experiments/main.rs crates/bench/src/bin/experiments/ablation.rs crates/bench/src/bin/experiments/cobbler_exp.rs crates/bench/src/bin/experiments/fig10.rs crates/bench/src/bin/experiments/fig11.rs crates/bench/src/bin/experiments/scale.rs crates/bench/src/bin/experiments/table1.rs crates/bench/src/bin/experiments/table2.rs
+
+crates/bench/src/bin/experiments/main.rs:
+crates/bench/src/bin/experiments/ablation.rs:
+crates/bench/src/bin/experiments/cobbler_exp.rs:
+crates/bench/src/bin/experiments/fig10.rs:
+crates/bench/src/bin/experiments/fig11.rs:
+crates/bench/src/bin/experiments/scale.rs:
+crates/bench/src/bin/experiments/table1.rs:
+crates/bench/src/bin/experiments/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farmer-9b69d0680b27b6a6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/farmer-9b69d0680b27b6a6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

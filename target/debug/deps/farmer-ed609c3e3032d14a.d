@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farmer-ed609c3e3032d14a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/farmer-ed609c3e3032d14a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

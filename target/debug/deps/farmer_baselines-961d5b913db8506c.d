@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/farmer_baselines-961d5b913db8506c.d: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+/root/repo/target/debug/deps/libfarmer_baselines-961d5b913db8506c.rlib: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+/root/repo/target/debug/deps/libfarmer_baselines-961d5b913db8506c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/apriori.rs:
+crates/baselines/src/charm.rs:
+crates/baselines/src/closet.rs:
+crates/baselines/src/column_e.rs:
+crates/baselines/src/fptree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/farmer_baselines-a8b7a3a2c256b868.d: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+/root/repo/target/debug/deps/farmer_baselines-a8b7a3a2c256b868: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/apriori.rs:
+crates/baselines/src/charm.rs:
+crates/baselines/src/closet.rs:
+crates/baselines/src/column_e.rs:
+crates/baselines/src/fptree.rs:

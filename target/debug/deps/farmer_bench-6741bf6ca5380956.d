@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/farmer_bench-6741bf6ca5380956.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libfarmer_bench-6741bf6ca5380956.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libfarmer_bench-6741bf6ca5380956.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/farmer_bench-89eea32daf6fa331.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/farmer_bench-89eea32daf6fa331: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/farmer_classify-10ed28cd49723b2c.d: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+/root/repo/target/debug/deps/farmer_classify-10ed28cd49723b2c: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+crates/classify/src/lib.rs:
+crates/classify/src/committee.rs:
+crates/classify/src/cv.rs:
+crates/classify/src/eval.rs:
+crates/classify/src/pipeline.rs:
+crates/classify/src/rules.rs:
+crates/classify/src/svm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/farmer_classify-3e5d5f09bac18254.d: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+/root/repo/target/debug/deps/libfarmer_classify-3e5d5f09bac18254.rlib: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+/root/repo/target/debug/deps/libfarmer_classify-3e5d5f09bac18254.rmeta: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+crates/classify/src/lib.rs:
+crates/classify/src/committee.rs:
+crates/classify/src/cv.rs:
+crates/classify/src/eval.rs:
+crates/classify/src/pipeline.rs:
+crates/classify/src/rules.rs:
+crates/classify/src/svm.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/farmer_cli-138322618d1f587c.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+/root/repo/target/debug/deps/libfarmer_cli-138322618d1f587c.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+/root/repo/target/debug/deps/libfarmer_cli-138322618d1f587c.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/output.rs:

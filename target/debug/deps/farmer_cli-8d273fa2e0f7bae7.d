@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/farmer_cli-8d273fa2e0f7bae7.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+/root/repo/target/debug/deps/farmer_cli-8d273fa2e0f7bae7: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/output.rs:

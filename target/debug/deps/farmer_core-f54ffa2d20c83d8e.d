@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/farmer_core-f54ffa2d20c83d8e.d: crates/core/src/lib.rs crates/core/src/carpenter.rs crates/core/src/cobbler.rs crates/core/src/cond/mod.rs crates/core/src/cond/bitset_engine.rs crates/core/src/cond/pointer_engine.rs crates/core/src/measures.rs crates/core/src/minelb.rs crates/core/src/naive.rs crates/core/src/topk.rs crates/core/src/index.rs crates/core/src/miner.rs crates/core/src/params.rs crates/core/src/rule.rs
+
+/root/repo/target/debug/deps/farmer_core-f54ffa2d20c83d8e: crates/core/src/lib.rs crates/core/src/carpenter.rs crates/core/src/cobbler.rs crates/core/src/cond/mod.rs crates/core/src/cond/bitset_engine.rs crates/core/src/cond/pointer_engine.rs crates/core/src/measures.rs crates/core/src/minelb.rs crates/core/src/naive.rs crates/core/src/topk.rs crates/core/src/index.rs crates/core/src/miner.rs crates/core/src/params.rs crates/core/src/rule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/carpenter.rs:
+crates/core/src/cobbler.rs:
+crates/core/src/cond/mod.rs:
+crates/core/src/cond/bitset_engine.rs:
+crates/core/src/cond/pointer_engine.rs:
+crates/core/src/measures.rs:
+crates/core/src/minelb.rs:
+crates/core/src/naive.rs:
+crates/core/src/topk.rs:
+crates/core/src/index.rs:
+crates/core/src/miner.rs:
+crates/core/src/params.rs:
+crates/core/src/rule.rs:

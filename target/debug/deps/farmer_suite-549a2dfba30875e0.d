@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farmer_suite-549a2dfba30875e0.d: src/lib.rs
+
+/root/repo/target/debug/deps/farmer_suite-549a2dfba30875e0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/farmer_suite-59322b51cfa76875.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfarmer_suite-59322b51cfa76875.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfarmer_suite-59322b51cfa76875.rmeta: src/lib.rs
+
+src/lib.rs:

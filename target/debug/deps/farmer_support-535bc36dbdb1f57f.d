@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/farmer_support-535bc36dbdb1f57f.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+/root/repo/target/debug/deps/farmer_support-535bc36dbdb1f57f: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/check.rs:
+crates/support/src/json.rs:
+crates/support/src/rng.rs:
+crates/support/src/thread.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/farmer_support-83fd46fa333ebbe0.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+/root/repo/target/debug/deps/libfarmer_support-83fd46fa333ebbe0.rlib: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+/root/repo/target/debug/deps/libfarmer_support-83fd46fa333ebbe0.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/check.rs:
+crates/support/src/json.rs:
+crates/support/src/rng.rs:
+crates/support/src/thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/farmer_sweeps-eaefd681ec1f9d08.d: crates/bench/benches/farmer_sweeps.rs
+
+/root/repo/target/debug/deps/farmer_sweeps-eaefd681ec1f9d08: crates/bench/benches/farmer_sweeps.rs
+
+crates/bench/benches/farmer_sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiclass-98a027f22abcc32b.d: tests/multiclass.rs
+
+/root/repo/target/debug/deps/multiclass-98a027f22abcc32b: tests/multiclass.rs
+
+tests/multiclass.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-8690cde8d8223f0b.d: crates/core/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-8690cde8d8223f0b: crates/core/tests/oracle.rs
+
+crates/core/tests/oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-6b631cf9395615a5.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-6b631cf9395615a5: tests/paper_scale.rs
+
+tests/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-6be6b9236d0e12fd.d: crates/core/tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-6be6b9236d0e12fd: crates/core/tests/parallel.rs
+
+crates/core/tests/parallel.rs:

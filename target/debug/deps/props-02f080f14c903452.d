@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-02f080f14c903452.d: crates/rowset/tests/props.rs
+
+/root/repo/target/debug/deps/props-02f080f14c903452: crates/rowset/tests/props.rs
+
+crates/rowset/tests/props.rs:

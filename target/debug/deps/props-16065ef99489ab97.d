@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-16065ef99489ab97.d: crates/dataset/tests/props.rs
+
+/root/repo/target/debug/deps/props-16065ef99489ab97: crates/dataset/tests/props.rs
+
+crates/dataset/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-69319853a6217844.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-69319853a6217844: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

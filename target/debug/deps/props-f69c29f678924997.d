@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f69c29f678924997.d: crates/baselines/tests/props.rs
+
+/root/repo/target/debug/deps/props-f69c29f678924997: crates/baselines/tests/props.rs
+
+crates/baselines/tests/props.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rowset-46059f9f194200f1.d: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/debug/deps/rowset-46059f9f194200f1: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+crates/rowset/src/lib.rs:
+crates/rowset/src/bitset.rs:
+crates/rowset/src/idlist.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rowset-828096bcf2cc37c1.d: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/debug/deps/librowset-828096bcf2cc37c1.rlib: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/debug/deps/librowset-828096bcf2cc37c1.rmeta: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+crates/rowset/src/lib.rs:
+crates/rowset/src/bitset.rs:
+crates/rowset/src/idlist.rs:

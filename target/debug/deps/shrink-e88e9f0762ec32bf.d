@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shrink-e88e9f0762ec32bf.d: crates/support/tests/shrink.rs
+
+/root/repo/target/debug/deps/shrink-e88e9f0762ec32bf: crates/support/tests/shrink.rs
+
+crates/support/tests/shrink.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-849ad3c0540ed349.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-849ad3c0540ed349: tests/stress.rs
+
+tests/stress.rs:

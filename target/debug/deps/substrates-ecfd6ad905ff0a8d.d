@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-ecfd6ad905ff0a8d.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-ecfd6ad905ff0a8d: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

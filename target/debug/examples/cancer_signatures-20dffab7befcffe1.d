@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cancer_signatures-20dffab7befcffe1.d: examples/cancer_signatures.rs
+
+/root/repo/target/debug/examples/cancer_signatures-20dffab7befcffe1: examples/cancer_signatures.rs
+
+examples/cancer_signatures.rs:

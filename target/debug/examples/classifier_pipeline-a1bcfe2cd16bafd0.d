@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/classifier_pipeline-a1bcfe2cd16bafd0.d: examples/classifier_pipeline.rs
+
+/root/repo/target/debug/examples/classifier_pipeline-a1bcfe2cd16bafd0: examples/classifier_pipeline.rs
+
+examples/classifier_pipeline.rs:

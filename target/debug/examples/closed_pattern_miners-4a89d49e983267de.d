@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/closed_pattern_miners-4a89d49e983267de.d: examples/closed_pattern_miners.rs
+
+/root/repo/target/debug/examples/closed_pattern_miners-4a89d49e983267de: examples/closed_pattern_miners.rs
+
+examples/closed_pattern_miners.rs:

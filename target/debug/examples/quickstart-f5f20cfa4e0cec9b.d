@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f5f20cfa4e0cec9b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f5f20cfa4e0cec9b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_data_workflow-28c204a185af8151.d: examples/real_data_workflow.rs
+
+/root/repo/target/debug/examples/real_data_workflow-28c204a185af8151: examples/real_data_workflow.rs
+
+examples/real_data_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sample_triage-6535abe4f5a98038.d: examples/sample_triage.rs
+
+/root/repo/target/debug/examples/sample_triage-6535abe4f5a98038: examples/sample_triage.rs
+
+examples/sample_triage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/farmer-2068bdaefee24803.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/farmer-2068bdaefee24803: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

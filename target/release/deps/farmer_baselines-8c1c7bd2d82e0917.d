@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/farmer_baselines-8c1c7bd2d82e0917.d: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+/root/repo/target/release/deps/libfarmer_baselines-8c1c7bd2d82e0917.rlib: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+/root/repo/target/release/deps/libfarmer_baselines-8c1c7bd2d82e0917.rmeta: crates/baselines/src/lib.rs crates/baselines/src/apriori.rs crates/baselines/src/charm.rs crates/baselines/src/closet.rs crates/baselines/src/column_e.rs crates/baselines/src/fptree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/apriori.rs:
+crates/baselines/src/charm.rs:
+crates/baselines/src/closet.rs:
+crates/baselines/src/column_e.rs:
+crates/baselines/src/fptree.rs:

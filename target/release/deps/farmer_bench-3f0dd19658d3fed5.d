@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/farmer_bench-3f0dd19658d3fed5.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libfarmer_bench-3f0dd19658d3fed5.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libfarmer_bench-3f0dd19658d3fed5.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/farmer_classify-ec55730bdff3dfde.d: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+/root/repo/target/release/deps/libfarmer_classify-ec55730bdff3dfde.rlib: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+/root/repo/target/release/deps/libfarmer_classify-ec55730bdff3dfde.rmeta: crates/classify/src/lib.rs crates/classify/src/committee.rs crates/classify/src/cv.rs crates/classify/src/eval.rs crates/classify/src/pipeline.rs crates/classify/src/rules.rs crates/classify/src/svm.rs
+
+crates/classify/src/lib.rs:
+crates/classify/src/committee.rs:
+crates/classify/src/cv.rs:
+crates/classify/src/eval.rs:
+crates/classify/src/pipeline.rs:
+crates/classify/src/rules.rs:
+crates/classify/src/svm.rs:

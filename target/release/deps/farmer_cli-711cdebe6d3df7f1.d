@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/farmer_cli-711cdebe6d3df7f1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+/root/repo/target/release/deps/libfarmer_cli-711cdebe6d3df7f1.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+/root/repo/target/release/deps/libfarmer_cli-711cdebe6d3df7f1.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/output.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/output.rs:

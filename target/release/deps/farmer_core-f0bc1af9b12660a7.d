@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/farmer_core-f0bc1af9b12660a7.d: crates/core/src/lib.rs crates/core/src/carpenter.rs crates/core/src/cobbler.rs crates/core/src/cond/mod.rs crates/core/src/cond/bitset_engine.rs crates/core/src/cond/pointer_engine.rs crates/core/src/measures.rs crates/core/src/minelb.rs crates/core/src/naive.rs crates/core/src/topk.rs crates/core/src/index.rs crates/core/src/miner.rs crates/core/src/params.rs crates/core/src/rule.rs
+
+/root/repo/target/release/deps/libfarmer_core-f0bc1af9b12660a7.rlib: crates/core/src/lib.rs crates/core/src/carpenter.rs crates/core/src/cobbler.rs crates/core/src/cond/mod.rs crates/core/src/cond/bitset_engine.rs crates/core/src/cond/pointer_engine.rs crates/core/src/measures.rs crates/core/src/minelb.rs crates/core/src/naive.rs crates/core/src/topk.rs crates/core/src/index.rs crates/core/src/miner.rs crates/core/src/params.rs crates/core/src/rule.rs
+
+/root/repo/target/release/deps/libfarmer_core-f0bc1af9b12660a7.rmeta: crates/core/src/lib.rs crates/core/src/carpenter.rs crates/core/src/cobbler.rs crates/core/src/cond/mod.rs crates/core/src/cond/bitset_engine.rs crates/core/src/cond/pointer_engine.rs crates/core/src/measures.rs crates/core/src/minelb.rs crates/core/src/naive.rs crates/core/src/topk.rs crates/core/src/index.rs crates/core/src/miner.rs crates/core/src/params.rs crates/core/src/rule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/carpenter.rs:
+crates/core/src/cobbler.rs:
+crates/core/src/cond/mod.rs:
+crates/core/src/cond/bitset_engine.rs:
+crates/core/src/cond/pointer_engine.rs:
+crates/core/src/measures.rs:
+crates/core/src/minelb.rs:
+crates/core/src/naive.rs:
+crates/core/src/topk.rs:
+crates/core/src/index.rs:
+crates/core/src/miner.rs:
+crates/core/src/params.rs:
+crates/core/src/rule.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/farmer_dataset-0c6a1d7a826be1dc.d: crates/dataset/src/lib.rs crates/dataset/src/arff.rs crates/dataset/src/dataset.rs crates/dataset/src/discretize/mod.rs crates/dataset/src/discretize/chi_merge.rs crates/dataset/src/discretize/entropy.rs crates/dataset/src/discretize/equal_depth.rs crates/dataset/src/discretize/equal_width.rs crates/dataset/src/io.rs crates/dataset/src/matrix.rs crates/dataset/src/replicate.rs crates/dataset/src/select.rs crates/dataset/src/synth.rs crates/dataset/src/transposed.rs
+
+/root/repo/target/release/deps/libfarmer_dataset-0c6a1d7a826be1dc.rlib: crates/dataset/src/lib.rs crates/dataset/src/arff.rs crates/dataset/src/dataset.rs crates/dataset/src/discretize/mod.rs crates/dataset/src/discretize/chi_merge.rs crates/dataset/src/discretize/entropy.rs crates/dataset/src/discretize/equal_depth.rs crates/dataset/src/discretize/equal_width.rs crates/dataset/src/io.rs crates/dataset/src/matrix.rs crates/dataset/src/replicate.rs crates/dataset/src/select.rs crates/dataset/src/synth.rs crates/dataset/src/transposed.rs
+
+/root/repo/target/release/deps/libfarmer_dataset-0c6a1d7a826be1dc.rmeta: crates/dataset/src/lib.rs crates/dataset/src/arff.rs crates/dataset/src/dataset.rs crates/dataset/src/discretize/mod.rs crates/dataset/src/discretize/chi_merge.rs crates/dataset/src/discretize/entropy.rs crates/dataset/src/discretize/equal_depth.rs crates/dataset/src/discretize/equal_width.rs crates/dataset/src/io.rs crates/dataset/src/matrix.rs crates/dataset/src/replicate.rs crates/dataset/src/select.rs crates/dataset/src/synth.rs crates/dataset/src/transposed.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/arff.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/discretize/mod.rs:
+crates/dataset/src/discretize/chi_merge.rs:
+crates/dataset/src/discretize/entropy.rs:
+crates/dataset/src/discretize/equal_depth.rs:
+crates/dataset/src/discretize/equal_width.rs:
+crates/dataset/src/io.rs:
+crates/dataset/src/matrix.rs:
+crates/dataset/src/replicate.rs:
+crates/dataset/src/select.rs:
+crates/dataset/src/synth.rs:
+crates/dataset/src/transposed.rs:

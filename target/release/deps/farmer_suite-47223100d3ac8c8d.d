@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/farmer_suite-47223100d3ac8c8d.d: src/lib.rs
+
+/root/repo/target/release/deps/libfarmer_suite-47223100d3ac8c8d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfarmer_suite-47223100d3ac8c8d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/farmer_support-d18d332e70771a52.d: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+/root/repo/target/release/deps/libfarmer_support-d18d332e70771a52.rlib: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+/root/repo/target/release/deps/libfarmer_support-d18d332e70771a52.rmeta: crates/support/src/lib.rs crates/support/src/bench.rs crates/support/src/check.rs crates/support/src/json.rs crates/support/src/rng.rs crates/support/src/thread.rs
+
+crates/support/src/lib.rs:
+crates/support/src/bench.rs:
+crates/support/src/check.rs:
+crates/support/src/json.rs:
+crates/support/src/rng.rs:
+crates/support/src/thread.rs:

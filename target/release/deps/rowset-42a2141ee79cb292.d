@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rowset-42a2141ee79cb292.d: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/release/deps/librowset-42a2141ee79cb292.rlib: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/release/deps/librowset-42a2141ee79cb292.rmeta: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+crates/rowset/src/lib.rs:
+crates/rowset/src/bitset.rs:
+crates/rowset/src/idlist.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rowset-82f9e0ececb21cf6.d: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/release/deps/librowset-82f9e0ececb21cf6.rlib: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+/root/repo/target/release/deps/librowset-82f9e0ececb21cf6.rmeta: crates/rowset/src/lib.rs crates/rowset/src/bitset.rs crates/rowset/src/idlist.rs
+
+crates/rowset/src/lib.rs:
+crates/rowset/src/bitset.rs:
+crates/rowset/src/idlist.rs:

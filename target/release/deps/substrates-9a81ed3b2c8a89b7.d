@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-9a81ed3b2c8a89b7.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-9a81ed3b2c8a89b7: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -56,11 +56,21 @@ fn full_mining_pipeline() {
 #[test]
 fn engines_agree_on_realistic_data() {
     let d = small_analog();
-    let params = MiningParams::new(1).min_sup(3).min_conf(0.5).lower_bounds(false);
-    let a = Farmer::new(params.clone()).with_engine(Engine::Bitset).mine(&d);
-    let b = Farmer::new(params).with_engine(Engine::PointerList).mine(&d);
+    let params = MiningParams::new(1)
+        .min_sup(3)
+        .min_conf(0.5)
+        .lower_bounds(false);
+    let a = Farmer::new(params.clone())
+        .with_engine(Engine::Bitset)
+        .mine(&d);
+    let b = Farmer::new(params)
+        .with_engine(Engine::PointerList)
+        .mine(&d);
     let canon = |r: &farmer_suite::core::MineResult| -> HashSet<Vec<u32>> {
-        r.groups.iter().map(|g| g.upper.as_slice().to_vec()).collect()
+        r.groups
+            .iter()
+            .map(|g| g.upper.as_slice().to_vec())
+            .collect()
     };
     assert_eq!(canon(&a), canon(&b));
     assert_eq!(a.stats.nodes_visited, b.stats.nodes_visited);
@@ -112,13 +122,27 @@ fn all_closed_miners_agree_on_analog() {
 #[test]
 fn column_e_matches_farmer_on_analog() {
     let d = small_analog();
-    let params = MiningParams::new(1).min_sup(5).min_conf(0.7).lower_bounds(false);
+    let params = MiningParams::new(1)
+        .min_sup(5)
+        .min_conf(0.7)
+        .lower_bounds(false);
     let farmer = Farmer::new(params.clone()).mine(&d);
     let cole = column_e(&d, &params, Some(200_000_000)).expect_done("within budget");
     let canon = |uppers: Vec<Vec<u32>>| -> HashSet<Vec<u32>> { uppers.into_iter().collect() };
     assert_eq!(
-        canon(farmer.groups.iter().map(|g| g.upper.as_slice().to_vec()).collect()),
-        canon(cole.groups.iter().map(|g| g.upper.as_slice().to_vec()).collect()),
+        canon(
+            farmer
+                .groups
+                .iter()
+                .map(|g| g.upper.as_slice().to_vec())
+                .collect()
+        ),
+        canon(
+            cole.groups
+                .iter()
+                .map(|g| g.upper.as_slice().to_vec())
+                .collect()
+        ),
     );
 }
 
@@ -130,7 +154,10 @@ fn replication_scales_counts_not_results() {
     let scaled = Farmer::new(MiningParams::new(1).min_sup(6).lower_bounds(false)).mine(&rep);
     // same upper bounds, tripled supports
     let canon = |r: &farmer_suite::core::MineResult| -> HashSet<(Vec<u32>, usize)> {
-        r.groups.iter().map(|g| (g.upper.as_slice().to_vec(), g.sup)).collect()
+        r.groups
+            .iter()
+            .map(|g| (g.upper.as_slice().to_vec(), g.sup))
+            .collect()
     };
     let base_scaled: HashSet<(Vec<u32>, usize)> = base
         .groups

@@ -36,7 +36,10 @@ fn canon(groups: &[RuleGroup]) -> Vec<(Vec<u32>, usize, usize)> {
 fn mining_each_class_matches_oracle() {
     let d = three_class_dataset();
     for class in 0..3u32 {
-        let params = MiningParams::new(class).min_sup(2).min_conf(0.5).lower_bounds(false);
+        let params = MiningParams::new(class)
+            .min_sup(2)
+            .min_conf(0.5)
+            .lower_bounds(false);
         let farmer = Farmer::new(params.clone()).mine(&d);
         let naive = mine_naive(&d, &params);
         assert_eq!(canon(&farmer.groups), canon(&naive), "class {class}");
@@ -45,7 +48,11 @@ fn mining_each_class_matches_oracle() {
         assert!(
             farmer.groups.iter().any(|g| g.upper == marker),
             "marker {class} missing: {:?}",
-            farmer.groups.iter().map(|g| g.upper.clone()).collect::<Vec<_>>()
+            farmer
+                .groups
+                .iter()
+                .map(|g| g.upper.clone())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -26,7 +26,10 @@ fn full_scale_breast_cancer_analog() {
     assert_eq!(data.n_items(), cols * 10);
     let result = Farmer::new(MiningParams::new(1).min_sup(9).lower_bounds(false)).mine(&data);
     assert!(!result.stats.budget_exhausted);
-    assert!(result.len() > 0, "paper-scale BC at minsup 9 must yield IRGs");
+    assert!(
+        result.len() > 0,
+        "paper-scale BC at minsup 9 must yield IRGs"
+    );
 
     // and the practical route: feature-select to 2000 genes first
     let selected = select_top_genes(&matrix, GeneMetric::InfoGain, 2000);

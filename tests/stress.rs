@@ -12,8 +12,7 @@ use farmer_suite::core::cobbler::{cobbler, SwitchPolicy};
 use farmer_suite::core::naive::mine_naive;
 use farmer_suite::core::{Engine, Farmer, MiningParams};
 use farmer_suite::dataset::DatasetBuilder;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 
 #[test]
@@ -26,16 +25,17 @@ fn randomized_cross_miner_consistency() {
         let density = rng.gen_range(0.2..0.8);
         let mut b = DatasetBuilder::new(2);
         for _ in 0..n_rows {
-            let items: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(density)).collect();
+            let items: Vec<u32> = (0..n_items as u32)
+                .filter(|_| rng.gen_bool(density))
+                .collect();
             b.add_row(items, u32::from(rng.gen_bool(0.5)));
         }
         let d = b.build();
         let min_sup = rng.gen_range(1..=4);
 
         // closed-set miners agree
-        let canon_closed = |v: Vec<(Vec<u32>, usize)>| -> HashSet<(Vec<u32>, usize)> {
-            v.into_iter().collect()
-        };
+        let canon_closed =
+            |v: Vec<(Vec<u32>, usize)>| -> HashSet<(Vec<u32>, usize)> { v.into_iter().collect() };
         let carp = canon_closed(
             carpenter(&d, min_sup)
                 .patterns
@@ -91,12 +91,13 @@ fn randomized_cross_miner_consistency() {
             .min_conf([0.0, 0.5, 0.8][trial % 3])
             .min_chi([0.0, 1.0][trial % 2])
             .lower_bounds(false);
-        let canon_groups = |groups: &[farmer_suite::core::RuleGroup]| -> HashSet<(Vec<u32>, usize, usize)> {
-            groups
-                .iter()
-                .map(|g| (g.upper.as_slice().to_vec(), g.sup, g.neg_sup))
-                .collect()
-        };
+        let canon_groups =
+            |groups: &[farmer_suite::core::RuleGroup]| -> HashSet<(Vec<u32>, usize, usize)> {
+                groups
+                    .iter()
+                    .map(|g| (g.upper.as_slice().to_vec(), g.sup, g.neg_sup))
+                    .collect()
+            };
         let want = canon_groups(&mine_naive(&d, &params));
         for engine in [Engine::Bitset, Engine::PointerList] {
             let got = Farmer::new(params.clone()).with_engine(engine).mine(&d);
