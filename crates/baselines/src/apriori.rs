@@ -10,6 +10,7 @@
 //! is untouched, which is what the comparison needs to show.
 
 use crate::Budgeted;
+use farmer_core::session::{MineControl, MineObserver, NoOpObserver};
 use farmer_dataset::Dataset;
 use rowset::{IdList, RowSet};
 
@@ -32,17 +33,30 @@ pub fn apriori(
     min_sup: usize,
     node_budget: Option<u64>,
 ) -> Budgeted<Vec<FrequentItemset>> {
+    let ctl = MineControl::new().with_node_budget(node_budget);
+    apriori_with(data, min_sup, &ctl, &mut NoOpObserver)
+}
+
+/// [`apriori`] under a [`MineControl`]: one control tick per candidate
+/// counted. Any control-triggered stop reports
+/// [`Budgeted::BudgetExhausted`] (a partial levelwise answer is not
+/// useful).
+pub fn apriori_with<O: MineObserver + ?Sized>(
+    data: &Dataset,
+    min_sup: usize,
+    ctl: &MineControl,
+    obs: &mut O,
+) -> Budgeted<Vec<FrequentItemset>> {
     let min_sup = min_sup.max(1);
-    let budget = node_budget.unwrap_or(u64::MAX);
-    let mut counted: u64 = 0;
+    let mut st = ctl.state();
 
     // L1
     let mut frequent: Vec<FrequentItemset> = Vec::new();
     let mut level: Vec<(Vec<u32>, RowSet)> = Vec::new();
     for i in 0..data.n_items() as u32 {
-        counted += 1;
-        if counted > budget {
-            return Budgeted::BudgetExhausted { nodes: counted };
+        obs.node_entered(1);
+        if st.tick().is_some() {
+            return Budgeted::BudgetExhausted { nodes: st.ticks() };
         }
         let rows = data.item_rows(i);
         if rows.len() >= min_sup {
@@ -79,9 +93,9 @@ pub fn apriori(
                     if !all_subsets_frequent(&cand, &level) {
                         continue;
                     }
-                    counted += 1;
-                    if counted > budget {
-                        return Budgeted::BudgetExhausted { nodes: counted };
+                    obs.node_entered(cand.len());
+                    if st.tick().is_some() {
+                        return Budgeted::BudgetExhausted { nodes: st.ticks() };
                     }
                     let rows = level[a].1.intersection(&level[b].1);
                     if rows.len() >= min_sup {

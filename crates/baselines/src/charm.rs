@@ -17,6 +17,7 @@
 //! in ascending support order, which maximizes the effect of properties
 //! 1 and 2.
 
+use farmer_core::session::{ControlState, MineControl, MineObserver, NoOpObserver};
 use farmer_dataset::Dataset;
 use rowset::{IdList, RowSet};
 use std::collections::HashMap;
@@ -203,20 +204,41 @@ impl DCharmCtx {
 /// }
 /// ```
 pub fn charm(data: &Dataset, min_sup: usize) -> CharmResult {
-    charm_budgeted(data, min_sup, None).expect_done("unbudgeted charm run")
+    charm_with(data, min_sup, &MineControl::new(), &mut NoOpObserver)
+        .expect_done("uncontrolled charm run")
 }
 
 /// [`charm`] with an optional budget on examined IT-pairs, for sweeps
 /// that must not hang on hopeless settings.
+#[deprecated(
+    since = "0.2.0",
+    note = "use charm_with with a MineControl carrying the budget"
+)]
 pub fn charm_budgeted(
     data: &Dataset,
     min_sup: usize,
     pair_budget: Option<u64>,
 ) -> crate::Budgeted<CharmResult> {
+    let ctl = MineControl::new().with_node_budget(pair_budget);
+    charm_with(data, min_sup, &ctl, &mut NoOpObserver)
+}
+
+/// [`charm`] under a [`MineControl`]: one control tick per examined
+/// IT-pair, so budgets, deadlines, and cooperative cancellation all land
+/// within milliseconds. Any control-triggered stop reports
+/// [`Budgeted::BudgetExhausted`](crate::Budgeted) (a truncated CHARM run
+/// has no useful partial answer — subsumption checks are global).
+pub fn charm_with<O: MineObserver + ?Sized>(
+    data: &Dataset,
+    min_sup: usize,
+    ctl: &MineControl,
+    obs: &mut O,
+) -> crate::Budgeted<CharmResult> {
     let min_sup = min_sup.max(1);
     let mut ctx = CharmCtx {
         min_sup,
-        budget: pair_budget.unwrap_or(u64::MAX),
+        st: ctl.state(),
+        obs,
         closed_by_rows: HashMap::new(),
         stats: CharmStats::default(),
     };
@@ -258,9 +280,10 @@ fn rows_from_key(key: &[usize], n: usize) -> RowSet {
     RowSet::from_ids(n, key.iter().copied())
 }
 
-struct CharmCtx {
+struct CharmCtx<'a, O: MineObserver + ?Sized> {
     min_sup: usize,
-    budget: u64,
+    st: ControlState<'a>,
+    obs: &'a mut O,
     /// tidset → largest itemset seen with that tidset. Because every
     /// itemset sharing a tidset is a subset of the tidset's closure, the
     /// largest survivor is the closed set.
@@ -268,7 +291,7 @@ struct CharmCtx {
     stats: CharmStats,
 }
 
-impl CharmCtx {
+impl<O: MineObserver + ?Sized> CharmCtx<'_, O> {
     fn extend(&mut self, mut siblings: Vec<ItPair>) -> Result<(), ()> {
         let mut idx = 0;
         while idx < siblings.len() {
@@ -280,7 +303,8 @@ impl CharmCtx {
             let mut j = idx + 1;
             while j < siblings.len() {
                 self.stats.pairs_examined += 1;
-                if self.stats.pairs_examined > self.budget {
+                self.obs.node_entered(items.len());
+                if self.st.tick().is_some() {
                     return Err(());
                 }
                 let rows_j = &siblings[j].rows;

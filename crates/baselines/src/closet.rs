@@ -17,6 +17,7 @@
 //! CHARM and CARPENTER.
 
 use crate::fptree::FpTree;
+use farmer_core::session::{ControlState, MineControl, MineObserver, NoOpObserver};
 use farmer_dataset::{Dataset, ItemId};
 use rowset::IdList;
 use std::collections::HashMap;
@@ -52,15 +53,34 @@ pub struct ClosetResult {
 
 /// Mines all closed itemsets of `data` with `|R(X)| >= min_sup`.
 pub fn closet(data: &Dataset, min_sup: usize) -> ClosetResult {
-    closet_budgeted(data, min_sup, None).expect_done("unbudgeted closet run")
+    closet_with(data, min_sup, &MineControl::new(), &mut NoOpObserver)
+        .expect_done("uncontrolled closet run")
 }
 
 /// [`closet`] with an optional budget on conditional FP-trees built, for
 /// sweeps that must not hang on hopeless settings.
+#[deprecated(
+    since = "0.2.0",
+    note = "use closet_with with a MineControl carrying the budget"
+)]
 pub fn closet_budgeted(
     data: &Dataset,
     min_sup: usize,
     tree_budget: Option<u64>,
+) -> crate::Budgeted<ClosetResult> {
+    let ctl = MineControl::new().with_node_budget(tree_budget);
+    closet_with(data, min_sup, &ctl, &mut NoOpObserver)
+}
+
+/// [`closet`] under a [`MineControl`]: one control tick per conditional
+/// FP-tree built. Any control-triggered stop reports
+/// [`Budgeted::BudgetExhausted`](crate::Budgeted) — a truncated CLOSET+
+/// run has no useful partial answer (subsumption checks are global).
+pub fn closet_with<O: MineObserver + ?Sized>(
+    data: &Dataset,
+    min_sup: usize,
+    ctl: &MineControl,
+    obs: &mut O,
 ) -> crate::Budgeted<ClosetResult> {
     let min_sup = min_sup.max(1);
     let transactions: Vec<(Vec<ItemId>, usize)> = (0..data.n_rows() as u32)
@@ -68,7 +88,8 @@ pub fn closet_budgeted(
         .collect();
     let mut ctx = ClosetCtx {
         min_sup,
-        budget: tree_budget.unwrap_or(u64::MAX),
+        st: ctl.state(),
+        obs,
         by_support: HashMap::new(),
         stats: ClosetStats::default(),
     };
@@ -93,15 +114,16 @@ pub fn closet_budgeted(
     })
 }
 
-struct ClosetCtx {
+struct ClosetCtx<'a, O: MineObserver + ?Sized> {
     min_sup: usize,
-    budget: u64,
+    st: ControlState<'a>,
+    obs: &'a mut O,
     /// support → closed itemsets at that support (the subsumption index).
     by_support: HashMap<usize, Vec<IdList>>,
     stats: ClosetStats,
 }
 
-impl ClosetCtx {
+impl<O: MineObserver + ?Sized> ClosetCtx<'_, O> {
     fn mine(&mut self, tree: &FpTree, prefix: &[ItemId]) -> Result<(), ()> {
         // single-path shortcut: closed sets are the prefix plus each
         // maximal run of equal counts along the chain
@@ -162,7 +184,8 @@ impl ClosetCtx {
                 .collect();
             let sub = FpTree::build(&sub_base, self.min_sup);
             self.stats.trees_built += 1;
-            if self.stats.trees_built > self.budget {
+            self.obs.node_entered(prefix.len() + 1);
+            if self.st.tick().is_some() {
                 return Err(());
             }
             if sub.is_empty() {

@@ -19,6 +19,7 @@
 
 use crate::Budgeted;
 use farmer_core::measures::{self, chi_square, Contingency};
+use farmer_core::session::{ControlState, MineControl, MineObserver, NoOpObserver, PruneReason};
 use farmer_core::{ExtraConstraint, MiningParams, RuleGroup};
 use farmer_dataset::Dataset;
 use rowset::{IdList, RowSet};
@@ -57,6 +58,20 @@ pub fn column_e(
     params: &MiningParams,
     node_budget: Option<u64>,
 ) -> Budgeted<ColumnEResult> {
+    let ctl = MineControl::new().with_node_budget(node_budget);
+    column_e_with(data, params, &ctl, &mut NoOpObserver)
+}
+
+/// [`column_e`] under a [`MineControl`]. The control's budget takes
+/// precedence over [`MiningParams::node_budget`]; any control-triggered
+/// stop reports [`Budgeted::BudgetExhausted`] because the subsumption
+/// filter needs the full group set to be meaningful.
+pub fn column_e_with<O: MineObserver + ?Sized>(
+    data: &Dataset,
+    params: &MiningParams,
+    ctl: &MineControl,
+    obs: &mut O,
+) -> Budgeted<ColumnEResult> {
     let n = data.n_rows();
     let m = data.class_count(params.target_class);
     let class_rows = data.class_rows(params.target_class);
@@ -70,7 +85,8 @@ pub fn column_e(
         data,
         class_rows: &class_rows,
         min_sup: params.min_sup,
-        budget: node_budget.unwrap_or(u64::MAX),
+        st: ctl.state_with_budget(ctl.node_budget.or(params.node_budget)),
+        obs,
         frequent: &frequent,
         stats: ColumnEStats::default(),
         by_rows: HashMap::new(),
@@ -81,6 +97,7 @@ pub fn column_e(
             nodes: ctx.stats.nodes_visited,
         };
     }
+    let obs = ctx.obs;
 
     // assemble rule groups and apply the FARMER interestingness filter
     let mut found: Vec<(IdList, IdList, RowSet, usize)> = ctx
@@ -130,8 +147,10 @@ pub fn column_e(
             g.upper.len() < upper.len() && g.upper.is_subset(&upper) && g.confidence() >= conf
         });
         if dominated {
+            obs.pruned(PruneReason::NotInteresting);
             continue;
         }
+        obs.group_emitted(sup_p, sup_n);
         groups.push(RuleGroup {
             upper,
             lower: vec![rep],
@@ -146,30 +165,33 @@ pub fn column_e(
     Budgeted::Done(ColumnEResult { groups, stats })
 }
 
-struct WalkCtx<'a> {
+struct WalkCtx<'a, O: MineObserver + ?Sized> {
     data: &'a Dataset,
     class_rows: &'a RowSet,
     min_sup: usize,
-    budget: u64,
+    st: ControlState<'a>,
+    obs: &'a mut O,
     frequent: &'a [u32],
     stats: ColumnEStats,
     /// antecedent support set → first (representative) itemset reaching it
     by_rows: HashMap<Vec<usize>, IdList>,
 }
 
-impl WalkCtx<'_> {
+impl<O: MineObserver + ?Sized> WalkCtx<'_, O> {
     /// Depth-first set enumeration: extend `itemset` (with tidset `rows`)
     /// by every frequent item ≥ `next`.
     fn walk(&mut self, itemset: &[u32], rows: &RowSet, next: usize) -> Result<(), ()> {
         for (k, &i) in self.frequent.iter().enumerate().skip(next) {
             self.stats.nodes_visited += 1;
-            if self.stats.nodes_visited > self.budget {
+            self.obs.node_entered(itemset.len() + 1);
+            if self.st.tick().is_some() {
                 return Err(());
             }
             let child_rows = rows.intersection(self.data.item_rows(i));
             // anti-monotone bound: rule support can only shrink
             if child_rows.intersection_len(self.class_rows) < self.min_sup {
                 self.stats.pruned_support += 1;
+                self.obs.pruned(PruneReason::TightSupport);
                 continue;
             }
             let mut child_items: Vec<u32> = itemset.to_vec();

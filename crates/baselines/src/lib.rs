@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
 pub mod apriori;
 pub mod charm;
 pub mod closet;
 pub mod column_e;
 mod fptree;
 
+pub use adapters::{AprioriMiner, CharmMiner, ClosetMiner, ColumnEMiner};
 pub use fptree::FpTree;
 
 /// A mining run that may exhaust its node budget.

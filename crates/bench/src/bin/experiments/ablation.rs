@@ -7,9 +7,10 @@
 
 use crate::Opts;
 use farmer_bench::report::Table;
+use farmer_bench::trajectory::TrajectoryObserver;
 use farmer_bench::workloads::WorkloadCache;
 use farmer_bench::{fmt_ms, time};
-use farmer_core::{Engine, Farmer, MiningParams, PruningConfig};
+use farmer_core::{Engine, Farmer, MineControl, MiningParams, PruningConfig};
 use farmer_dataset::synth::PaperDataset;
 
 pub fn run(opts: &Opts, cache: &WorkloadCache) {
@@ -94,6 +95,35 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
             fmt_ms(dt),
             res.stats.nodes_visited.to_string(),
             res.len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // When in the search does each strategy earn its keep? Sample the
+    // running prune counters on a heartbeat cadence and print the curve.
+    println!("== Prune-counter trajectory (all strategies, heartbeat every 512 nodes) ==\n");
+    let ctl = MineControl::new().with_heartbeat_every(512);
+    let mut obs = TrajectoryObserver::default();
+    let res = Farmer::new(params).mine_session(&d, &ctl, &mut obs);
+    let samples = obs.finish(&res.stats);
+    let mut t = Table::new(&[
+        "nodes",
+        "groups",
+        "dup",
+        "loose",
+        "tight-sup",
+        "tight-conf",
+        "chi",
+    ]);
+    for s in &samples {
+        t.row_owned(vec![
+            s.nodes.to_string(),
+            s.groups.to_string(),
+            s.pruned_duplicate.to_string(),
+            s.pruned_loose.to_string(),
+            s.pruned_tight_support.to_string(),
+            s.pruned_tight_confidence.to_string(),
+            s.pruned_chi.to_string(),
         ]);
     }
     println!("{}", t.render());

@@ -3,14 +3,14 @@
 //! plus the 10(f) IRG counts.
 
 use crate::Opts;
-use farmer_baselines::charm::charm_budgeted;
-use farmer_baselines::closet::closet_budgeted;
+use farmer_baselines::charm::charm_with;
+use farmer_baselines::closet::closet_with;
 use farmer_baselines::column_e::column_e;
 use farmer_baselines::Budgeted;
 use farmer_bench::report::Table;
 use farmer_bench::workloads::{fig10_minsup_grid, WorkloadCache};
 use farmer_bench::{fmt_ms, time};
-use farmer_core::{Farmer, MiningParams};
+use farmer_core::{Farmer, MineControl, MiningParams, NoOpObserver};
 use farmer_dataset::synth::PaperDataset;
 
 pub fn run(opts: &Opts, cache: &WorkloadCache) {
@@ -67,7 +67,8 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
             let charm_cell = if charm_dead {
                 "-".to_string()
             } else {
-                let (r, dt) = time(|| charm_budgeted(&d, minsup, Some(opts.budget)));
+                let ctl = MineControl::new().with_node_budget(Some(opts.budget));
+                let (r, dt) = time(|| charm_with(&d, minsup, &ctl, &mut NoOpObserver));
                 match r {
                     Budgeted::Done(_) => fmt_ms(dt),
                     Budgeted::BudgetExhausted { .. } => {
@@ -79,7 +80,8 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
             let closet_cell = if closet_dead {
                 "-".to_string()
             } else {
-                let (r, dt) = time(|| closet_budgeted(&d, minsup, Some(opts.budget / 100)));
+                let ctl = MineControl::new().with_node_budget(Some(opts.budget / 100));
+                let (r, dt) = time(|| closet_with(&d, minsup, &ctl, &mut NoOpObserver));
                 match r {
                     Budgeted::Done(_) => fmt_ms(dt),
                     Budgeted::BudgetExhausted { .. } => {

@@ -5,13 +5,13 @@
 //! mines the same patterns over proportionally more rows.
 
 use crate::Opts;
-use farmer_baselines::charm::charm_budgeted;
-use farmer_baselines::closet::closet_budgeted;
+use farmer_baselines::charm::charm_with;
+use farmer_baselines::closet::closet_with;
 use farmer_baselines::Budgeted;
 use farmer_bench::report::Table;
 use farmer_bench::workloads::WorkloadCache;
 use farmer_bench::{fmt_ms, time};
-use farmer_core::{Farmer, MiningParams};
+use farmer_core::{Farmer, MineControl, MiningParams, NoOpObserver};
 use farmer_dataset::replicate::replicate_rows;
 use farmer_dataset::synth::PaperDataset;
 
@@ -33,12 +33,14 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
             .min_sup(minsup)
             .min_conf(0.0);
         let (res, t_farmer) = time(|| Farmer::new(params).mine(&d));
-        let (ch, t_charm) = time(|| charm_budgeted(&d, minsup, Some(opts.budget)));
+        let ctl = MineControl::new().with_node_budget(Some(opts.budget));
+        let (ch, t_charm) = time(|| charm_with(&d, minsup, &ctl, &mut NoOpObserver));
         let charm_cell = match ch {
             Budgeted::Done(_) => fmt_ms(t_charm),
             Budgeted::BudgetExhausted { .. } => format!(">{}", fmt_ms(t_charm)),
         };
-        let (cl, t_closet) = time(|| closet_budgeted(&d, minsup, Some(opts.budget / 200)));
+        let ctl = MineControl::new().with_node_budget(Some(opts.budget / 200));
+        let (cl, t_closet) = time(|| closet_with(&d, minsup, &ctl, &mut NoOpObserver));
         let closet_cell = match cl {
             Budgeted::Done(_) => fmt_ms(t_closet),
             Budgeted::BudgetExhausted { .. } => format!(">{}", fmt_ms(t_closet)),

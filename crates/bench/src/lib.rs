@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod trajectory;
 pub mod workloads;
 
 use std::time::{Duration, Instant};

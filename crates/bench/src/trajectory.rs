@@ -1,0 +1,180 @@
+//! Heartbeat-sampled prune-counter trajectories.
+//!
+//! A [`TrajectoryObserver`] rides along one mining session and, at every
+//! heartbeat, snapshots how many nodes each pruning strategy has killed
+//! so far. The resulting curve shows *when* in the search each strategy
+//! earns its keep — information the end-of-run totals in `MineStats`
+//! cannot give.
+
+use farmer_core::{CountingObserver, Heartbeat, MineObserver, MineStats, PruneReason};
+use farmer_support::json::{Json, ObjBuilder};
+
+/// One snapshot of the running counters, taken at a heartbeat.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// Enumeration nodes visited so far.
+    pub nodes: u64,
+    /// Groups emitted so far.
+    pub groups: u64,
+    /// Strategy-2 duplicate prunes so far.
+    pub pruned_duplicate: u64,
+    /// Strategy-3 loose-bound prunes so far.
+    pub pruned_loose: u64,
+    /// Strategy-3 tight support prunes so far.
+    pub pruned_tight_support: u64,
+    /// Strategy-3 tight confidence prunes so far.
+    pub pruned_tight_confidence: u64,
+    /// χ²-bound prunes so far.
+    pub pruned_chi: u64,
+    /// Interestingness rejections so far.
+    pub rejected_not_interesting: u64,
+}
+
+impl TrajectoryPoint {
+    fn from_counts(c: &CountingObserver, hb: &Heartbeat) -> Self {
+        TrajectoryPoint {
+            nodes: hb.nodes_visited,
+            groups: hb.groups_found as u64,
+            pruned_duplicate: c.pruned_duplicate,
+            pruned_loose: c.pruned_loose,
+            pruned_tight_support: c.pruned_tight_support,
+            pruned_tight_confidence: c.pruned_tight_confidence,
+            pruned_chi: c.pruned_chi,
+            rejected_not_interesting: c.rejected_not_interesting,
+        }
+    }
+
+    /// Serializes into a flat JSON object.
+    pub fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("nodes", self.nodes)
+            .field("groups", self.groups)
+            .field("duplicate", self.pruned_duplicate)
+            .field("loose_bound", self.pruned_loose)
+            .field("tight_support", self.pruned_tight_support)
+            .field("tight_confidence", self.pruned_tight_confidence)
+            .field("chi_bound", self.pruned_chi)
+            .field("not_interesting", self.rejected_not_interesting)
+            .build()
+    }
+}
+
+/// A [`MineObserver`] that samples the prune counters on every
+/// heartbeat. Set the cadence with
+/// [`MineControl::with_heartbeat_every`](farmer_core::MineControl::with_heartbeat_every);
+/// no heartbeats means no samples.
+#[derive(Debug, Default)]
+pub struct TrajectoryObserver {
+    counts: CountingObserver,
+    /// The sampled trajectory, in heartbeat order.
+    pub samples: Vec<TrajectoryPoint>,
+}
+
+impl TrajectoryObserver {
+    /// Takes one final sample from the end-of-run stats so the last
+    /// partial heartbeat interval is never lost, then returns the
+    /// completed trajectory.
+    pub fn finish(mut self, stats: &MineStats) -> Vec<TrajectoryPoint> {
+        let last = TrajectoryPoint {
+            nodes: stats.nodes_visited,
+            groups: self.counts.emitted,
+            pruned_duplicate: self.counts.pruned_duplicate,
+            pruned_loose: self.counts.pruned_loose,
+            pruned_tight_support: self.counts.pruned_tight_support,
+            pruned_tight_confidence: self.counts.pruned_tight_confidence,
+            pruned_chi: self.counts.pruned_chi,
+            rejected_not_interesting: self.counts.rejected_not_interesting,
+        };
+        if self.samples.last() != Some(&last) {
+            self.samples.push(last);
+        }
+        self.samples
+    }
+}
+
+impl MineObserver for TrajectoryObserver {
+    fn node_entered(&mut self, depth: usize) {
+        self.counts.node_entered(depth);
+    }
+
+    fn pruned(&mut self, reason: PruneReason) {
+        self.counts.pruned(reason);
+    }
+
+    fn group_emitted(&mut self, sup: usize, neg_sup: usize) {
+        self.counts.group_emitted(sup, neg_sup);
+    }
+
+    fn heartbeat(&mut self, hb: &Heartbeat) {
+        self.counts.heartbeat(hb);
+        self.samples
+            .push(TrajectoryPoint::from_counts(&self.counts, hb));
+    }
+
+    fn worker_finished(&mut self, worker: usize, tally: &MineStats) {
+        self.counts.worker_finished(worker, tally);
+    }
+}
+
+/// Serializes a whole trajectory as a JSON array of sample objects.
+pub fn trajectory_json(samples: &[TrajectoryPoint]) -> Json {
+    Json::Arr(samples.iter().map(TrajectoryPoint::to_json).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_core::{Farmer, MineControl, MiningParams};
+    use farmer_dataset::discretize::Discretizer;
+    use farmer_dataset::synth::SynthConfig;
+
+    fn workload() -> farmer_dataset::Dataset {
+        let m = SynthConfig {
+            n_rows: 24,
+            n_genes: 120,
+            n_class1: 12,
+            n_signature: 40,
+            clusters_per_class: 2,
+            cluster_spread: 1.8,
+            cluster_noise: 0.35,
+            ..Default::default()
+        }
+        .generate();
+        Discretizer::EqualDepth { buckets: 6 }.discretize(&m)
+    }
+
+    #[test]
+    fn trajectory_is_monotone_and_ends_at_stats() {
+        let d = workload();
+        let params = MiningParams::new(1).min_sup(2).min_conf(0.6);
+        let ctl = MineControl::new().with_heartbeat_every(32);
+        let mut obs = TrajectoryObserver::default();
+        let r = Farmer::new(params).mine_session(&d, &ctl, &mut obs);
+        let samples = obs.finish(&r.stats);
+        assert!(samples.len() > 2, "{}", samples.len());
+        for w in samples.windows(2) {
+            assert!(w[0].nodes < w[1].nodes);
+            assert!(w[0].pruned_tight_support <= w[1].pruned_tight_support);
+            assert!(w[0].groups <= w[1].groups);
+        }
+        let last = samples.last().unwrap();
+        assert_eq!(last.nodes, r.stats.nodes_visited);
+        assert_eq!(last.pruned_tight_support, r.stats.pruned_tight_support);
+        assert_eq!(last.groups as usize, r.len());
+    }
+
+    #[test]
+    fn trajectory_serializes() {
+        let d = workload();
+        let ctl = MineControl::new().with_heartbeat_every(64);
+        let mut obs = TrajectoryObserver::default();
+        let r = Farmer::new(MiningParams::new(1).min_sup(2)).mine_session(&d, &ctl, &mut obs);
+        let samples = obs.finish(&r.stats);
+        let s = trajectory_json(&samples).pretty();
+        let parsed = farmer_support::json::Json::parse(&s).unwrap();
+        assert_eq!(
+            parsed[samples.len() - 1]["nodes"].as_u64(),
+            Some(r.stats.nodes_visited)
+        );
+    }
+}

@@ -18,7 +18,8 @@
 //! a sample losing its best group to measurement noise is still scored
 //! by the remaining committee members.
 
-use farmer_core::topk::{mine_top_k_budgeted, TopKGroup};
+use farmer_core::topk::{mine_top_k_session, TopKGroup};
+use farmer_core::{MineControl, NoOpObserver};
 use farmer_dataset::{ClassLabel, Dataset};
 use rowset::IdList;
 
@@ -70,7 +71,8 @@ impl TopKCommittee {
                 continue;
             }
             let prior = class_n as f64 / n;
-            let result = mine_top_k_budgeted(train, class, k, min_sup, Some(TRAIN_NODE_BUDGET));
+            let ctl = MineControl::new().with_node_budget(Some(TRAIN_NODE_BUDGET));
+            let result = mine_top_k_session(train, class, k, min_sup, &ctl, &mut NoOpObserver);
             for (row, groups) in result.per_row.iter().enumerate() {
                 if train.label(row as u32) != class {
                     continue; // committees are built from same-class covers

@@ -2,7 +2,7 @@
 //! and IRG classifier front-ends.
 
 use crate::eval::accuracy;
-use farmer_core::{Farmer, MiningParams, RuleGroup};
+use farmer_core::{Farmer, MineControl, MiningParams, NoOpObserver, RuleGroup};
 use farmer_dataset::{ClassLabel, Dataset};
 use rowset::{IdList, RowSet};
 
@@ -261,9 +261,13 @@ fn mine_groups_per_class(train: &Dataset, sup_frac: f64, min_conf: f64) -> Vec<R
         let params = MiningParams::new(c)
             .min_sup(min_sup)
             .min_conf(min_conf)
-            .lower_bounds(true)
-            .node_budget(Some(TRAIN_NODE_BUDGET));
-        groups.extend(Farmer::new(params).mine(train).groups);
+            .lower_bounds(true);
+        let ctl = MineControl::new().with_node_budget(Some(TRAIN_NODE_BUDGET));
+        groups.extend(
+            Farmer::new(params)
+                .mine_session(train, &ctl, &mut NoOpObserver)
+                .groups,
+        );
     }
     groups
 }

@@ -57,6 +57,9 @@ pub struct DiscretizeArgs {
 pub struct MineArgs {
     /// Input transaction file.
     pub input: PathBuf,
+    /// Mining engine: `farmer`, `topk`, `naive`, `charm`, `closet`,
+    /// `apriori`, or `column-e`. All answer the same question.
+    pub algo: String,
     /// Consequent class label.
     pub class: u32,
     /// Minimum rule support.
@@ -67,6 +70,17 @@ pub struct MineArgs {
     pub min_chi: f64,
     /// Skip lower bounds.
     pub no_lower_bounds: bool,
+    /// Groups per row for `--algo topk`.
+    pub k: usize,
+    /// Wall-clock limit in milliseconds; a timed-out run returns the
+    /// valid partial result found so far.
+    pub timeout_ms: Option<u64>,
+    /// Cap on enumeration nodes (same partial-result semantics).
+    pub node_budget: Option<u64>,
+    /// Print heartbeat progress lines to stderr while mining.
+    pub progress: bool,
+    /// Print a machine-readable run report (JSON) to stdout.
+    pub stats_json: bool,
     /// Optional JSON output path.
     pub json: Option<PathBuf>,
     /// Optional HTML report path.
@@ -86,6 +100,8 @@ pub struct TopKArgs {
     pub k: usize,
     /// Minimum rule support.
     pub min_sup: usize,
+    /// Wall-clock limit in milliseconds.
+    pub timeout_ms: Option<u64>,
 }
 
 /// Options of `farmer closed`.
@@ -138,11 +154,17 @@ pub fn parse(argv: &[String]) -> Result<Command> {
         })),
         "mine" => Ok(Command::Mine(MineArgs {
             input: path_required(&opts, "in")?,
+            algo: get_or(&opts, "algo", "farmer"),
             class: num(&opts, "class", 1)?,
             min_sup: num(&opts, "min-sup", 1)?,
             min_conf: num(&opts, "min-conf", 0.0)?,
             min_chi: num(&opts, "min-chi", 0.0)?,
             no_lower_bounds: flag(&opts, "no-lower-bounds"),
+            k: num(&opts, "k", 3)?,
+            timeout_ms: opt_num(&opts, "timeout-ms")?,
+            node_budget: opt_num(&opts, "node-budget")?,
+            progress: flag(&opts, "progress"),
+            stats_json: flag(&opts, "stats-json"),
             json: opts.get("json").and_then(|v| v.clone().map(PathBuf::from)),
             html: opts.get("html").and_then(|v| v.clone().map(PathBuf::from)),
             limit: num(&opts, "limit", 20)?,
@@ -152,6 +174,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             class: num(&opts, "class", 1)?,
             k: num(&opts, "k", 3)?,
             min_sup: num(&opts, "min-sup", 1)?,
+            timeout_ms: opt_num(&opts, "timeout-ms")?,
         })),
         "closed" => Ok(Command::Closed(ClosedArgs {
             input: path_required(&opts, "in")?,
@@ -211,6 +234,21 @@ fn num<T: std::str::FromStr>(
     }
 }
 
+/// Like [`num`] but with no default: absent means `None`.
+fn opt_num<T: std::str::FromStr>(
+    opts: &HashMap<String, Option<String>>,
+    key: &str,
+) -> Result<Option<T>> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(Some(v)) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+        Some(None) => Err(CliError(format!("--{key} needs a value"))),
+    }
+}
+
 fn path_required(opts: &HashMap<String, Option<String>>, key: &str) -> Result<PathBuf> {
     match opts.get(key) {
         Some(Some(v)) => Ok(PathBuf::from(v)),
@@ -250,16 +288,51 @@ mod tests {
         match c {
             Command::Mine(m) => {
                 assert_eq!(m.input, PathBuf::from("d.txt"));
+                assert_eq!(m.algo, "farmer");
                 assert_eq!(m.class, 0);
                 assert_eq!(m.min_sup, 4);
                 assert!((m.min_conf - 0.9).abs() < 1e-12);
                 assert!(m.no_lower_bounds);
+                assert_eq!(m.timeout_ms, None);
+                assert_eq!(m.node_budget, None);
+                assert!(!m.progress);
+                assert!(!m.stats_json);
                 assert_eq!(m.json, None);
                 assert_eq!(m.html, None);
                 assert_eq!(m.limit, 20);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_session_options() {
+        let c = parse(&sv(&[
+            "mine",
+            "--in",
+            "d.txt",
+            "--algo",
+            "charm",
+            "--timeout-ms",
+            "250",
+            "--node-budget",
+            "10000",
+            "--progress",
+            "--stats-json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Mine(m) => {
+                assert_eq!(m.algo, "charm");
+                assert_eq!(m.timeout_ms, Some(250));
+                assert_eq!(m.node_budget, Some(10000));
+                assert!(m.progress);
+                assert!(m.stats_json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&sv(&["mine", "--in", "d.txt", "--timeout-ms", "soon"])).unwrap_err();
+        assert!(err.to_string().contains("timeout-ms"), "{err}");
     }
 
     #[test]

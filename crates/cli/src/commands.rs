@@ -1,17 +1,22 @@
 //! Command execution.
 
 use crate::args::*;
-use crate::output::{render_html, GroupJson, MineJson};
+use crate::output::{render_html, stats_json, GroupJson, MineJson};
 use crate::{CliError, Result, USAGE};
+use farmer_baselines::{AprioriMiner, CharmMiner, ClosetMiner, ColumnEMiner};
 use farmer_classify::eval::accuracy;
 use farmer_classify::pipeline::DiscretizedSplit;
 use farmer_classify::{CbaClassifier, IrgClassifier, SvmClassifier, SvmConfig};
-use farmer_core::topk::mine_top_k;
-use farmer_core::{Farmer, MiningParams};
+use farmer_core::naive::NaiveMiner;
+use farmer_core::topk::{mine_top_k_session, TopKMiner};
+use farmer_core::{
+    Farmer, Heartbeat, MineControl, MineObserver, Miner, MiningParams, NoOpObserver,
+};
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::{PaperDataset, SynthConfig};
 use farmer_dataset::{io as dio, Dataset};
 use std::io::Write;
+use std::time::{Duration, Instant};
 
 /// Runs one parsed command, writing human-readable output to `out`.
 pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
@@ -147,25 +152,123 @@ fn load_and_check_class(path: &std::path::Path, class: u32) -> Result<Dataset> {
     Ok(data)
 }
 
+/// Progress reporter for `--progress`: one stderr line per heartbeat,
+/// without touching the primary output stream.
+struct ProgressObserver {
+    started: Instant,
+}
+
+impl MineObserver for ProgressObserver {
+    fn heartbeat(&mut self, hb: &Heartbeat) {
+        eprintln!(
+            "[{:7.1}s] {} nodes, {} groups",
+            self.started.elapsed().as_secs_f64(),
+            hb.nodes_visited,
+            hb.groups_found,
+        );
+        let _ = hb.elapsed;
+    }
+}
+
+/// Resolves `--algo` to a boxed [`Miner`]; every choice answers the
+/// same interesting-rule-group question.
+fn miner_for(a: &MineArgs, params: &MiningParams, data: &Dataset) -> Result<Box<dyn Miner>> {
+    Ok(match a.algo.as_str() {
+        "farmer" => Box::new(Farmer::new(params.clone())),
+        "topk" => Box::new(TopKMiner {
+            class: params.target_class,
+            k: a.k,
+            min_sup: params.min_sup,
+        }),
+        "naive" => {
+            if data.n_rows() > 20 {
+                return Err(CliError(format!(
+                    "--algo naive enumerates all 2^rows row sets; {} rows is too many (max 20)",
+                    data.n_rows()
+                )));
+            }
+            Box::new(NaiveMiner {
+                params: params.clone(),
+            })
+        }
+        "charm" => Box::new(CharmMiner {
+            params: params.clone(),
+        }),
+        "closet" => Box::new(ClosetMiner {
+            params: params.clone(),
+        }),
+        "apriori" => Box::new(AprioriMiner {
+            params: params.clone(),
+        }),
+        "column-e" => Box::new(ColumnEMiner {
+            params: params.clone(),
+        }),
+        other => {
+            return Err(CliError(format!(
+            "unknown algorithm '{other}' (farmer, topk, naive, charm, closet, apriori, column-e)"
+        )))
+        }
+    })
+}
+
+/// Builds the run control from the session flags.
+fn control_from(timeout_ms: Option<u64>, node_budget: Option<u64>, progress: bool) -> MineControl {
+    let mut ctl = MineControl::new().with_node_budget(node_budget);
+    if let Some(ms) = timeout_ms {
+        ctl = ctl.with_timeout(Duration::from_millis(ms));
+    }
+    if progress {
+        ctl = ctl.with_heartbeat_every(8192);
+    }
+    ctl
+}
+
 fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
     let data = load_and_check_class(&a.input, a.class)?;
-    let params = MiningParams::new(a.class)
-        .min_sup(a.min_sup)
-        .min_conf(a.min_conf)
-        .min_chi(a.min_chi)
-        .lower_bounds(!a.no_lower_bounds);
-    let result = Farmer::new(params).mine(&data);
-    writeln!(
-        out,
-        "{} interesting rule groups ({} nodes visited) on {} rows x {} items",
-        result.len(),
-        result.stats.nodes_visited,
-        data.n_rows(),
-        data.n_items()
-    )?;
-    let limit = if a.limit == 0 { usize::MAX } else { a.limit };
-    for g in result.ranked().into_iter().take(limit) {
-        writeln!(out, "  {}", g.display(&data))?;
+    let params = MiningParams {
+        min_sup: a.min_sup,
+        min_conf: a.min_conf,
+        min_chi: a.min_chi,
+        lower_bounds: !a.no_lower_bounds,
+        ..MiningParams::new(a.class)
+    };
+    params.validate().map_err(CliError)?;
+    let miner = miner_for(&a, &params, &data)?;
+    let ctl = control_from(a.timeout_ms, a.node_budget, a.progress);
+    let started = Instant::now();
+    let result = if a.progress {
+        miner.mine_with(&data, &ctl, &mut ProgressObserver { started })
+    } else {
+        miner.mine_with(&data, &ctl, &mut NoOpObserver)
+    };
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    if a.stats_json {
+        // machine-readable mode: stdout is exactly one JSON document
+        writeln!(
+            out,
+            "{}",
+            stats_json(miner.name(), &result.stats, result.len(), elapsed_ms).pretty()
+        )?;
+    } else {
+        writeln!(
+            out,
+            "{} interesting rule groups ({} nodes visited) on {} rows x {} items",
+            result.len(),
+            result.stats.nodes_visited,
+            data.n_rows(),
+            data.n_items()
+        )?;
+        if !result.stats.stop.is_complete() {
+            writeln!(
+                out,
+                "search stopped early ({}); the groups above are a valid partial answer",
+                result.stats.stop.as_str()
+            )?;
+        }
+        let limit = if a.limit == 0 { usize::MAX } else { a.limit };
+        for g in result.ranked().into_iter().take(limit) {
+            writeln!(out, "  {}", g.display(&data))?;
+        }
     }
     if a.json.is_some() || a.html.is_some() {
         let payload = MineJson {
@@ -195,12 +298,20 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
 
 fn topk(a: TopKArgs, out: &mut dyn Write) -> Result<()> {
     let data = load_and_check_class(&a.input, a.class)?;
-    let result = mine_top_k(&data, a.class, a.k, a.min_sup);
+    let ctl = control_from(a.timeout_ms, None, false);
+    let result = mine_top_k_session(&data, a.class, a.k, a.min_sup, &ctl, &mut NoOpObserver);
     writeln!(
         out,
         "top-{} covering rule groups per row ({} nodes visited)",
         a.k, result.nodes_visited
     )?;
+    if !result.stop.is_complete() {
+        writeln!(
+            out,
+            "search stopped early ({}); coverage below may be incomplete",
+            result.stop.as_str()
+        )?;
+    }
     for (r, groups) in result.per_row.iter().enumerate() {
         write!(out, "row {r} [{}]:", data.class_name(data.label(r as u32)))?;
         if groups.is_empty() {
@@ -527,6 +638,124 @@ mod tests {
                 method,
             ]);
             assert!(s.contains("accuracy"), "{s}");
+        }
+    }
+
+    /// Builds a small transaction file once and returns its path.
+    fn mining_input(stem: &str, rows: &str, genes: &str) -> std::path::PathBuf {
+        let csv = tmp(&format!("{stem}.csv"));
+        let txt = tmp(&format!("{stem}.txt"));
+        run_ok(&[
+            "synth",
+            "--preset",
+            "custom",
+            "--rows",
+            rows,
+            "--genes",
+            genes,
+            "--out",
+            csv.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "discretize",
+            "--in",
+            csv.to_str().unwrap(),
+            "--method",
+            "equal-depth:4",
+            "--out",
+            txt.to_str().unwrap(),
+        ]);
+        txt
+    }
+
+    #[test]
+    fn stats_json_is_parseable() {
+        let txt = mining_input("sj", "20", "50");
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "3",
+            "--stats-json",
+        ]);
+        let j = farmer_support::json::Json::parse(&s).unwrap_or_else(|e| panic!("{e}: {s}"));
+        assert_eq!(j["algo"].as_str(), Some("farmer"));
+        assert_eq!(j["stop"].as_str(), Some("completed"));
+        assert!(j["nodes_visited"].as_u64().unwrap() > 0);
+        assert!(j["pruned"]["tight_support"].as_u64().is_some(), "{s}");
+    }
+
+    #[test]
+    fn node_budget_truncates_with_notice() {
+        let txt = mining_input("nb", "24", "60");
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "2",
+            "--node-budget",
+            "5",
+        ]);
+        assert!(s.contains("search stopped early (budget)"), "{s}");
+        // the same run as JSON reports truncation machine-readably
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "2",
+            "--node-budget",
+            "5",
+            "--stats-json",
+        ]);
+        let j = farmer_support::json::Json::parse(&s).unwrap();
+        assert_eq!(j["stop"].as_str(), Some("budget"));
+        assert_eq!(j["truncated"].as_bool(), Some(true));
+        assert_eq!(j["nodes_visited"].as_u64(), Some(6));
+    }
+
+    #[test]
+    fn invalid_thresholds_error_cleanly() {
+        let txt = mining_input("nv", "12", "30");
+        let mut out = Vec::new();
+        for bad in [
+            ["--min-conf", "NaN"],
+            ["--min-conf", "1.5"],
+            ["--min-chi", "-2"],
+        ] {
+            let argv: Vec<String> = ["mine", "--in", txt.to_str().unwrap(), bad[0], bad[1]]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = crate::run(&argv, &mut out).unwrap_err();
+            let field = bad[0][2..].replace('-', "_");
+            assert!(err.to_string().contains(&field), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn all_algos_agree_on_group_count() {
+        let txt = mining_input("aa", "14", "30");
+        let count = |algo: &str| {
+            let s = run_ok(&[
+                "mine",
+                "--in",
+                txt.to_str().unwrap(),
+                "--algo",
+                algo,
+                "--min-sup",
+                "2",
+                "--stats-json",
+            ]);
+            let j = farmer_support::json::Json::parse(&s).unwrap();
+            j["n_groups"].as_u64().unwrap()
+        };
+        let reference = count("farmer");
+        assert!(reference > 0);
+        for algo in ["charm", "closet", "apriori", "column-e"] {
+            assert_eq!(count(algo), reference, "{algo}");
         }
     }
 

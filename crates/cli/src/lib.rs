@@ -60,4 +60,22 @@ COMMANDS:
   classify    train on one transaction/CSV file, evaluate on another
   help        show this message
 
+MINE OPTIONS:
+  --in <path>         transaction file (required)
+  --algo <name>       farmer | topk | naive | charm | closet | apriori | column-e
+  --class <n>         consequent class label          (default 1)
+  --min-sup <n>       minimum rule support            (default 1)
+  --min-conf <f>      minimum confidence in [0, 1]    (default 0)
+  --min-chi <f>       minimum chi-square              (default 0)
+  --k <n>             groups per row for --algo topk  (default 3)
+  --no-lower-bounds   report upper bounds only
+  --timeout-ms <ms>   stop after this long; prints the valid partial result
+  --node-budget <n>   stop after n enumeration nodes (same partial semantics)
+  --progress          heartbeat progress lines on stderr
+  --stats-json        machine-readable run report (JSON) instead of text
+  --json/--html <p>   write the full result to a file
+  --limit <n>         print at most n groups (0 = all, default 20)
+
+`farmer topk` also honors --timeout-ms.
+
 Run `farmer <COMMAND> --help` for the command's options.";

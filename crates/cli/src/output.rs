@@ -1,6 +1,6 @@
-//! Serializable result shapes for `--json` output.
+//! Serializable result shapes for `--json` and `--stats-json` output.
 
-use farmer_core::RuleGroup;
+use farmer_core::{MineStats, RuleGroup};
 use farmer_dataset::Dataset;
 use farmer_support::json::{Json, ObjBuilder};
 
@@ -99,6 +99,32 @@ impl MineJson {
             )
             .build()
     }
+}
+
+/// The `--stats-json` report: what one mining session did, in a stable
+/// machine-readable shape (counters from [`MineStats`], the stop cause,
+/// and wall time).
+pub fn stats_json(algo: &str, stats: &MineStats, n_groups: usize, elapsed_ms: u64) -> Json {
+    ObjBuilder::new()
+        .field("algo", algo)
+        .field("stop", stats.stop.as_str())
+        .field("truncated", Json::Bool(stats.budget_exhausted))
+        .field("n_groups", n_groups)
+        .field("nodes_visited", stats.nodes_visited)
+        .field("elapsed_ms", elapsed_ms)
+        .field(
+            "pruned",
+            ObjBuilder::new()
+                .field("duplicate", stats.pruned_duplicate)
+                .field("loose_bound", stats.pruned_loose)
+                .field("tight_support", stats.pruned_tight_support)
+                .field("tight_confidence", stats.pruned_tight_confidence)
+                .field("chi_bound", stats.pruned_chi)
+                .field("not_interesting", stats.rejected_not_interesting)
+                .build(),
+        )
+        .field("rows_compressed", stats.rows_compressed)
+        .build()
 }
 
 /// Renders a self-contained HTML report of a mining run — the

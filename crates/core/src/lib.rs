@@ -58,6 +58,7 @@ pub mod cond;
 pub mod measures;
 pub mod minelb;
 pub mod naive;
+pub mod session;
 pub mod topk;
 
 mod index;
@@ -69,3 +70,7 @@ pub use index::GroupIndex;
 pub use miner::Farmer;
 pub use params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
 pub use rule::{MineResult, MineStats, RuleGroup};
+pub use session::{
+    CountingObserver, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
+    StopCause, StopHandle,
+};

@@ -5,8 +5,12 @@ use crate::measures::{self, chi_square, chi_square_upper_bound, convex_upper_bou
 use crate::minelb::mine_lower_bounds;
 use crate::params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
 use crate::rule::{MineResult, MineStats, RuleGroup};
+use crate::session::{
+    ControlState, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
+};
 use farmer_dataset::{Dataset, RowId, TransposedTable};
 use rowset::{IdList, RowSet};
+use std::time::Instant;
 
 /// The FARMER miner. Configure with [`MiningParams`] (thresholds) and
 /// optionally [`PruningConfig`] / [`Engine`], then call
@@ -69,30 +73,90 @@ impl Farmer {
     ///
     /// Row ids in the returned groups refer to `data`'s original row
     /// order regardless of the internal `ORD` permutation.
+    ///
+    /// Equivalent to [`mine_session`](Self::mine_session) with an
+    /// unconstrained [`MineControl`] and a [`NoOpObserver`].
     pub fn mine(&self, data: &Dataset) -> MineResult {
+        self.mine_session(data, &MineControl::new(), &mut NoOpObserver)
+    }
+
+    /// Mines under a [`MineControl`] (budget / deadline / cancellation),
+    /// reporting progress to a [`MineObserver`].
+    ///
+    /// The observer is statically dispatched: with [`NoOpObserver`] this
+    /// monomorphizes to the uninstrumented search. If the control stops
+    /// the run early, the returned groups are exactly the prefix of the
+    /// sequential run's discovery order accepted before the halting node
+    /// — every group valid, none added on the unwind — and
+    /// `stats.budget_exhausted` / `stats.stop` record the truncation.
+    ///
+    /// ```
+    /// use farmer_core::{CountingObserver, Farmer, MineControl, MiningParams, StopCause};
+    /// use std::time::Duration;
+    ///
+    /// let data = farmer_dataset::paper_example();
+    /// let ctl = MineControl::new().with_timeout(Duration::from_secs(10));
+    /// let handle = ctl.stop_handle(); // could cancel from another thread
+    /// let mut obs = CountingObserver::default();
+    ///
+    /// let result = Farmer::new(MiningParams::new(0)).mine_session(&data, &ctl, &mut obs);
+    ///
+    /// assert_eq!(result.stats.stop, StopCause::Completed);
+    /// assert_eq!(obs.nodes, result.stats.nodes_visited);
+    /// assert_eq!(obs.emitted as usize, result.len());
+    /// assert!(!handle.is_stopped());
+    /// ```
+    pub fn mine_session<O: MineObserver + ?Sized>(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut O,
+    ) -> MineResult {
         let (tt, reordered, order) = TransposedTable::for_mining(data, self.params.target_class);
         if self.threads > 1 {
             return match self.engine {
-                Engine::Bitset => {
-                    self.run_parallel(|| BitsetNode::root(&reordered), &reordered, &tt, &order)
-                }
+                Engine::Bitset => self.run_parallel(
+                    || BitsetNode::root(&reordered),
+                    &reordered,
+                    &tt,
+                    &order,
+                    ctl,
+                    obs,
+                ),
                 Engine::PointerList => {
-                    self.run_parallel(|| PointerNode::root(&tt), &reordered, &tt, &order)
+                    self.run_parallel(|| PointerNode::root(&tt), &reordered, &tt, &order, ctl, obs)
                 }
             };
         }
         match self.engine {
-            Engine::Bitset => self.run(BitsetNode::root(&reordered), &reordered, &tt, &order),
-            Engine::PointerList => self.run(PointerNode::root(&tt), &reordered, &tt, &order),
+            Engine::Bitset => self.run(
+                BitsetNode::root(&reordered),
+                &reordered,
+                &tt,
+                &order,
+                ctl,
+                obs,
+            ),
+            Engine::PointerList => {
+                self.run(PointerNode::root(&tt), &reordered, &tt, &order, ctl, obs)
+            }
         }
     }
 
-    fn run<N: CondNode>(
+    /// The budget honored by a session: the control's, falling back to
+    /// the deprecated params field.
+    fn resolve_budget(&self, ctl: &MineControl) -> Option<u64> {
+        ctl.node_budget.or(self.params.node_budget)
+    }
+
+    fn run<N: CondNode, O: MineObserver + ?Sized>(
         &self,
         root: N,
         reordered: &Dataset,
         tt: &TransposedTable,
         order: &[RowId],
+        ctl: &MineControl,
+        obs: &mut O,
     ) -> MineResult {
         let n = reordered.n_rows();
         let m = tt.n_target();
@@ -104,14 +168,17 @@ impl Farmer {
             m,
             eff_min_conf,
             pos_mask: RowSet::from_ids(n, 0..m),
-            budget: self.params.node_budget.unwrap_or(u64::MAX),
+            ctl: ctl.state_with_budget(self.resolve_budget(ctl)),
+            heartbeat_every: ctl.heartbeat_every,
+            start: Instant::now(),
+            obs,
             stats: MineStats::default(),
             irgs: Vec::new(),
             defer_interesting: false,
         };
         let e_p = RowSet::from_ids(n, 0..m);
         let e_n = RowSet::from_ids(n, m..n);
-        ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0, 0);
+        ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0, 0, 0);
         let irgs = ctx.irgs;
         let stats = ctx.stats;
         self.package(irgs, stats, reordered, order, n, m)
@@ -121,22 +188,34 @@ impl Farmer {
     /// each thread descends only into its share of the root candidates.
     /// Threshold-passing groups are merged and the interestingness
     /// filter runs as a final pass (equivalent to step 7 by Lemma 3.4).
-    fn run_parallel<N, F>(
+    /// The workers run uninstrumented (their `MineStats` already tally
+    /// everything); after the join, `obs` receives each worker's counters
+    /// via [`MineObserver::worker_finished`] in worker-index order, and
+    /// the sequential merge pass fires the `group_emitted` /
+    /// `pruned(NotInteresting)` events — a deterministic event sequence
+    /// regardless of thread scheduling. All workers share the control's
+    /// stop flag and deadline; a node budget is split evenly.
+    fn run_parallel<N, F, O>(
         &self,
         make_root: F,
         reordered: &Dataset,
         tt: &TransposedTable,
         order: &[RowId],
+        ctl: &MineControl,
+        obs: &mut O,
     ) -> MineResult
     where
         N: CondNode,
         F: Fn() -> N + Sync,
+        O: MineObserver + ?Sized,
     {
         let n = reordered.n_rows();
         let m = tt.n_target();
         let eff_min_conf = self.effective_min_conf(n, m);
         let threads = self.threads;
-        let per_thread_budget = self.params.node_budget.map(|b| (b / threads as u64).max(1));
+        let per_thread_budget = self
+            .resolve_budget(ctl)
+            .map(|b| (b / threads as u64).max(1));
 
         let results: Vec<(Vec<Pending>, MineStats)> = farmer_support::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -144,6 +223,7 @@ impl Farmer {
                     let make_root = &make_root;
                     scope.spawn(move || {
                         let root = make_root();
+                        let mut noop = NoOpObserver;
                         let mut ctx = Ctx {
                             params: &self.params,
                             pruning: &self.pruning,
@@ -151,7 +231,10 @@ impl Farmer {
                             m,
                             eff_min_conf,
                             pos_mask: RowSet::from_ids(n, 0..m),
-                            budget: per_thread_budget.unwrap_or(u64::MAX),
+                            ctl: ctl.state_with_budget(per_thread_budget),
+                            heartbeat_every: 0,
+                            start: Instant::now(),
+                            obs: &mut noop,
                             stats: MineStats::default(),
                             irgs: Vec::new(),
                             defer_interesting: true,
@@ -180,6 +263,7 @@ impl Farmer {
                                 ins.u_n.clone(),
                                 sup_p0,
                                 sup_n0,
+                                1,
                             );
                         }
                         let mut remaining_n = ins.u_n.clone();
@@ -197,6 +281,7 @@ impl Farmer {
                                 remaining_n.clone(),
                                 sup_p0,
                                 sup_n0,
+                                1,
                             );
                         }
                         (ctx.irgs, ctx.stats)
@@ -208,6 +293,12 @@ impl Farmer {
                 .map(|h| h.join().expect("mining worker panicked"))
                 .collect()
         });
+
+        // deterministic observer delivery: per-worker tallies in
+        // worker-index order, before the merge-phase events below
+        for (worker, (_, s)) in results.iter().enumerate() {
+            obs.worker_finished(worker, s);
+        }
 
         // merge: dedupe by upper bound, combine stats
         let mut stats = MineStats::default();
@@ -222,6 +313,7 @@ impl Farmer {
             stats.pruned_chi += s.pruned_chi;
             stats.rows_compressed += s.rows_compressed;
             stats.budget_exhausted |= s.budget_exhausted;
+            stats.stop = stats.stop.merge(s.stop);
             for p in pendings {
                 by_upper.entry(p.upper.clone()).or_insert(p);
             }
@@ -243,7 +335,9 @@ impl Farmer {
             });
             if dominated {
                 stats.rejected_not_interesting += 1;
+                obs.pruned(PruneReason::NotInteresting);
             } else {
+                obs.group_emitted(p.sup_p, p.sup_n);
                 accepted.push(p);
             }
         }
@@ -324,7 +418,7 @@ struct Pending {
     conf: f64,
 }
 
-struct Ctx<'a> {
+struct Ctx<'a, O: MineObserver + ?Sized> {
     params: &'a MiningParams,
     pruning: &'a PruningConfig,
     n: usize,
@@ -332,7 +426,12 @@ struct Ctx<'a> {
     /// `min_conf` tightened by any lift/conviction extras.
     eff_min_conf: f64,
     pos_mask: RowSet,
-    budget: u64,
+    /// Budget / deadline / stop-flag checks, one tick per node.
+    ctl: ControlState<'a>,
+    /// Nodes between observer heartbeats (0 = off).
+    heartbeat_every: u64,
+    start: Instant,
+    obs: &'a mut O,
     stats: MineStats,
     irgs: Vec<Pending>,
     /// Parallel mode: skip the step-7 interestingness comparison here
@@ -340,7 +439,7 @@ struct Ctx<'a> {
     defer_interesting: bool,
 }
 
-impl Ctx<'_> {
+impl<O: MineObserver + ?Sized> Ctx<'_, O> {
     /// One node of the enumeration tree (Figure 5's `MineIRGs`).
     ///
     /// `last` is the row whose addition created this node (`None` at the
@@ -357,14 +456,24 @@ impl Ctx<'_> {
         e_n: RowSet,
         parent_sup_p: usize,
         parent_sup_n: usize,
+        depth: usize,
     ) {
         if self.stats.budget_exhausted {
             return;
         }
         self.stats.nodes_visited += 1;
-        if self.stats.nodes_visited > self.budget {
+        self.obs.node_entered(depth);
+        if let Some(cause) = self.ctl.tick() {
             self.stats.budget_exhausted = true;
+            self.stats.stop = cause;
             return;
+        }
+        if self.heartbeat_every > 0 && self.stats.nodes_visited % self.heartbeat_every == 0 {
+            self.obs.heartbeat(&Heartbeat {
+                nodes_visited: self.stats.nodes_visited,
+                groups_found: self.irgs.len(),
+                elapsed: self.start.elapsed(),
+            });
         }
         let is_root = last.is_none();
         // under ORD, positives are exactly the rows below the class margin
@@ -379,6 +488,7 @@ impl Ctx<'_> {
             };
             if us2 < self.params.min_sup {
                 self.stats.pruned_loose += 1;
+                self.obs.pruned(PruneReason::LooseBound);
                 return;
             }
             if self.eff_min_conf > 0.0 {
@@ -386,6 +496,7 @@ impl Ctx<'_> {
                 let uc2 = us2 as f64 / (us2 + supn_in) as f64;
                 if uc2 < self.eff_min_conf {
                     self.stats.pruned_loose += 1;
+                    self.obs.pruned(PruneReason::LooseBound);
                     return;
                 }
             }
@@ -410,6 +521,7 @@ impl Ctx<'_> {
                 .any(|r| !counted.contains(r));
             if has_alien_back {
                 self.stats.pruned_duplicate += 1;
+                self.obs.pruned(PruneReason::Duplicate);
                 return;
             }
         }
@@ -428,12 +540,14 @@ impl Ctx<'_> {
             };
             if us1 < self.params.min_sup {
                 self.stats.pruned_tight_support += 1;
+                self.obs.pruned(PruneReason::TightSupport);
                 return;
             }
             if self.eff_min_conf > 0.0 {
                 let uc1 = us1 as f64 / (us1 + sup_n) as f64;
                 if uc1 < self.eff_min_conf {
                     self.stats.pruned_tight_confidence += 1;
+                    self.obs.pruned(PruneReason::TightConfidence);
                     return;
                 }
             }
@@ -441,6 +555,7 @@ impl Ctx<'_> {
                 let t = Contingency::new(sup_p + sup_n, sup_p, self.n, self.m);
                 if chi_square_upper_bound(t) < self.params.min_chi {
                     self.stats.pruned_chi += 1;
+                    self.obs.pruned(PruneReason::ChiBound);
                     return;
                 }
             }
@@ -465,6 +580,7 @@ impl Ctx<'_> {
                     };
                     if prunable {
                         self.stats.pruned_chi += 1;
+                        self.obs.pruned(PruneReason::ChiBound);
                         return;
                     }
                 }
@@ -498,7 +614,7 @@ impl Ctx<'_> {
         let mut remaining_p = next_e_p.clone();
         for r in next_e_p.iter() {
             if self.stats.budget_exhausted {
-                break; // fall through: this node's own rule is still valid
+                break;
             }
             remaining_p.remove(r);
             let mut counted_child = counted_next.clone();
@@ -511,6 +627,7 @@ impl Ctx<'_> {
                 next_e_n.clone(),
                 sup_p,
                 sup_n,
+                depth + 1,
             );
         }
         let mut remaining_n = next_e_n.clone();
@@ -529,12 +646,16 @@ impl Ctx<'_> {
                 remaining_n.clone(),
                 sup_p,
                 sup_n,
+                depth + 1,
             );
         }
 
         // ---- Emit (step 7): after the whole subtree, so that every more
-        // general group has already been judged (Lemma 3.4).
-        if is_root {
+        // general group has already been judged (Lemma 3.4). A halted
+        // search emits nothing further — not even this node's own (valid)
+        // rule — so the accepted groups stay an exact prefix of the
+        // sequential run's discovery order (partial-result guarantee).
+        if is_root || self.stats.budget_exhausted {
             return;
         }
         if sup_p < self.params.min_sup {
@@ -586,9 +707,11 @@ impl Ctx<'_> {
                 && g.upper.is_subset(&upper)
             {
                 self.stats.rejected_not_interesting += 1;
+                self.obs.pruned(PruneReason::NotInteresting);
                 return;
             }
         }
+        self.obs.group_emitted(sup_p, sup_n);
         self.irgs.push(Pending {
             upper,
             rows: ins.z,
@@ -596,5 +719,20 @@ impl Ctx<'_> {
             sup_n,
             conf,
         });
+    }
+}
+
+impl Miner for Farmer {
+    fn name(&self) -> &'static str {
+        "farmer"
+    }
+
+    fn mine_with(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+    ) -> MineResult {
+        self.mine_session(data, ctl, obs)
     }
 }

@@ -10,10 +10,14 @@
 
 use crate::measures::{self, chi_square, Contingency};
 use crate::params::{ExtraConstraint, MiningParams};
-use crate::rule::RuleGroup;
+use crate::rule::{MineResult, MineStats, RuleGroup};
+use crate::session::{
+    Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason, StopCause,
+};
 use farmer_dataset::{ClassLabel, Dataset};
 use rowset::{IdList, RowSet};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A rule group as found by exhaustive enumeration: the unique upper
 /// bound together with its support set and class counts.
@@ -75,13 +79,72 @@ pub fn enumerate_rule_groups(data: &Dataset, class: ClassLabel) -> Vec<NaiveGrou
 /// a group is interesting iff it meets all thresholds and no *accepted*
 /// more-general group has confidence ≥ its own.
 pub fn mine_naive(data: &Dataset, params: &MiningParams) -> Vec<RuleGroup> {
+    mine_naive_session(data, params, &MineControl::new(), &mut NoOpObserver).groups
+}
+
+/// [`mine_naive`] under a [`MineControl`], reporting to a
+/// [`MineObserver`]. One control tick is spent per enumerated row
+/// subset; a halted run filters only the groups enumerated so far
+/// (every returned group meets the thresholds, but an undiscovered
+/// more-general group may dominate one of them — the same caveat as any
+/// truncated run).
+pub fn mine_naive_session<O: MineObserver + ?Sized>(
+    data: &Dataset,
+    params: &MiningParams,
+    ctl: &MineControl,
+    obs: &mut O,
+) -> MineResult {
     let n = data.n_rows();
+    assert!(n <= 20, "naive enumeration is exponential; got {n} rows");
     let m = data.class_count(params.target_class);
-    let mut groups = enumerate_rule_groups(data, params.target_class);
+    let class_rows = data.class_rows(params.target_class);
+    let start = Instant::now();
+    let mut st = ctl.state_with_budget(ctl.node_budget.or(params.node_budget));
+    let mut stop = StopCause::Completed;
+
+    let mut by_support: HashMap<Vec<usize>, NaiveGroup> = HashMap::new();
+    for mask in 1u32..(1u32 << n) {
+        obs.node_entered(mask.count_ones() as usize);
+        if let Some(cause) = st.tick() {
+            stop = cause;
+            break;
+        }
+        if ctl.heartbeat_every > 0 && st.ticks() % ctl.heartbeat_every == 0 {
+            obs.heartbeat(&Heartbeat {
+                nodes_visited: st.ticks(),
+                groups_found: by_support.len(),
+                elapsed: start.elapsed(),
+            });
+        }
+        let rows = RowSet::from_ids(n, (0..n).filter(|&r| mask & (1 << r) != 0));
+        let items = data.items_common_to(&rows);
+        if items.is_empty() {
+            continue;
+        }
+        let support = data.rows_supporting(&items);
+        let key = support.to_vec();
+        by_support.entry(key).or_insert_with(|| {
+            let upper = data.items_common_to(&support);
+            let sup_p = support.intersection_len(&class_rows);
+            NaiveGroup {
+                sup_n: support.len() - sup_p,
+                upper,
+                rows: support,
+                sup_p,
+            }
+        });
+    }
+    let mut groups: Vec<NaiveGroup> = by_support.into_values().collect();
     // generality order: smaller antecedents first, so every potential
     // generalization is judged before its specializations
     groups.sort_by_key(|g| (g.upper.len(), g.upper.as_slice().to_vec()));
 
+    let mut stats = MineStats {
+        nodes_visited: st.ticks(),
+        budget_exhausted: !stop.is_complete(),
+        stop,
+        ..Default::default()
+    };
     let mut accepted: Vec<NaiveGroup> = Vec::new();
     for g in groups {
         if g.sup_p < params.min_sup {
@@ -111,12 +174,16 @@ pub fn mine_naive(data: &Dataset, params: &MiningParams) -> Vec<RuleGroup> {
         let dominated = accepted.iter().any(|a| {
             a.upper.len() < g.upper.len() && a.upper.is_subset(&g.upper) && a.confidence() >= conf
         });
-        if !dominated {
+        if dominated {
+            stats.rejected_not_interesting += 1;
+            obs.pruned(PruneReason::NotInteresting);
+        } else {
+            obs.group_emitted(g.sup_p, g.sup_n);
             accepted.push(g);
         }
     }
 
-    accepted
+    let groups = accepted
         .into_iter()
         .map(|g| RuleGroup {
             lower: if params.lower_bounds {
@@ -132,7 +199,36 @@ pub fn mine_naive(data: &Dataset, params: &MiningParams) -> Vec<RuleGroup> {
             n_rows: n,
             n_class: m,
         })
-        .collect()
+        .collect();
+    MineResult {
+        groups,
+        stats,
+        n_rows: n,
+        n_class: m,
+    }
+}
+
+/// [`Miner`]-trait adapter over [`mine_naive_session`] — the exhaustive
+/// oracle behind the unified interface (tiny datasets only).
+#[derive(Clone, Debug)]
+pub struct NaiveMiner {
+    /// Thresholds and target class.
+    pub params: MiningParams,
+}
+
+impl Miner for NaiveMiner {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn mine_with(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+    ) -> MineResult {
+        mine_naive_session(data, &self.params, ctl, obs)
+    }
 }
 
 /// Brute-force lower bounds: minimal `l ⊆ upper` with

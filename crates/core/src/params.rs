@@ -56,6 +56,11 @@ pub struct MiningParams {
     /// more-general one. Intended for downstream consumers (e.g.
     /// classifier training) that degrade gracefully; `None` (default)
     /// never truncates.
+    ///
+    /// **Deprecated location:** budgets belong to the run, not the
+    /// thresholds — prefer `MineControl::node_budget` (which also
+    /// carries deadlines and cancellation). This field remains honored
+    /// as a fallback when the control sets no budget.
     pub node_budget: Option<u64>,
 }
 
@@ -108,9 +113,50 @@ impl MiningParams {
 
     /// Caps the number of enumeration nodes (see
     /// [`node_budget`](Self::node_budget) for the truncation semantics).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MineControl::with_node_budget with Farmer::mine_session; \
+                the params field remains honored as a fallback"
+    )]
     pub fn node_budget(mut self, budget: Option<u64>) -> Self {
         self.node_budget = budget;
         self
+    }
+
+    /// Checks the parameters for values the builders would reject (or
+    /// that a caller constructing the struct directly could smuggle in):
+    /// non-finite or out-of-range `min_conf` / `min_chi` / extra
+    /// thresholds, or a zero `min_sup`. The CLI calls this on raw user
+    /// input instead of letting the builder assertions panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_sup == 0 {
+            return Err("min_sup must be >= 1".into());
+        }
+        if !self.min_conf.is_finite() || !(0.0..=1.0).contains(&self.min_conf) {
+            return Err(format!(
+                "min_conf must be a finite value in [0, 1], got {}",
+                self.min_conf
+            ));
+        }
+        if !self.min_chi.is_finite() || self.min_chi < 0.0 {
+            return Err(format!(
+                "min_chi must be a finite value >= 0, got {}",
+                self.min_chi
+            ));
+        }
+        for c in &self.extra {
+            let v = match *c {
+                ExtraConstraint::MinLift(v)
+                | ExtraConstraint::MinConviction(v)
+                | ExtraConstraint::MinEntropyGain(v)
+                | ExtraConstraint::MinGiniGain(v)
+                | ExtraConstraint::MinCorrelation(v) => v,
+            };
+            if v.is_nan() {
+                return Err(format!("extra constraint threshold is NaN: {c:?}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -194,6 +240,30 @@ mod tests {
         assert_eq!(p.target_class, 1);
         assert!(p.lower_bounds);
         assert!(!p.lower_bounds(false).lower_bounds);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output_and_rejects_raw_garbage() {
+        assert!(MiningParams::new(0)
+            .min_conf(0.8)
+            .min_chi(3.84)
+            .validate()
+            .is_ok());
+        let mut p = MiningParams::new(0);
+        p.min_sup = 0;
+        assert!(p.validate().is_err());
+        let mut p = MiningParams::new(0);
+        p.min_conf = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = MiningParams::new(0);
+        p.min_conf = -0.5;
+        assert!(p.validate().is_err());
+        let mut p = MiningParams::new(0);
+        p.min_chi = f64::INFINITY;
+        assert!(p.validate().is_err());
+        let mut p = MiningParams::new(0);
+        p.extra.push(ExtraConstraint::MinLift(f64::NAN));
+        assert!(p.validate().is_err());
     }
 
     #[test]

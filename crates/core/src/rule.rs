@@ -1,6 +1,7 @@
 //! Mined rule groups and mining results.
 
 use crate::measures::{self, Contingency};
+use crate::session::StopCause;
 use farmer_dataset::{ClassLabel, Dataset, ItemId};
 use rowset::{IdList, RowSet};
 use std::fmt;
@@ -137,9 +138,13 @@ pub struct MineStats {
     /// Upper bounds that met all thresholds but failed the
     /// interestingness comparison of step 7.
     pub rejected_not_interesting: u64,
-    /// `true` iff the search hit its node budget and the result is
-    /// (possibly) incomplete — see `MiningParams::node_budget`.
+    /// `true` iff the search stopped early — node budget, deadline, or
+    /// cooperative cancellation — and the result is (possibly)
+    /// incomplete. [`stop`](Self::stop) says which; this flag is kept
+    /// for back-compatibility with the budget-only API.
     pub budget_exhausted: bool,
+    /// What ended the run (`Completed` unless `budget_exhausted`).
+    pub stop: StopCause,
 }
 
 /// The result of one mining run.

@@ -16,8 +16,13 @@
 //! upper bound.
 
 use crate::cond::{BitsetNode, CondNode};
+use crate::rule::{MineResult, MineStats, RuleGroup};
+use crate::session::{
+    ControlState, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason, StopCause,
+};
 use farmer_dataset::{ClassLabel, Dataset, RowId, TransposedTable};
 use rowset::{IdList, RowSet};
+use std::time::Instant;
 
 /// One rule group as ranked by the top-k criterion.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,10 +65,12 @@ pub struct TopKResult {
     pub nodes_visited: u64,
     /// Subtrees cut by the rising confidence floor.
     pub pruned_floor: u64,
-    /// `true` iff the search stopped at its node budget — per-row lists
-    /// are then best-effort (still valid groups, rankings may miss
-    /// undiscovered better ones).
+    /// `true` iff the search stopped early (budget, deadline, or
+    /// cancellation) — per-row lists are then best-effort (still valid
+    /// groups, rankings may miss undiscovered better ones).
     pub budget_exhausted: bool,
+    /// What ended the run.
+    pub stop: StopCause,
 }
 
 /// Mines, for each row of `data`, the `k` best rule groups with
@@ -84,17 +91,45 @@ pub struct TopKResult {
 /// }
 /// ```
 pub fn mine_top_k(data: &Dataset, class: ClassLabel, k: usize, min_sup: usize) -> TopKResult {
-    mine_top_k_budgeted(data, class, k, min_sup, None)
+    mine_top_k_session(
+        data,
+        class,
+        k,
+        min_sup,
+        &MineControl::new(),
+        &mut NoOpObserver,
+    )
 }
 
 /// [`mine_top_k`] with an optional enumeration-node budget; see
 /// [`TopKResult::budget_exhausted`] for the truncation semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use mine_top_k_session with a MineControl carrying the budget"
+)]
 pub fn mine_top_k_budgeted(
     data: &Dataset,
     class: ClassLabel,
     k: usize,
     min_sup: usize,
     node_budget: Option<u64>,
+) -> TopKResult {
+    let ctl = MineControl::new().with_node_budget(node_budget);
+    mine_top_k_session(data, class, k, min_sup, &ctl, &mut NoOpObserver)
+}
+
+/// [`mine_top_k`] under a [`MineControl`] (budget / deadline /
+/// cancellation), reporting progress to a [`MineObserver`]. Once the
+/// control halts the run, no further groups are offered to the per-row
+/// heaps; the lists returned are best-effort and
+/// [`TopKResult::stop`] records why the run ended.
+pub fn mine_top_k_session<O: MineObserver + ?Sized>(
+    data: &Dataset,
+    class: ClassLabel,
+    k: usize,
+    min_sup: usize,
+    ctl: &MineControl,
+    obs: &mut O,
 ) -> TopKResult {
     assert!(k >= 1, "k must be >= 1");
     let (tt, reordered, order) = TransposedTable::for_mining(data, class);
@@ -108,15 +143,19 @@ pub fn mine_top_k_budgeted(
         pos_mask: RowSet::from_ids(n, 0..m),
         order: &order,
         heaps: vec![Vec::new(); n],
-        budget: node_budget.unwrap_or(u64::MAX),
-        budget_exhausted: false,
+        ctl: ctl.state(),
+        heartbeat_every: ctl.heartbeat_every,
+        start: Instant::now(),
+        obs,
+        stop: StopCause::Completed,
         nodes_visited: 0,
         pruned_floor: 0,
+        groups_offered: 0,
     };
     let root = BitsetNode::root(&reordered);
     let e_p = RowSet::from_ids(n, 0..m);
     let e_n = RowSet::from_ids(n, m..n);
-    ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0);
+    ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0, 0);
 
     // order original-row-major, best first
     let mut per_row: Vec<Vec<TopKGroup>> = vec![Vec::new(); n];
@@ -130,11 +169,12 @@ pub fn mine_top_k_budgeted(
         per_row,
         nodes_visited: ctx.nodes_visited,
         pruned_floor: ctx.pruned_floor,
-        budget_exhausted: ctx.budget_exhausted,
+        budget_exhausted: !ctx.stop.is_complete(),
+        stop: ctx.stop,
     }
 }
 
-struct TopKCtx<'a> {
+struct TopKCtx<'a, O: MineObserver + ?Sized> {
     k: usize,
     min_sup: usize,
     n: usize,
@@ -143,13 +183,17 @@ struct TopKCtx<'a> {
     order: &'a [RowId],
     /// Per reordered row: its current best groups (≤ k, unsorted).
     heaps: Vec<Vec<TopKGroup>>,
-    budget: u64,
-    budget_exhausted: bool,
+    ctl: ControlState<'a>,
+    heartbeat_every: u64,
+    start: Instant,
+    obs: &'a mut O,
+    stop: StopCause,
     nodes_visited: u64,
     pruned_floor: u64,
+    groups_offered: usize,
 }
 
-impl TopKCtx<'_> {
+impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
     /// The global confidence floor: the smallest `k`-th-best confidence
     /// over all rows (0 while any row's heap is unfilled). A subtree
     /// whose confidence upper bound is below the floor cannot improve
@@ -194,14 +238,23 @@ impl TopKCtx<'_> {
         e_p: RowSet,
         e_n: RowSet,
         parent_sup_p: usize,
+        depth: usize,
     ) {
-        if self.budget_exhausted {
+        if !self.stop.is_complete() {
             return;
         }
         self.nodes_visited += 1;
-        if self.nodes_visited > self.budget {
-            self.budget_exhausted = true;
+        self.obs.node_entered(depth);
+        if let Some(cause) = self.ctl.tick() {
+            self.stop = cause;
             return;
+        }
+        if self.heartbeat_every > 0 && self.nodes_visited % self.heartbeat_every == 0 {
+            self.obs.heartbeat(&Heartbeat {
+                nodes_visited: self.nodes_visited,
+                groups_found: self.groups_offered,
+                elapsed: self.start.elapsed(),
+            });
         }
         let is_root = last.is_none();
         let last_is_pos = last.is_none_or(|r| (r as usize) < self.m);
@@ -217,6 +270,7 @@ impl TopKCtx<'_> {
                 .take_while(|&r| r < last)
                 .any(|r| !counted.contains(r))
             {
+                self.obs.pruned(PruneReason::Duplicate);
                 return;
             }
         }
@@ -232,6 +286,7 @@ impl TopKCtx<'_> {
                 parent_sup_p
             };
             if us1 < self.min_sup {
+                self.obs.pruned(PruneReason::TightSupport);
                 return;
             }
             let floor = self.floor();
@@ -239,6 +294,7 @@ impl TopKCtx<'_> {
                 let uc1 = us1 as f64 / (us1 + sup_n) as f64;
                 if uc1 < floor {
                     self.pruned_floor += 1;
+                    self.obs.pruned(PruneReason::ConfidenceFloor);
                     return;
                 }
             }
@@ -257,6 +313,9 @@ impl TopKCtx<'_> {
 
         let mut remaining_p = next_e_p.clone();
         for r in next_e_p.iter() {
+            if !self.stop.is_complete() {
+                break;
+            }
             remaining_p.remove(r);
             let mut counted_child = counted_next.clone();
             counted_child.insert(r);
@@ -267,10 +326,14 @@ impl TopKCtx<'_> {
                 remaining_p.clone(),
                 next_e_n.clone(),
                 sup_p,
+                depth + 1,
             );
         }
         let mut remaining_n = next_e_n.clone();
         for r in next_e_n.iter() {
+            if !self.stop.is_complete() {
+                break;
+            }
             remaining_n.remove(r);
             let mut counted_child = counted_next.clone();
             counted_child.insert(r);
@@ -281,11 +344,14 @@ impl TopKCtx<'_> {
                 RowSet::empty(self.n),
                 remaining_n.clone(),
                 sup_p,
+                depth + 1,
             );
         }
 
-        // offer this node's group to every covered row
-        if !is_root && sup_p >= self.min_sup {
+        // offer this node's group to every covered row; a halted search
+        // offers nothing further (same no-emission-after-stop contract as
+        // the IRG miner)
+        if !is_root && self.stop.is_complete() && sup_p >= self.min_sup {
             let mut support_set = RowSet::empty(self.n);
             for r in ins.z.iter() {
                 support_set.insert(self.order[r] as usize);
@@ -296,9 +362,76 @@ impl TopKCtx<'_> {
                 sup: sup_p,
                 neg_sup: sup_n,
             };
+            self.groups_offered += 1;
+            self.obs.group_emitted(sup_p, sup_n);
             for r in ins.z.iter() {
                 self.offer(&group, r);
             }
+        }
+    }
+}
+
+/// [`Miner`]-trait adapter over [`mine_top_k_session`]: the distinct
+/// groups appearing in any per-row top-k list, deduplicated by upper
+/// bound and sorted by `(|upper|, upper)`, reported as a [`MineResult`].
+#[derive(Clone, Debug)]
+pub struct TopKMiner {
+    /// The consequent class.
+    pub class: ClassLabel,
+    /// Per-row list length.
+    pub k: usize,
+    /// Minimum rule support.
+    pub min_sup: usize,
+}
+
+impl Miner for TopKMiner {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
+    fn mine_with(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+    ) -> MineResult {
+        let res = mine_top_k_session(data, self.class, self.k, self.min_sup, ctl, obs);
+        let n = data.n_rows();
+        let m = data.class_count(self.class);
+        let mut by_upper: std::collections::BTreeMap<Vec<u32>, &TopKGroup> =
+            std::collections::BTreeMap::new();
+        for g in res.per_row.iter().flatten() {
+            by_upper.entry(g.upper.as_slice().to_vec()).or_insert(g);
+        }
+        let mut groups: Vec<&TopKGroup> = by_upper.into_values().collect();
+        groups.sort_by(|a, b| {
+            a.upper
+                .len()
+                .cmp(&b.upper.len())
+                .then_with(|| a.upper.cmp(&b.upper))
+        });
+        MineResult {
+            groups: groups
+                .into_iter()
+                .map(|g| RuleGroup {
+                    upper: g.upper.clone(),
+                    lower: Vec::new(),
+                    support_set: g.support_set.clone(),
+                    sup: g.sup,
+                    neg_sup: g.neg_sup,
+                    class: self.class,
+                    n_rows: n,
+                    n_class: m,
+                })
+                .collect(),
+            stats: MineStats {
+                nodes_visited: res.nodes_visited,
+                budget_exhausted: res.budget_exhausted,
+                stop: res.stop,
+                ..Default::default()
+            },
+            n_rows: n,
+            n_class: m,
         }
     }
 }

@@ -1,5 +1,11 @@
 //! Node-budget semantics: truncation is flagged, results stay valid,
 //! and everything returned is a subset of the unbudgeted answer.
+//!
+//! Deliberately exercises the deprecated `MiningParams::node_budget`
+//! builder: it must keep working as the back-compat fallback for
+//! `MineControl::node_budget` (see `tests/session.rs` for the
+//! control-based path).
+#![allow(deprecated)]
 
 use farmer_core::{Farmer, MiningParams};
 use farmer_dataset::discretize::Discretizer;

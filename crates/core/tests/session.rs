@@ -1,0 +1,270 @@
+//! Session-layer integration: budget/deadline/cancellation semantics,
+//! the partial-result prefix guarantee, and observer/stats agreement.
+
+use farmer_core::naive::NaiveMiner;
+use farmer_core::topk::TopKMiner;
+use farmer_core::{
+    CountingObserver, Farmer, MineControl, Miner, MiningParams, NoOpObserver, StopCause,
+};
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::paper_example;
+use farmer_dataset::synth::SynthConfig;
+use std::time::{Duration, Instant};
+
+/// A workload the full search finishes quickly but not trivially.
+fn workload() -> farmer_dataset::Dataset {
+    let m = SynthConfig {
+        n_rows: 24,
+        n_genes: 120,
+        n_class1: 12,
+        n_signature: 40,
+        clusters_per_class: 2,
+        cluster_spread: 1.8,
+        cluster_noise: 0.35,
+        ..Default::default()
+    }
+    .generate();
+    Discretizer::EqualDepth { buckets: 6 }.discretize(&m)
+}
+
+/// A workload whose full search at `min_sup = 1` would run for a very
+/// long time — only ever mined under a deadline or a stop flag.
+fn endless_workload() -> farmer_dataset::Dataset {
+    let m = SynthConfig {
+        n_rows: 30,
+        n_genes: 300,
+        n_class1: 15,
+        n_signature: 100,
+        clusters_per_class: 2,
+        cluster_spread: 1.6,
+        cluster_noise: 0.4,
+        ..Default::default()
+    }
+    .generate();
+    Discretizer::EqualDepth { buckets: 6 }.discretize(&m)
+}
+
+fn canon(groups: &[farmer_core::RuleGroup]) -> Vec<(Vec<u32>, usize, usize)> {
+    groups
+        .iter()
+        .map(|g| (g.upper.as_slice().to_vec(), g.sup, g.neg_sup))
+        .collect()
+}
+
+#[test]
+fn budgeted_run_returns_exact_prefix_of_full_run() {
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let full = Farmer::new(params.clone()).mine(&d);
+    assert!(full.len() > 5, "workload too easy: {}", full.len());
+    let full_canon = canon(&full.groups);
+
+    for frac in [2, 4, 8] {
+        let budget = full.stats.nodes_visited / frac;
+        let ctl = MineControl::new().with_node_budget(Some(budget));
+        let part = Farmer::new(params.clone()).mine_session(&d, &ctl, &mut NoOpObserver);
+        assert!(part.stats.budget_exhausted, "frac={frac}");
+        assert_eq!(part.stats.stop, StopCause::Budget, "frac={frac}");
+        assert_eq!(part.stats.nodes_visited, budget + 1, "frac={frac}");
+        assert_eq!(
+            canon(&part.groups),
+            full_canon[..part.len()],
+            "frac={frac}: truncated groups must be a prefix of the \
+             sequential discovery order"
+        );
+    }
+}
+
+#[test]
+fn control_budget_overrides_params_field_and_falls_back_to_it() {
+    let d = workload();
+    let mut params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    params.node_budget = Some(u64::MAX / 2);
+
+    // the control's tighter budget wins over the params field
+    let ctl = MineControl::new().with_node_budget(Some(50));
+    let r = Farmer::new(params.clone()).mine_session(&d, &ctl, &mut NoOpObserver);
+    assert_eq!(r.stats.stop, StopCause::Budget);
+    assert_eq!(r.stats.nodes_visited, 51);
+
+    // with no control budget the params field still applies
+    params.node_budget = Some(50);
+    let r = Farmer::new(params).mine_session(&d, &MineControl::new(), &mut NoOpObserver);
+    assert_eq!(r.stats.stop, StopCause::Budget);
+    assert_eq!(r.stats.nodes_visited, 51);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_params_budget_matches_control_budget() {
+    let d = workload();
+    let base = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let via_params = Farmer::new(base.clone().node_budget(Some(200))).mine(&d);
+    let ctl = MineControl::new().with_node_budget(Some(200));
+    let via_ctl = Farmer::new(base).mine_session(&d, &ctl, &mut NoOpObserver);
+    assert_eq!(via_params.stats, via_ctl.stats);
+    assert_eq!(canon(&via_params.groups), canon(&via_ctl.groups));
+}
+
+#[test]
+fn deadline_yields_valid_partial_result_quickly() {
+    let d = endless_workload();
+    let params = MiningParams::new(1).min_sup(1).lower_bounds(false);
+    let ctl = MineControl::new().with_timeout(Duration::from_millis(50));
+    let t0 = Instant::now();
+    let r = Farmer::new(params).mine_session(&d, &ctl, &mut NoOpObserver);
+    let elapsed = t0.elapsed();
+
+    assert_eq!(r.stats.stop, StopCause::Deadline);
+    assert!(r.stats.budget_exhausted);
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "deadline overshoot: {elapsed:?}"
+    );
+    assert!(r.stats.nodes_visited > 100, "{}", r.stats.nodes_visited);
+    // every returned group is a real, threshold-meeting rule group
+    for g in &r.groups {
+        assert!(g.sup >= 1);
+        assert_eq!(d.rows_supporting(&g.upper), g.support_set);
+        assert_eq!(d.items_common_to(&g.support_set), g.upper);
+    }
+}
+
+#[test]
+fn stop_handle_halts_all_parallel_workers() {
+    let d = endless_workload();
+    let params = MiningParams::new(1).min_sup(1).lower_bounds(false);
+    let ctl = MineControl::new();
+    let handle = ctl.stop_handle();
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        handle.stop();
+    });
+    let t0 = Instant::now();
+    let r = Farmer::new(params)
+        .with_parallelism(4)
+        .mine_session(&d, &ctl, &mut NoOpObserver);
+    let elapsed = t0.elapsed();
+    stopper.join().unwrap();
+
+    assert_eq!(r.stats.stop, StopCause::Cancelled);
+    assert!(r.stats.budget_exhausted);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "workers failed to stop: {elapsed:?}"
+    );
+}
+
+#[test]
+fn observer_counts_equal_stats_sequential() {
+    let paper = paper_example();
+    let synth = workload();
+    for (d, class) in [(&paper, 0u32), (&paper, 1), (&synth, 1)] {
+        for (min_sup, min_conf, min_chi) in [(1, 0.0, 0.0), (2, 0.6, 0.0), (2, 0.0, 2.0)] {
+            let params = MiningParams::new(class)
+                .min_sup(min_sup)
+                .min_conf(min_conf)
+                .min_chi(min_chi);
+            let mut obs = CountingObserver::default();
+            let r = Farmer::new(params).mine_session(d, &MineControl::new(), &mut obs);
+            let s = &r.stats;
+            let tag = format!("class={class} min_sup={min_sup} min_conf={min_conf}");
+            assert_eq!(obs.nodes, s.nodes_visited, "{tag}");
+            assert_eq!(obs.pruned_duplicate, s.pruned_duplicate, "{tag}");
+            assert_eq!(obs.pruned_loose, s.pruned_loose, "{tag}");
+            assert_eq!(obs.pruned_tight_support, s.pruned_tight_support, "{tag}");
+            assert_eq!(
+                obs.pruned_tight_confidence, s.pruned_tight_confidence,
+                "{tag}"
+            );
+            assert_eq!(obs.pruned_chi, s.pruned_chi, "{tag}");
+            assert_eq!(
+                obs.rejected_not_interesting, s.rejected_not_interesting,
+                "{tag}"
+            );
+            assert_eq!(obs.emitted as usize, r.len(), "{tag}");
+            assert_eq!(obs.workers, 0, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn observer_counts_equal_stats_parallel() {
+    let paper = paper_example();
+    let synth = workload();
+    for (d, class) in [(&paper, 0u32), (&synth, 1)] {
+        let params = MiningParams::new(class).min_sup(1).lower_bounds(false);
+        let mut obs = CountingObserver::default();
+        let r =
+            Farmer::new(params)
+                .with_parallelism(3)
+                .mine_session(d, &MineControl::new(), &mut obs);
+        let s = &r.stats;
+        assert_eq!(obs.workers, 3);
+        assert_eq!(obs.nodes, s.nodes_visited);
+        assert_eq!(obs.pruned_duplicate, s.pruned_duplicate);
+        assert_eq!(obs.pruned_loose, s.pruned_loose);
+        assert_eq!(obs.pruned_tight_support, s.pruned_tight_support);
+        assert_eq!(obs.pruned_tight_confidence, s.pruned_tight_confidence);
+        assert_eq!(obs.pruned_chi, s.pruned_chi);
+        assert_eq!(obs.rejected_not_interesting, s.rejected_not_interesting);
+        assert_eq!(obs.emitted as usize, r.len());
+    }
+}
+
+#[test]
+fn parallel_observer_events_are_deterministic() {
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let run = || {
+        let mut obs = CountingObserver::default();
+        Farmer::new(params.clone())
+            .with_parallelism(4)
+            .mine_session(&d, &MineControl::new(), &mut obs);
+        obs
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn heartbeats_fire_on_cadence() {
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let ctl = MineControl::new().with_heartbeat_every(64);
+    let mut obs = CountingObserver::default();
+    let r = Farmer::new(params).mine_session(&d, &ctl, &mut obs);
+    assert_eq!(obs.heartbeats, r.stats.nodes_visited / 64);
+    assert!(obs.heartbeats > 0, "workload too small for heartbeats");
+}
+
+#[test]
+fn dyn_miner_dispatch_covers_core_miners() {
+    let d = paper_example();
+    let params = MiningParams::new(0).min_sup(1).lower_bounds(false);
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(Farmer::new(params.clone())),
+        Box::new(TopKMiner {
+            class: 0,
+            k: 2,
+            min_sup: 1,
+        }),
+        Box::new(NaiveMiner {
+            params: params.clone(),
+        }),
+    ];
+    for m in &miners {
+        let r = m.mine_unobserved(&d);
+        assert!(!r.groups.is_empty(), "{}", m.name());
+        assert!(r.stats.stop.is_complete(), "{}", m.name());
+
+        let cancelled = MineControl::new();
+        cancelled.cancel();
+        let r = m.mine_with(&d, &cancelled, &mut NoOpObserver);
+        assert_eq!(r.stats.stop, StopCause::Cancelled, "{}", m.name());
+        assert!(r.stats.budget_exhausted, "{}", m.name());
+    }
+    assert_eq!(
+        miners.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        ["farmer", "topk", "naive"]
+    );
+}

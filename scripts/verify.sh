@@ -5,11 +5,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> session layer (budgets, deadlines, cancellation, observers)"
+cargo test -q --offline -p farmer-core --test session
+cargo test -q --offline -p farmer-baselines adapters
+
+echo "==> CLI --stats-json smoke (output must parse with support::json)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/farmer synth --preset custom --rows 20 --genes 50 --out "$tmp/m.csv"
+./target/release/farmer discretize --in "$tmp/m.csv" --method equal-depth:4 --out "$tmp/m.txt"
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 --stats-json > "$tmp/stats.json"
+grep -q '"nodes_visited"' "$tmp/stats.json"
+grep -q '"stop": "completed"' "$tmp/stats.json"
+# a budgeted run must still exit 0 and report the truncation
+./target/release/farmer mine --in "$tmp/m.txt" --node-budget 5 --stats-json > "$tmp/trunc.json"
+grep -q '"stop": "budget"' "$tmp/trunc.json"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
