@@ -23,7 +23,9 @@
 use crate::Budgeted;
 use farmer_core::measures::{self, chi_square, Contingency};
 use farmer_core::session::{MineControl, MineObserver, PruneReason, StopCause};
-use farmer_core::{minelb, ExtraConstraint, MineResult, MineStats, Miner, MiningParams, RuleGroup};
+use farmer_core::{
+    minelb, ExtraConstraint, MineResult, MineStats, Miner, MiningParams, RuleGroup, SchedStats,
+};
 use farmer_dataset::Dataset;
 use rowset::{IdList, RowSet};
 use std::collections::HashMap;
@@ -133,6 +135,7 @@ fn halted(data: &Dataset, params: &MiningParams, ctl: &MineControl, nodes: u64) 
             stop: stop_cause(ctl),
             ..MineStats::default()
         },
+        sched: SchedStats::default(),
         n_rows: data.n_rows(),
         n_class: data.class_count(params.target_class),
     }
@@ -155,6 +158,7 @@ fn completed<O: MineObserver + ?Sized>(
     MineResult {
         groups,
         stats,
+        sched: SchedStats::default(),
         n_rows: data.n_rows(),
         n_class: data.class_count(params.target_class),
     }
@@ -294,6 +298,7 @@ impl Miner for ColumnEMiner {
                     pruned_tight_support: r.stats.pruned_support,
                     ..MineStats::default()
                 },
+                sched: SchedStats::default(),
                 n_rows: data.n_rows(),
                 n_class: data.class_count(self.params.target_class),
             },

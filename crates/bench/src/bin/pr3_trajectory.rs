@@ -1,0 +1,223 @@
+//! PR-3 perf trajectory: node throughput of the FARMER miner on fixed
+//! workloads, against the pre-change baseline recorded in this file.
+//!
+//! Usage:
+//!
+//! ```text
+//! pr3_trajectory [--out BENCH_PR3.json]   measure and write the report
+//! pr3_trajectory --check BENCH_PR3.json   schema-check an existing report
+//! ```
+//!
+//! The baseline numbers were measured immediately before the PR-3
+//! hot-path rewrite (fused rowset kernels, scratch arenas, work-stealing
+//! scheduling) on the same machine layout the `current` numbers come
+//! from, so `speedup` is apples-to-apples. `FARMER_BENCH_SAMPLES`
+//! controls repetitions (default 3; the best run wins, standard practice
+//! for throughput numbers).
+
+use farmer_bench::workloads::{efficiency_dataset, skewed_synth, SKEWED_SYNTH_PARAMS};
+use farmer_core::{Engine, Farmer, MiningParams};
+use farmer_dataset::synth::PaperDataset;
+use farmer_dataset::Dataset;
+use farmer_support::json::{Json, ObjBuilder};
+use std::time::Instant;
+
+/// Node throughput (nodes/s) of each case, measured on the machine that
+/// produced the committed `BENCH_PR3.json`, at the commit immediately
+/// before the PR-3 rewrite. `(workload, engine, threads, nodes_per_sec)`.
+const BASELINE: &[(&str, &str, usize, f64)] = &[
+    ("skewed_synth", "bitset", 1, 2_944_000.0),
+    ("skewed_synth", "bitset", 4, 1_064_000.0),
+    ("skewed_synth", "pointer", 1, 1_341_000.0),
+    ("colon_analog", "bitset", 1, 715_000.0),
+    ("colon_analog", "bitset", 4, 998_000.0),
+    ("leukemia_analog", "bitset", 4, 312_000.0),
+];
+
+struct Case {
+    workload: &'static str,
+    engine: Engine,
+    threads: usize,
+    data: Dataset,
+    class: u32,
+    min_sup: usize,
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Bitset => "bitset",
+        Engine::PointerList => "pointer",
+    }
+}
+
+fn cases() -> Vec<Case> {
+    let skew = skewed_synth();
+    let (class, min_sup) = SKEWED_SYNTH_PARAMS;
+    let colon = efficiency_dataset(PaperDataset::ColonTumor, 0.05);
+    let leuk = efficiency_dataset(PaperDataset::Leukemia, 0.05);
+    vec![
+        Case {
+            workload: "skewed_synth",
+            engine: Engine::Bitset,
+            threads: 1,
+            data: skew.clone(),
+            class,
+            min_sup,
+        },
+        Case {
+            workload: "skewed_synth",
+            engine: Engine::Bitset,
+            threads: 4,
+            data: skew.clone(),
+            class,
+            min_sup,
+        },
+        Case {
+            workload: "skewed_synth",
+            engine: Engine::PointerList,
+            threads: 1,
+            data: skew,
+            class,
+            min_sup,
+        },
+        Case {
+            workload: "colon_analog",
+            engine: Engine::Bitset,
+            threads: 1,
+            data: colon.clone(),
+            class: 1,
+            min_sup: 2,
+        },
+        Case {
+            workload: "colon_analog",
+            engine: Engine::Bitset,
+            threads: 4,
+            data: colon,
+            class: 1,
+            min_sup: 2,
+        },
+        Case {
+            workload: "leukemia_analog",
+            engine: Engine::Bitset,
+            threads: 4,
+            data: leuk,
+            class: 1,
+            min_sup: 3,
+        },
+    ]
+}
+
+/// Best-of-`samples` run: `(nodes_visited, best nodes/s)`.
+fn measure(c: &Case, samples: usize) -> (u64, f64) {
+    let params = MiningParams::new(c.class)
+        .min_sup(c.min_sup)
+        .lower_bounds(false);
+    let miner = Farmer::new(params)
+        .with_engine(c.engine)
+        .with_parallelism(c.threads);
+    let mut nodes = 0;
+    let mut best = 0.0f64;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = miner.mine(&c.data);
+        let secs = t0.elapsed().as_secs_f64();
+        nodes = r.stats.nodes_visited;
+        best = best.max(nodes as f64 / secs);
+    }
+    (nodes, best)
+}
+
+fn baseline_for(workload: &str, engine: &str, threads: usize) -> Option<f64> {
+    BASELINE
+        .iter()
+        .find(|(w, e, t, _)| *w == workload && *e == engine && *t == threads)
+        .map(|&(_, _, _, tput)| tput)
+}
+
+fn run(out_path: &str) {
+    let samples: usize = std::env::var("FARMER_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut rows = Vec::new();
+    for c in cases() {
+        let (nodes, tput) = measure(&c, samples);
+        let engine = engine_name(c.engine);
+        let base = baseline_for(c.workload, engine, c.threads);
+        let speedup = base.map(|b| tput / b);
+        eprintln!(
+            "{:>16} {:>7} t={} {:>9} nodes  {:>12.0} nodes/s  speedup {}",
+            c.workload,
+            engine,
+            c.threads,
+            nodes,
+            tput,
+            speedup.map_or("n/a".into(), |s| format!("{s:.2}x")),
+        );
+        let mut row = ObjBuilder::new()
+            .field("workload", c.workload)
+            .field("engine", engine)
+            .field("threads", c.threads)
+            .field("nodes", nodes)
+            .field("nodes_per_sec", tput);
+        if let Some(b) = base {
+            row = row
+                .field("baseline_nodes_per_sec", b)
+                .field("speedup", tput / b);
+        }
+        rows.push(row.build());
+    }
+    let report = ObjBuilder::new()
+        .field("schema", "farmer-perf-trajectory-v1")
+        .field("pr", 3usize)
+        .field("samples", samples)
+        .field("cases", Json::Arr(rows))
+        .build();
+    std::fs::write(out_path, format!("{}\n", report.pretty())).expect("write report");
+    eprintln!("wrote {out_path}");
+}
+
+/// Validates an existing report's shape; exits non-zero on violations.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path).expect("read report");
+    let j = Json::parse(&text).expect("report must parse as JSON");
+    assert_eq!(
+        j["schema"].as_str(),
+        Some("farmer-perf-trajectory-v1"),
+        "bad schema tag"
+    );
+    assert_eq!(j["pr"].as_u64(), Some(3));
+    let cases = match &j["cases"] {
+        Json::Arr(c) => c,
+        other => panic!("cases must be an array, got {other:?}"),
+    };
+    assert!(!cases.is_empty(), "no cases");
+    for c in cases {
+        for key in ["workload", "engine"] {
+            assert!(c[key].as_str().is_some(), "case missing {key}");
+        }
+        for key in ["threads", "nodes"] {
+            assert!(c[key].as_u64().is_some(), "case missing {key}");
+        }
+        assert!(c["nodes_per_sec"].as_f64().is_some());
+        if let Some(s) = c["speedup"].as_f64() {
+            eprintln!(
+                "{} {} t={}: speedup {s:.2}x",
+                c["workload"].as_str().unwrap_or("?"),
+                c["engine"].as_str().unwrap_or("?"),
+                c["threads"].as_u64().unwrap_or(0),
+            );
+        }
+    }
+    eprintln!("{path}: schema OK ({} cases)", cases.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => check(args.get(1).expect("--check <path>")),
+        Some("--out") => run(args.get(1).expect("--out <path>")),
+        None => run("BENCH_PR3.json"),
+        Some(other) => panic!("unknown argument {other}"),
+    }
+}

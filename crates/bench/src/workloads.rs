@@ -17,7 +17,8 @@
 
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::PaperDataset;
-use farmer_dataset::{Dataset, ExpressionMatrix};
+use farmer_dataset::{Dataset, DatasetBuilder, ExpressionMatrix};
+use farmer_support::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 use farmer_support::thread::Mutex;
 use std::collections::HashMap;
 
@@ -43,6 +44,49 @@ pub fn efficiency_dataset(p: PaperDataset, col_scale: f64) -> Dataset {
         buckets: EFFICIENCY_BUCKETS,
     }
     .discretize(&m)
+}
+
+/// Mining parameters used with [`skewed_synth`] by the PR-3 trajectory
+/// benchmark and the allocation-guard test: `(target_class, min_sup)`.
+pub const SKEWED_SYNTH_PARAMS: (u32, usize) = (1, 2);
+
+/// A deliberately *skewed* synthetic workload: a handful of "hub" rows
+/// share most of a dense item pool, so their depth-1 subtrees are orders
+/// of magnitude heavier than the rest. The hubs sit at row indices
+/// `0, 4, 8, …` — under a static `i % threads` split with 4 workers they
+/// all land on worker 0, which is exactly the imbalance the work-stealing
+/// scheduler exists to fix. Fully deterministic (fixed seed).
+pub fn skewed_synth() -> Dataset {
+    const N_POS: usize = 38;
+    const N_NEG: usize = 38;
+    const HUB_POOL: u32 = 50;
+    const SPARSE_POOL: u32 = 56;
+    let mut rng = StdRng::seed_from_u64(0xFA12_3E57);
+    let mut b = DatasetBuilder::new(2);
+    let hub_items: Vec<u32> = (0..HUB_POOL).collect();
+    for r in 0..N_POS {
+        if r % 4 == 0 {
+            // hub: a large random subset of the shared dense pool
+            let mut items = hub_items.clone();
+            items.shuffle(&mut rng);
+            items.truncate(44);
+            items.extend((0..12).map(|_| HUB_POOL + rng.gen_range(0..SPARSE_POOL)));
+            b.add_row(items, 1);
+        } else {
+            let items: Vec<u32> = (0..18)
+                .map(|_| HUB_POOL + rng.gen_range(0..SPARSE_POOL))
+                .collect();
+            b.add_row(items, 1);
+        }
+    }
+    for _ in 0..N_NEG {
+        // negatives touch a sliver of the hub pool so hub subtrees keep
+        // non-trivial confidence structure, plus sparse filler
+        let mut items: Vec<u32> = (0..6).map(|_| rng.gen_range(0..HUB_POOL)).collect();
+        items.extend((0..14).map(|_| HUB_POOL + rng.gen_range(0..SPARSE_POOL)));
+        b.add_row(items, 0);
+    }
+    b.build()
 }
 
 /// Per-dataset minimum-support grids for Figure 10, chosen like the

@@ -77,6 +77,8 @@ pub struct MineArgs {
     pub timeout_ms: Option<u64>,
     /// Cap on enumeration nodes (same partial-result semantics).
     pub node_budget: Option<u64>,
+    /// Worker threads for `--algo farmer` (1 = sequential).
+    pub threads: usize,
     /// Print heartbeat progress lines to stderr while mining.
     pub progress: bool,
     /// Print a machine-readable run report (JSON) to stdout.
@@ -163,6 +165,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             k: num(&opts, "k", 3)?,
             timeout_ms: opt_num(&opts, "timeout-ms")?,
             node_budget: opt_num(&opts, "node-budget")?,
+            threads: num(&opts, "threads", 1)?,
             progress: flag(&opts, "progress"),
             stats_json: flag(&opts, "stats-json"),
             json: opts.get("json").and_then(|v| v.clone().map(PathBuf::from)),
@@ -295,6 +298,7 @@ mod tests {
                 assert!(m.no_lower_bounds);
                 assert_eq!(m.timeout_ms, None);
                 assert_eq!(m.node_budget, None);
+                assert_eq!(m.threads, 1);
                 assert!(!m.progress);
                 assert!(!m.stats_json);
                 assert_eq!(m.json, None);
@@ -317,6 +321,8 @@ mod tests {
             "250",
             "--node-budget",
             "10000",
+            "--threads",
+            "4",
             "--progress",
             "--stats-json",
         ]))
@@ -326,6 +332,7 @@ mod tests {
                 assert_eq!(m.algo, "charm");
                 assert_eq!(m.timeout_ms, Some(250));
                 assert_eq!(m.node_budget, Some(10000));
+                assert_eq!(m.threads, 4);
                 assert!(m.progress);
                 assert!(m.stats_json);
             }

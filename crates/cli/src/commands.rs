@@ -174,7 +174,7 @@ impl MineObserver for ProgressObserver {
 /// same interesting-rule-group question.
 fn miner_for(a: &MineArgs, params: &MiningParams, data: &Dataset) -> Result<Box<dyn Miner>> {
     Ok(match a.algo.as_str() {
-        "farmer" => Box::new(Farmer::new(params.clone())),
+        "farmer" => Box::new(Farmer::new(params.clone()).with_parallelism(a.threads)),
         "topk" => Box::new(TopKMiner {
             class: params.target_class,
             k: a.k,
@@ -247,7 +247,14 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
         writeln!(
             out,
             "{}",
-            stats_json(miner.name(), &result.stats, result.len(), elapsed_ms).pretty()
+            stats_json(
+                miner.name(),
+                &result.stats,
+                &result.sched,
+                result.len(),
+                elapsed_ms
+            )
+            .pretty()
         )?;
     } else {
         writeln!(
@@ -684,6 +691,39 @@ mod tests {
         assert_eq!(j["stop"].as_str(), Some("completed"));
         assert!(j["nodes_visited"].as_u64().unwrap() > 0);
         assert!(j["pruned"]["tight_support"].as_u64().is_some(), "{s}");
+        // scheduler observability: sequential run = one worker, no steals
+        assert_eq!(j["scheduler"]["steals"].as_u64(), Some(0), "{s}");
+        assert_eq!(
+            j["scheduler"]["worker_nodes"][0].as_u64(),
+            j["nodes_visited"].as_u64(),
+            "{s}"
+        );
+        assert!(
+            j["scheduler"]["peak_arena_depth"].as_u64().unwrap() >= 1,
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn stats_json_reports_parallel_scheduler() {
+        let txt = mining_input("sjp", "20", "50");
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "3",
+            "--threads",
+            "3",
+            "--stats-json",
+        ]);
+        let j = farmer_support::json::Json::parse(&s).unwrap_or_else(|e| panic!("{e}: {s}"));
+        let workers = match &j["scheduler"]["worker_nodes"] {
+            farmer_support::json::Json::Arr(v) => v.len(),
+            other => panic!("worker_nodes not an array: {other:?}"),
+        };
+        assert_eq!(workers, 3, "{s}");
+        assert!(j["scheduler"]["steals"].as_u64().is_some(), "{s}");
     }
 
     #[test]

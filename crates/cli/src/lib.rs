@@ -71,6 +71,7 @@ MINE OPTIONS:
   --no-lower-bounds   report upper bounds only
   --timeout-ms <ms>   stop after this long; prints the valid partial result
   --node-budget <n>   stop after n enumeration nodes (same partial semantics)
+  --threads <n>       worker threads for --algo farmer (default 1)
   --progress          heartbeat progress lines on stderr
   --stats-json        machine-readable run report (JSON) instead of text
   --json/--html <p>   write the full result to a file

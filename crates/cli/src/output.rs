@@ -1,6 +1,6 @@
 //! Serializable result shapes for `--json` and `--stats-json` output.
 
-use farmer_core::{MineStats, RuleGroup};
+use farmer_core::{MineStats, RuleGroup, SchedStats};
 use farmer_dataset::Dataset;
 use farmer_support::json::{Json, ObjBuilder};
 
@@ -103,8 +103,16 @@ impl MineJson {
 
 /// The `--stats-json` report: what one mining session did, in a stable
 /// machine-readable shape (counters from [`MineStats`], the stop cause,
-/// and wall time).
-pub fn stats_json(algo: &str, stats: &MineStats, n_groups: usize, elapsed_ms: u64) -> Json {
+/// wall time, and a `scheduler` object from [`SchedStats`] — the latter
+/// is observability, not a result: under parallel work stealing its
+/// numbers vary run to run).
+pub fn stats_json(
+    algo: &str,
+    stats: &MineStats,
+    sched: &SchedStats,
+    n_groups: usize,
+    elapsed_ms: u64,
+) -> Json {
     ObjBuilder::new()
         .field("algo", algo)
         .field("stop", stats.stop.as_str())
@@ -124,6 +132,17 @@ pub fn stats_json(algo: &str, stats: &MineStats, n_groups: usize, elapsed_ms: u6
                 .build(),
         )
         .field("rows_compressed", stats.rows_compressed)
+        .field(
+            "scheduler",
+            ObjBuilder::new()
+                .field("steals", sched.steals)
+                .field(
+                    "worker_nodes",
+                    Json::Arr(sched.worker_nodes.iter().map(|&n| Json::from(n)).collect()),
+                )
+                .field("peak_arena_depth", sched.peak_arena_depth)
+                .build(),
+        )
         .build()
 }
 

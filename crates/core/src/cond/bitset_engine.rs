@@ -3,75 +3,82 @@
 use super::{CondNode, Inspect};
 use farmer_dataset::{Dataset, ItemId, RowId};
 use rowset::RowSet;
-use std::rc::Rc;
 
 /// Conditional table whose tuples are the per-item row bitsets of the
 /// dataset.
 ///
 /// The node only stores *which* items survive (`I(X)`); tuple contents
-/// are shared via `Rc` with every other node, so `child` costs one pass
-/// over the current item list and no row copying. All scans are
-/// word-parallel over rows, which is the sweet spot for the microarray
-/// shape (hundreds of rows, tens of thousands of items).
-pub struct BitsetNode {
-    tuples: Rc<Vec<RowSet>>,
+/// are **borrowed** from the dataset's own column store
+/// ([`Dataset::item_row_sets`]), so building a root copies nothing and a
+/// single root can be shared by reference across worker threads. `child`
+/// costs one pass over the current item list and no row copying. All
+/// scans are word-parallel over rows via the fused
+/// [`RowSet::fused_scan`] kernel, which is the sweet spot for the
+/// microarray shape (hundreds of rows, tens of thousands of items).
+pub struct BitsetNode<'a> {
+    tuples: &'a [RowSet],
     items: Vec<ItemId>,
     n_rows: usize,
 }
 
-impl BitsetNode {
-    /// Root node: all items of the (already `ORD`-reordered) dataset.
-    pub fn root(data: &Dataset) -> Self {
-        let tuples: Vec<RowSet> = (0..data.n_items() as ItemId)
-            .map(|i| data.item_rows(i).clone())
-            .collect();
+impl<'a> BitsetNode<'a> {
+    /// Root node: all items of the (already `ORD`-reordered) dataset,
+    /// borrowing its column bitsets in place.
+    pub fn root(data: &'a Dataset) -> Self {
+        let tuples = data.item_row_sets();
         BitsetNode {
             items: (0..tuples.len() as ItemId).collect(),
-            tuples: Rc::new(tuples),
+            tuples,
             n_rows: data.n_rows(),
         }
     }
 }
 
-impl CondNode for BitsetNode {
+impl CondNode for BitsetNode<'_> {
     fn items(&self) -> &[ItemId] {
         &self.items
     }
 
-    fn inspect(&self, e_p: &RowSet, e_n: &RowSet) -> Inspect {
-        let mut z = RowSet::full(self.n_rows);
-        let mut occur = RowSet::empty(self.n_rows);
-        let mut max_ep = 0usize;
-        for &i in &self.items {
-            let t = &self.tuples[i as usize];
-            z.intersect_with(t);
-            occur.union_with(t);
-            max_ep = max_ep.max(t.intersection_len(e_p));
-        }
-        Inspect {
-            u_p: occur.intersection(e_p),
-            u_n: occur.intersection(e_n),
-            z,
-            max_ep_tuple: max_ep,
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn clone_shell(&self) -> Self {
+        BitsetNode {
+            tuples: self.tuples,
+            items: Vec::new(),
+            n_rows: self.n_rows,
         }
     }
 
-    fn child(&self, r: RowId) -> Self {
-        let items: Vec<ItemId> = self
-            .items
-            .iter()
-            .copied()
-            .filter(|&i| self.tuples[i as usize].contains(r as usize))
-            .collect();
+    fn inspect_into(&self, e_p: &RowSet, e_n: &RowSet, out: &mut Inspect) {
+        // u_n doubles as the `occur` accumulator during the sweep; the
+        // final u_p/u_n split happens once at the end.
+        out.z.make_full();
+        out.u_n.clear();
+        let mut max_ep = 0usize;
+        for &i in &self.items {
+            let t = &self.tuples[i as usize];
+            max_ep = max_ep.max(RowSet::fused_scan(&mut out.z, &mut out.u_n, t, e_p));
+        }
+        out.u_p.copy_from(&out.u_n);
+        out.u_p.intersect_with(e_p);
+        out.u_n.intersect_with(e_n);
+        out.max_ep_tuple = max_ep;
+    }
+
+    fn child_into(&self, r: RowId, out: &mut Self) {
+        out.items.clear();
+        out.items.extend(
+            self.items
+                .iter()
+                .copied()
+                .filter(|&i| self.tuples[i as usize].contains(r as usize)),
+        );
         debug_assert!(
-            !items.is_empty(),
+            !out.items.is_empty(),
             "child({r}) has no tuples; r was not a candidate"
         );
-        BitsetNode {
-            tuples: Rc::clone(&self.tuples),
-            items,
-            n_rows: self.n_rows,
-        }
     }
 }
 
@@ -127,5 +134,31 @@ mod tests {
         assert_eq!(ins.u_n.len(), 2);
         // no row contains every item
         assert!(ins.z.is_empty());
+    }
+
+    #[test]
+    fn inspect_into_reuses_dirty_buffers() {
+        let d = paper_example();
+        let root = BitsetNode::root(&d);
+        let e_p = RowSet::from_ids(5, [0, 1, 2]);
+        let e_n = RowSet::from_ids(5, [3, 4]);
+        let fresh = root.inspect(&e_p, &e_n);
+        // refill a buffer left dirty by a different node's scan
+        let mut buf = root.child(1).inspect(&e_p, &e_n);
+        root.inspect_into(&e_p, &e_n, &mut buf);
+        assert_eq!(buf.z, fresh.z);
+        assert_eq!(buf.u_p, fresh.u_p);
+        assert_eq!(buf.u_n, fresh.u_n);
+        assert_eq!(buf.max_ep_tuple, fresh.max_ep_tuple);
+    }
+
+    #[test]
+    fn root_borrows_dataset_columns() {
+        let d = paper_example();
+        let root = BitsetNode::root(&d);
+        assert!(std::ptr::eq(
+            root.tuples.as_ptr(),
+            d.item_row_sets().as_ptr()
+        ));
     }
 }

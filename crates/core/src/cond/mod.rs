@@ -31,6 +31,12 @@ use farmer_dataset::{ItemId, RowId};
 use rowset::RowSet;
 
 /// What a node scan reports about `TT|X`.
+///
+/// An `Inspect` doubles as a reusable buffer: the miner's scratch arena
+/// keeps one per recursion depth and refills it through
+/// [`CondNode::inspect_into`], so steady-state enumeration never
+/// allocates for scan results. Construct fresh ones with
+/// [`Inspect::new`].
 #[derive(Clone, Debug)]
 pub struct Inspect {
     /// Rows occurring in **every** tuple: `R(I(X))`. When the table has
@@ -43,26 +49,76 @@ pub struct Inspect {
     pub u_n: RowSet,
     /// `MAX(|EP ∩ t|)` over tuples `t` — the tight support headroom.
     pub max_ep_tuple: usize,
+    /// Pointer-engine scratch: per-row tuple-occurrence counts, resized
+    /// lazily on first use so bitset scans never pay for it. Kept inside
+    /// the buffer (rather than the node) so recycling an `Inspect`
+    /// recycles the counts with it.
+    pub(crate) counts: Vec<u32>,
+}
+
+impl Inspect {
+    /// An empty scan buffer over `n_rows` rows, ready for
+    /// [`CondNode::inspect_into`].
+    pub fn new(n_rows: usize) -> Self {
+        Inspect {
+            z: RowSet::empty(n_rows),
+            u_p: RowSet::empty(n_rows),
+            u_n: RowSet::empty(n_rows),
+            max_ep_tuple: 0,
+            counts: Vec::new(),
+        }
+    }
 }
 
 /// A node's conditional transposed table.
 ///
-/// Implementations are cheap to clone conceptually but are in fact moved
-/// down the recursion; `child` builds the table for `X ∪ {r}` from the
-/// current one (Lemma 3.3).
-pub trait CondNode {
+/// `child_into` builds the table for `X ∪ {r}` from the current one
+/// (Lemma 3.3). The `*_into` methods are the hot-path interface: they
+/// write into caller-owned buffers (recycled by the miner's scratch
+/// arena) so descending the tree performs no heap allocation. The
+/// allocating [`inspect`](Self::inspect)/[`child`](Self::child) wrappers
+/// remain for tests and one-shot callers.
+pub trait CondNode: Sized {
     /// `I(X)`: the items whose tuples survived into this table. At the
     /// root this is the full item universe (the root never emits a rule).
     fn items(&self) -> &[ItemId];
 
-    /// Scans the table, classifying the candidate rows.
-    fn inspect(&self, e_p: &RowSet, e_n: &RowSet) -> Inspect;
+    /// Number of rows of the underlying dataset (the capacity of every
+    /// row set the node produces or consumes).
+    fn n_rows(&self) -> usize;
 
-    /// The table for `X ∪ {r}`: keeps exactly the tuples containing `r`.
+    /// A node sharing this node's backing table but holding no items —
+    /// a buffer for [`child_into`](Self::child_into).
+    fn clone_shell(&self) -> Self;
+
+    /// Scans the table, classifying the candidate rows into `out`.
+    /// Every field of `out` is overwritten; its buffers are reused.
+    fn inspect_into(&self, e_p: &RowSet, e_n: &RowSet, out: &mut Inspect);
+
+    /// Writes the table for `X ∪ {r}` into `out`: keeps exactly the
+    /// tuples containing `r`. `out` must share this node's backing table
+    /// (i.e. originate from [`clone_shell`](Self::clone_shell) or a
+    /// previous `child_into` in the same run).
     ///
     /// `r` must occur in at least one tuple (i.e. be in `u_p ∪ u_n` of
-    /// the latest [`inspect`](Self::inspect)).
-    fn child(&self, r: RowId) -> Self;
+    /// the latest inspect).
+    fn child_into(&self, r: RowId, out: &mut Self);
+
+    /// Allocating convenience wrapper over
+    /// [`inspect_into`](Self::inspect_into).
+    fn inspect(&self, e_p: &RowSet, e_n: &RowSet) -> Inspect {
+        let mut out = Inspect::new(self.n_rows());
+        self.inspect_into(e_p, e_n, &mut out);
+        out
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`child_into`](Self::child_into).
+    fn child(&self, r: RowId) -> Self {
+        let mut out = self.clone_shell();
+        self.child_into(r, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]

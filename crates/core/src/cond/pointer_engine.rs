@@ -3,150 +3,161 @@
 use super::{CondNode, Inspect};
 use farmer_dataset::{ItemId, RowId, TransposedTable};
 use rowset::RowSet;
-use std::rc::Rc;
-
-/// One in-memory transposed table shared by every node of a run.
-struct Base {
-    /// `tuples[i]` = ascending row ids containing item `i`.
-    tuples: Vec<Vec<RowId>>,
-    n_rows: usize,
-}
 
 /// A `TT|X` materialized as *conditional pointer lists*: for every tuple
 /// that contains all rows of `X`, the node stores the tuple's item id and
 /// the position just past `X`'s deepest row in that tuple.
 ///
-/// Rows at positions `>= start` are the enumeration candidates within the
-/// tuple (they are exactly the rows ordered after the deepest row of `X`,
-/// because tuples are sorted by `ORD`); rows at positions `< start` feed
-/// the *back scan* of pruning strategy 2. This mirrors Figure 8 of the
-/// paper, with `(tuple, start)` playing the role of the `<fi, Pos>`
-/// entries.
-pub struct PointerNode {
-    base: Rc<Base>,
+/// Tuple contents are **borrowed** from the run's [`TransposedTable`], so
+/// roots copy nothing and can be shared by reference across worker
+/// threads. Rows at positions `>= start` are the enumeration candidates
+/// within the tuple (they are exactly the rows ordered after the deepest
+/// row of `X`, because tuples are sorted by `ORD`); rows at positions
+/// `< start` feed the *back scan* of pruning strategy 2. This mirrors
+/// Figure 8 of the paper, with `(tuple, start)` playing the role of the
+/// `<fi, Pos>` entries.
+pub struct PointerNode<'a> {
+    base: &'a TransposedTable,
     /// `(item, start)` per surviving tuple.
     entries: Vec<(ItemId, u32)>,
     /// Cached `I(X)` (the items of `entries`, in ascending order).
     items: Vec<ItemId>,
 }
 
-impl PointerNode {
+impl<'a> PointerNode<'a> {
     /// Root node over a transposed table (already in `ORD` order).
-    pub fn root(tt: &TransposedTable) -> Self {
-        let tuples: Vec<Vec<RowId>> = tt.tuples().iter().map(|t| t.rows.clone()).collect();
-        let entries: Vec<(ItemId, u32)> = (0..tuples.len() as ItemId).map(|i| (i, 0)).collect();
+    pub fn root(tt: &'a TransposedTable) -> Self {
+        let entries: Vec<(ItemId, u32)> =
+            (0..tt.tuples().len() as ItemId).map(|i| (i, 0)).collect();
         PointerNode {
-            base: Rc::new(Base {
-                tuples,
-                n_rows: tt.n_rows(),
-            }),
+            base: tt,
             items: entries.iter().map(|&(i, _)| i).collect(),
             entries,
         }
     }
+
+    #[inline]
+    fn tuple(&self, item: ItemId) -> &[RowId] {
+        &self.base.tuples()[item as usize].rows
+    }
 }
 
-impl CondNode for PointerNode {
+impl CondNode for PointerNode<'_> {
     fn items(&self) -> &[ItemId] {
         &self.items
     }
 
-    fn inspect(&self, e_p: &RowSet, e_n: &RowSet) -> Inspect {
-        let n = self.base.n_rows;
+    fn n_rows(&self) -> usize {
+        self.base.n_rows()
+    }
+
+    fn clone_shell(&self) -> Self {
+        PointerNode {
+            base: self.base,
+            entries: Vec::new(),
+            items: Vec::new(),
+        }
+    }
+
+    fn inspect_into(&self, e_p: &RowSet, e_n: &RowSet, out: &mut Inspect) {
+        let n = self.base.n_rows();
         let n_tuples = self.entries.len();
         // occurrence counts across tuples; a row is in every tuple iff its
-        // count reaches n_tuples
-        let mut counts = vec![0u32; n];
+        // count reaches n_tuples. The counts buffer lives in `out` and is
+        // recycled across scans.
+        out.counts.clear();
+        out.counts.resize(n, 0);
         let mut max_ep = 0usize;
         for &(item, start) in &self.entries {
-            let tuple = &self.base.tuples[item as usize];
+            let tuple = self.tuple(item);
             let mut ep_here = 0usize;
             // back range: rows of X and anything ordered before the deepest
             // row of X (only containment matters for these)
             for &r in &tuple[..start as usize] {
-                counts[r as usize] += 1;
+                out.counts[r as usize] += 1;
             }
             // forward range: enumeration candidates
             for &r in &tuple[start as usize..] {
-                counts[r as usize] += 1;
+                out.counts[r as usize] += 1;
                 if e_p.contains(r as usize) {
                     ep_here += 1;
                 }
             }
             max_ep = max_ep.max(ep_here);
         }
-        let mut z = if n_tuples == 0 {
-            RowSet::full(n)
-        } else {
-            RowSet::empty(n)
-        };
-        let mut occur = RowSet::empty(n);
-        for (r, &c) in counts.iter().enumerate() {
+        out.z.clear();
+        out.u_p.clear();
+        out.u_n.clear();
+        if n_tuples == 0 {
+            out.z.make_full();
+        }
+        for (r, &c) in out.counts.iter().enumerate() {
             if c > 0 {
-                occur.insert(r);
                 if c as usize == n_tuples {
-                    z.insert(r);
+                    out.z.insert(r);
+                }
+                // e_p and e_n are disjoint (positives vs negatives), so a
+                // row lands in at most one of u_p/u_n — same sets as the
+                // occur ∩ e_p / occur ∩ e_n of the bitset engine.
+                if e_p.contains(r) {
+                    out.u_p.insert(r);
+                } else if e_n.contains(r) {
+                    out.u_n.insert(r);
                 }
             }
         }
-        Inspect {
-            u_p: occur.intersection(e_p),
-            u_n: occur.intersection(e_n),
-            z,
-            max_ep_tuple: max_ep,
-        }
+        out.max_ep_tuple = max_ep;
     }
 
-    fn child(&self, r: RowId) -> Self {
-        let mut entries = Vec::with_capacity(self.entries.len());
+    fn child_into(&self, r: RowId, out: &mut Self) {
+        out.entries.clear();
+        out.items.clear();
         for &(item, start) in &self.entries {
-            let tuple = &self.base.tuples[item as usize];
+            let tuple = self.tuple(item);
             // r can only sit at or after `start` (it is ordered after X's
             // deepest row); binary-search the suffix
             if let Ok(off) = tuple[start as usize..].binary_search(&r) {
-                entries.push((item, start + off as u32 + 1));
+                out.entries.push((item, start + off as u32 + 1));
+                out.items.push(item);
             }
         }
         debug_assert!(
-            !entries.is_empty(),
+            !out.entries.is_empty(),
             "child({r}) has no tuples; r was not a candidate"
         );
-        PointerNode {
-            base: Rc::clone(&self.base),
-            items: entries.iter().map(|&(i, _)| i).collect(),
-            entries,
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use farmer_dataset::{paper_example, TransposedTable};
+    use farmer_dataset::{paper_example, Dataset, TransposedTable};
 
-    fn root() -> (farmer_dataset::Dataset, PointerNode) {
+    fn setup() -> (Dataset, TransposedTable) {
         let d = paper_example();
         let (tt, reordered, _) = TransposedTable::for_mining(&d, 0);
-        (reordered, PointerNode::root(&tt))
+        (reordered, tt)
     }
 
     #[test]
     fn descend_matches_paper_figure_2() {
-        let (d, root) = root();
+        let (d, tt) = setup();
+        let root = PointerNode::root(&tt);
         let node = root.child(1).child(2); // X = {r2, r3}
         let mut names: Vec<&str> = node.items().iter().map(|&i| d.item_name(i)).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["a", "e", "h"]);
         // start positions point past row 2 in each tuple
         for &(item, start) in &node.entries {
-            let t = &node.base.tuples[item as usize];
+            let t = node.tuple(item);
             assert_eq!(t[start as usize - 1], 2, "item {item}");
         }
     }
 
     #[test]
     fn inspect_finds_row4_in_all_tuples() {
-        let (_, root) = root();
+        let (_, tt) = setup();
+        let root = PointerNode::root(&tt);
         let node = root.child(1).child(2);
         let e_p = RowSet::empty(5);
         let e_n = RowSet::from_ids(5, [3, 4]);
@@ -161,7 +172,8 @@ mod tests {
         // node {r3, r4} (ids 2,3): I = {a,e,h}; row 1 (r2) occurs in every
         // tuple although it is before the node's rows -> z contains it,
         // which is what pruning strategy 2 keys on (Example 5).
-        let (_, root) = root();
+        let (_, tt) = setup();
+        let root = PointerNode::root(&tt);
         let node = root.child(2).child(3);
         let ins = node.inspect(&RowSet::empty(5), &RowSet::from_ids(5, [4]));
         assert!(ins.z.contains(1), "back row r2 must be in z: {:?}", ins.z);

@@ -67,10 +67,10 @@ mod params;
 mod rule;
 
 pub use index::GroupIndex;
-pub use miner::Farmer;
+pub use miner::{Farmer, NodeScratch};
 pub use params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
-pub use rule::{MineResult, MineStats, RuleGroup};
+pub use rule::{MineResult, MineStats, RuleGroup, SchedStats};
 pub use session::{
     CountingObserver, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
-    StopCause, StopHandle,
+    SharedBudget, StopCause, StopHandle,
 };

@@ -1,16 +1,96 @@
 //! The FARMER search: depth-first row enumeration with pruning.
 
-use crate::cond::{BitsetNode, CondNode, PointerNode};
+use crate::cond::{BitsetNode, CondNode, Inspect, PointerNode};
 use crate::measures::{self, chi_square, chi_square_upper_bound, convex_upper_bound, Contingency};
 use crate::minelb::mine_lower_bounds;
 use crate::params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
-use crate::rule::{MineResult, MineStats, RuleGroup};
+use crate::rule::{MineResult, MineStats, RuleGroup, SchedStats};
 use crate::session::{
     ControlState, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
+    SharedBudget,
 };
 use farmer_dataset::{Dataset, RowId, TransposedTable};
+use farmer_support::thread::StealQueue;
 use rowset::{IdList, RowSet};
 use std::time::Instant;
+
+/// One recursion frame's worth of buffers: everything a node of the
+/// enumeration needs beyond its inputs. Pooled by [`NodeScratch`].
+pub(crate) struct Frame<N> {
+    /// Buffer the node's children are built into ([`CondNode::child_into`]).
+    pub(crate) child: N,
+    /// Buffer for the node's scan results.
+    pub(crate) ins: Inspect,
+    /// Positive candidates passed to children (post-compression).
+    pub(crate) next_e_p: RowSet,
+    /// Negative candidates passed to children (post-compression).
+    pub(crate) next_e_n: RowSet,
+    /// `next_e_p` minus the candidates already descended into; after the
+    /// positive sweep it is empty and doubles as the negative children's
+    /// (empty) `e_p`.
+    pub(crate) remaining_p: RowSet,
+    /// `next_e_n` minus the candidates already descended into.
+    pub(crate) remaining_n: RowSet,
+    /// `counted` for the children; the current child's row is inserted
+    /// before descending and removed after, so one buffer serves all.
+    pub(crate) counted_next: RowSet,
+}
+
+/// A pool of recursion [`Frame`]s, one arena per worker.
+///
+/// `acquire` pops a recycled frame (or builds one — this only happens
+/// the first time the search reaches a given depth, so after a warm-up
+/// descent the steady state performs **zero heap allocations per node**;
+/// the allocation-guard test in `crates/core/tests` enforces this).
+/// `release` pushes the frame back on unwind, buffers intact, for the
+/// next sibling at that depth to reuse.
+pub struct NodeScratch<N> {
+    pool: Vec<Frame<N>>,
+    n_rows: usize,
+    in_flight: usize,
+    peak: usize,
+}
+
+impl<N: CondNode> NodeScratch<N> {
+    /// An empty arena for a dataset of `n_rows` rows.
+    pub fn new(n_rows: usize) -> Self {
+        NodeScratch {
+            pool: Vec::new(),
+            n_rows,
+            in_flight: 0,
+            peak: 0,
+        }
+    }
+
+    /// Deepest number of simultaneously live frames seen — the arena's
+    /// steady-state footprint in frames.
+    pub fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    /// Pops a frame, building a fresh one from `proto`'s shell if the
+    /// pool is dry (i.e. this is the deepest the search has been).
+    pub(crate) fn acquire(&mut self, proto: &N) -> Frame<N> {
+        self.in_flight += 1;
+        self.peak = self.peak.max(self.in_flight);
+        let n = self.n_rows;
+        self.pool.pop().unwrap_or_else(|| Frame {
+            child: proto.clone_shell(),
+            ins: Inspect::new(n),
+            next_e_p: RowSet::empty(n),
+            next_e_n: RowSet::empty(n),
+            remaining_p: RowSet::empty(n),
+            remaining_n: RowSet::empty(n),
+            counted_next: RowSet::empty(n),
+        })
+    }
+
+    /// Returns a frame to the pool for reuse by a sibling node.
+    pub(crate) fn release(&mut self, frame: Frame<N>) {
+        self.in_flight -= 1;
+        self.pool.push(frame);
+    }
+}
 
 /// The FARMER miner. Configure with [`MiningParams`] (thresholds) and
 /// optionally [`PruningConfig`] / [`Engine`], then call
@@ -57,12 +137,15 @@ impl Farmer {
     /// `threads` worker threads (1 = the sequential algorithm).
     ///
     /// The subtrees are independent: pruning strategies 1–3 depend only
-    /// on a node's own path, so each thread searches its share of root
-    /// candidates with the full machinery, and the interestingness
-    /// comparison of step 7 — the only globally ordered step — runs as a
-    /// definition-equivalent post-pass over the merged groups. Results
-    /// are identical to the sequential run (enforced by tests). A node
-    /// budget is split evenly across threads.
+    /// on a node's own path, so each worker claims root candidates from
+    /// a shared work-stealing queue and searches them with the full
+    /// machinery, and the interestingness comparison of step 7 — the
+    /// only globally ordered step — runs as a definition-equivalent
+    /// post-pass over the merged groups. Results are identical to the
+    /// sequential run (enforced by tests). A node budget is drawn from
+    /// one shared pool, so a budgeted run expands exactly `budget` nodes
+    /// in total regardless of thread count (which nodes depends on the
+    /// interleaving; see `run_parallel`).
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -116,7 +199,7 @@ impl Farmer {
         if self.threads > 1 {
             return match self.engine {
                 Engine::Bitset => self.run_parallel(
-                    || BitsetNode::root(&reordered),
+                    &BitsetNode::root(&reordered),
                     &reordered,
                     &tt,
                     &order,
@@ -124,7 +207,7 @@ impl Farmer {
                     obs,
                 ),
                 Engine::PointerList => {
-                    self.run_parallel(|| PointerNode::root(&tt), &reordered, &tt, &order, ctl, obs)
+                    self.run_parallel(&PointerNode::root(&tt), &reordered, &tt, &order, ctl, obs)
                 }
             };
         }
@@ -178,26 +261,55 @@ impl Farmer {
         };
         let e_p = RowSet::from_ids(n, 0..m);
         let e_n = RowSet::from_ids(n, m..n);
-        ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0, 0, 0);
+        let mut scratch = NodeScratch::new(n);
+        ctx.visit(
+            &mut scratch,
+            &root,
+            None,
+            &RowSet::empty(n),
+            &e_p,
+            &e_n,
+            0,
+            0,
+            0,
+        );
         let irgs = ctx.irgs;
         let stats = ctx.stats;
-        self.package(irgs, stats, reordered, order, n, m)
+        let sched = SchedStats {
+            steals: 0,
+            worker_nodes: vec![stats.nodes_visited],
+            peak_arena_depth: scratch.peak_depth(),
+        };
+        self.package(irgs, stats, sched, reordered, order, n, m)
     }
 
-    /// Parallel search: the root is scanned once per thread (cheap), and
-    /// each thread descends only into its share of the root candidates.
-    /// Threshold-passing groups are merged and the interestingness
-    /// filter runs as a final pass (equivalent to step 7 by Lemma 3.4).
-    /// The workers run uninstrumented (their `MineStats` already tally
-    /// everything); after the join, `obs` receives each worker's counters
-    /// via [`MineObserver::worker_finished`] in worker-index order, and
-    /// the sequential merge pass fires the `group_emitted` /
-    /// `pruned(NotInteresting)` events — a deterministic event sequence
-    /// regardless of thread scheduling. All workers share the control's
-    /// stop flag and deadline; a node budget is split evenly.
-    fn run_parallel<N, F, O>(
+    /// Parallel search: the root is built and scanned **once** (the
+    /// engines borrow the dataset's own tuple store, so the root is
+    /// `Sync` and shared by reference), and the depth-1 subtrees are
+    /// distributed through a work-stealing index queue — a worker stuck
+    /// in a heavy subtree simply claims fewer, so the orders-of-magnitude
+    /// skew between subtrees self-balances. Threshold-passing groups are
+    /// merged and the interestingness filter runs as a final pass
+    /// (equivalent to step 7 by Lemma 3.4); for complete runs the merged
+    /// output and [`MineStats`] are deterministic regardless of
+    /// scheduling. The workers run uninstrumented (their `MineStats`
+    /// already tally everything); after the join, `obs` receives each
+    /// worker's counters via [`MineObserver::worker_finished`] in
+    /// worker-index order, and the sequential merge pass fires the
+    /// `group_emitted` / `pruned(NotInteresting)` events — a
+    /// deterministic event sequence regardless of thread scheduling.
+    ///
+    /// All workers share the control's stop flag and deadline, and draw
+    /// nodes from one [`SharedBudget`] pool, so a budgeted run expands
+    /// exactly `budget` nodes in total whatever the thread count —
+    /// matching the sequential truncation point. *Which* nodes those are
+    /// depends on how the stealing interleaves, so a truncated parallel
+    /// run's group set may vary between runs (each is still a valid
+    /// partial result: every group real, none added on the unwind);
+    /// complete runs are unaffected.
+    fn run_parallel<N, O>(
         &self,
-        make_root: F,
+        root: &N,
         reordered: &Dataset,
         tt: &TransposedTable,
         order: &[RowId],
@@ -205,24 +317,35 @@ impl Farmer {
         obs: &mut O,
     ) -> MineResult
     where
-        N: CondNode,
-        F: Fn() -> N + Sync,
+        N: CondNode + Sync,
         O: MineObserver + ?Sized,
     {
         let n = reordered.n_rows();
         let m = tt.n_target();
         let eff_min_conf = self.effective_min_conf(n, m);
         let threads = self.threads;
-        let per_thread_budget = self
-            .resolve_budget(ctl)
-            .map(|b| (b / threads as u64).max(1));
+        let shared_budget = self.resolve_budget(ctl).map(SharedBudget::new);
+        let budget = shared_budget.as_ref();
 
-        let results: Vec<(Vec<Pending>, MineStats)> = farmer_support::thread::scope(|scope| {
+        // replicate the sequential root step once (no compression at the
+        // root, exact candidates), then queue the depth-1 subtrees
+        let e_p = RowSet::from_ids(n, 0..m);
+        let e_n = RowSet::from_ids(n, m..n);
+        let ins = root.inspect(&e_p, &e_n);
+        let pos_mask = RowSet::from_ids(n, 0..m);
+        let sup_p0 = ins.z.intersection_len(&pos_mask);
+        let sup_n0 = ins.z.len() - sup_p0;
+        // candidates in sequential order: positives then negatives
+        let cands: Vec<usize> = ins.u_p.iter().chain(ins.u_n.iter()).collect();
+        let n_pos = ins.u_p.len();
+        let queue = StealQueue::new(cands.len(), 1);
+
+        type WorkerOut = (Vec<Pending>, MineStats, u64, usize);
+        let results: Vec<WorkerOut> = farmer_support::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let make_root = &make_root;
+                .map(|_| {
+                    let (ins, cands, queue) = (&ins, &cands, &queue);
                     scope.spawn(move || {
-                        let root = make_root();
                         let mut noop = NoOpObserver;
                         let mut ctx = Ctx {
                             params: &self.params,
@@ -231,7 +354,7 @@ impl Farmer {
                             m,
                             eff_min_conf,
                             pos_mask: RowSet::from_ids(n, 0..m),
-                            ctl: ctl.state_with_budget(per_thread_budget),
+                            ctl: ctl.state_with_shared(budget),
                             heartbeat_every: 0,
                             start: Instant::now(),
                             obs: &mut noop,
@@ -240,51 +363,54 @@ impl Farmer {
                             defer_interesting: true,
                         };
                         ctx.stats.nodes_visited += 1; // the shared root
-                                                      // replicate the sequential root step (no
-                                                      // compression at the root, exact candidates)
-                        let e_p = RowSet::from_ids(n, 0..m);
-                        let e_n = RowSet::from_ids(n, m..n);
-                        let ins = root.inspect(&e_p, &e_n);
-                        let sup_p0 = ins.z.intersection_len(&ctx.pos_mask);
-                        let sup_n0 = ins.z.len() - sup_p0;
-                        // round-robin assignment of depth-1 subtrees
-                        let mut remaining_p = ins.u_p.clone();
-                        for (i, r) in ins.u_p.iter().enumerate() {
-                            remaining_p.remove(r);
-                            if i % threads != t {
-                                continue;
+                        let mut scratch = NodeScratch::new(n);
+                        let mut child = root.clone_shell();
+                        let mut counted = RowSet::empty(n);
+                        let mut rem_p = RowSet::empty(n);
+                        let mut rem_n = RowSet::empty(n);
+                        let mut work = queue.stealing_iter();
+                        for idx in work.by_ref() {
+                            if ctx.stats.budget_exhausted {
+                                break;
                             }
-                            let counted = RowSet::from_ids(n, [r]);
-                            ctx.visit(
-                                &root.child(r as RowId),
-                                Some(r as RowId),
-                                &counted,
-                                remaining_p.clone(),
-                                ins.u_n.clone(),
-                                sup_p0,
-                                sup_n0,
-                                1,
-                            );
-                        }
-                        let mut remaining_n = ins.u_n.clone();
-                        for (i, r) in ins.u_n.iter().enumerate() {
-                            remaining_n.remove(r);
-                            if (ins.u_p.len() + i) % threads != t {
-                                continue;
+                            let r = cands[idx];
+                            counted.clear();
+                            counted.insert(r);
+                            root.child_into(r as RowId, &mut child);
+                            if idx < n_pos {
+                                // positive subtree: candidates after r
+                                rem_p.copy_from(&ins.u_p);
+                                rem_p.clear_through(r);
+                                ctx.visit(
+                                    &mut scratch,
+                                    &child,
+                                    Some(r as RowId),
+                                    &counted,
+                                    &rem_p,
+                                    &ins.u_n,
+                                    sup_p0,
+                                    sup_n0,
+                                    1,
+                                );
+                            } else {
+                                // negative subtree: no positive candidates
+                                rem_p.clear();
+                                rem_n.copy_from(&ins.u_n);
+                                rem_n.clear_through(r);
+                                ctx.visit(
+                                    &mut scratch,
+                                    &child,
+                                    Some(r as RowId),
+                                    &counted,
+                                    &rem_p,
+                                    &rem_n,
+                                    sup_p0,
+                                    sup_n0,
+                                    1,
+                                );
                             }
-                            let counted = RowSet::from_ids(n, [r]);
-                            ctx.visit(
-                                &root.child(r as RowId),
-                                Some(r as RowId),
-                                &counted,
-                                RowSet::empty(n),
-                                remaining_n.clone(),
-                                sup_p0,
-                                sup_n0,
-                                1,
-                            );
                         }
-                        (ctx.irgs, ctx.stats)
+                        (ctx.irgs, ctx.stats, work.steals(), scratch.peak_depth())
                     })
                 })
                 .collect();
@@ -296,15 +422,16 @@ impl Farmer {
 
         // deterministic observer delivery: per-worker tallies in
         // worker-index order, before the merge-phase events below
-        for (worker, (_, s)) in results.iter().enumerate() {
+        for (worker, (_, s, _, _)) in results.iter().enumerate() {
             obs.worker_finished(worker, s);
         }
 
         // merge: dedupe by upper bound, combine stats
         let mut stats = MineStats::default();
+        let mut sched = SchedStats::default();
         let mut by_upper: std::collections::HashMap<IdList, Pending> =
             std::collections::HashMap::new();
-        for (pendings, s) in results {
+        for (pendings, s, steals, peak) in results {
             stats.nodes_visited += s.nodes_visited;
             stats.pruned_duplicate += s.pruned_duplicate;
             stats.pruned_loose += s.pruned_loose;
@@ -314,6 +441,9 @@ impl Farmer {
             stats.rows_compressed += s.rows_compressed;
             stats.budget_exhausted |= s.budget_exhausted;
             stats.stop = stats.stop.merge(s.stop);
+            sched.steals += steals;
+            sched.worker_nodes.push(s.nodes_visited);
+            sched.peak_arena_depth = sched.peak_arena_depth.max(peak);
             for p in pendings {
                 by_upper.entry(p.upper.clone()).or_insert(p);
             }
@@ -341,7 +471,7 @@ impl Farmer {
                 accepted.push(p);
             }
         }
-        self.package(accepted, stats, reordered, order, n, m)
+        self.package(accepted, stats, sched, reordered, order, n, m)
     }
 
     /// Folds any lift/conviction extras into the confidence threshold.
@@ -366,10 +496,12 @@ impl Farmer {
 
     /// Maps pending groups back to original row ids, attaches lower
     /// bounds, and assembles the result.
+    #[allow(clippy::too_many_arguments)]
     fn package(
         &self,
         irgs: Vec<Pending>,
         stats: MineStats,
+        sched: SchedStats,
         reordered: &Dataset,
         order: &[RowId],
         n: usize,
@@ -402,6 +534,7 @@ impl Farmer {
         MineResult {
             groups,
             stats,
+            sched,
             n_rows: n,
             n_class: m,
         }
@@ -446,14 +579,22 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
     /// root); `counted` is `X` plus every row folded away by pruning
     /// strategy 1 at ancestors; `parent_sup_p`/`parent_sup_n` are the
     /// parent rule's exact support counts (for the loose bounds).
+    ///
+    /// Split in two so the scratch arena only pays a frame for nodes
+    /// that survive the pre-scan checks: this wrapper runs the cheap
+    /// accounting and the loose bounds, then borrows a [`Frame`] from
+    /// `scratch` for [`visit_scanned`](Self::visit_scanned) and returns
+    /// it afterwards. In steady state (warm pool) neither half heap-
+    /// allocates; only emission of a threshold-passing group does.
     #[allow(clippy::too_many_arguments)]
     fn visit<N: CondNode>(
         &mut self,
+        scratch: &mut NodeScratch<N>,
         node: &N,
         last: Option<RowId>,
         counted: &RowSet,
-        e_p: RowSet,
-        e_n: RowSet,
+        e_p: &RowSet,
+        e_n: &RowSet,
         parent_sup_p: usize,
         parent_sup_n: usize,
         depth: usize,
@@ -502,8 +643,43 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
             }
         }
 
+        let mut frame = scratch.acquire(node);
+        self.visit_scanned(
+            scratch,
+            &mut frame,
+            node,
+            last,
+            counted,
+            e_p,
+            e_n,
+            parent_sup_p,
+            depth,
+        );
+        scratch.release(frame);
+    }
+
+    /// The scan-onwards half of [`visit`](Self::visit): steps 3–7 of
+    /// `MineIRGs`, working entirely inside the borrowed frame `f`.
+    /// Early `return`s land back in the wrapper, which releases the
+    /// frame to the pool.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_scanned<N: CondNode>(
+        &mut self,
+        scratch: &mut NodeScratch<N>,
+        f: &mut Frame<N>,
+        node: &N,
+        last: Option<RowId>,
+        counted: &RowSet,
+        e_p: &RowSet,
+        e_n: &RowSet,
+        parent_sup_p: usize,
+        depth: usize,
+    ) {
+        let is_root = last.is_none();
+        let last_is_pos = last.is_none_or(|r| (r as usize) < self.m);
+
         // ---- Scan TT|X (step 3).
-        let ins = node.inspect(&e_p, &e_n);
+        node.inspect_into(e_p, e_n, &mut f.ins);
 
         // ---- Pruning strategy 2 (step 1 in the paper; our back scan is
         // part of the main scan). A row ordered before this node's deepest
@@ -514,7 +690,8 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
             let last = last.expect("non-root has a last row") as usize;
             // z rows beyond `last` are candidates (current Y) or compressed
             // rows, both excluded by Lemma 3.6; only the back range matters.
-            let has_alien_back = ins
+            let has_alien_back = f
+                .ins
                 .z
                 .iter()
                 .take_while(|&r| r < last)
@@ -528,13 +705,13 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
 
         // Exact support counts of the rule I(X) -> C at this node:
         // z = R(I(X)) under the empty-intersection convention.
-        let sup_p = ins.z.intersection_len(&self.pos_mask);
-        let sup_n = ins.z.len() - sup_p;
+        let sup_p = f.ins.z.intersection_len(&self.pos_mask);
+        let sup_n = f.ins.z.len() - sup_p;
 
         // ---- Pruning strategy 3, tight bounds (step 4): after scanning.
         if self.pruning.strategy3_tight && !is_root {
             let us1 = if last_is_pos {
-                parent_sup_p + 1 + ins.max_ep_tuple
+                parent_sup_p + 1 + f.ins.max_ep_tuple
             } else {
                 parent_sup_p
             };
@@ -592,62 +769,76 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
         // the root: the root emits no rule, so a row contained in every
         // tuple of the full table (possible only in degenerate data) would
         // otherwise have its group silently skipped.
-        let (next_e_p, next_e_n, counted_next);
+        //
+        // All in frame buffers: u_p ⊆ e_p and u_n ⊆ e_n, so subtracting
+        // z is the same as subtracting the folded rows y = z ∩ e, and
+        // counted ∪ y_p ∪ y_n = counted ∪ (z ∩ (e_p ∪ e_n)).
         if self.pruning.strategy1_compression && !is_root {
-            let y_p = ins.z.intersection(&e_p);
-            let y_n = ins.z.intersection(&e_n);
-            self.stats.rows_compressed += (y_p.len() + y_n.len()) as u64;
-            next_e_p = ins.u_p.difference(&y_p);
-            next_e_n = ins.u_n.difference(&y_n);
-            let mut c = counted.union(&y_p);
-            c.union_with(&y_n);
-            counted_next = c;
+            self.stats.rows_compressed +=
+                (f.ins.z.intersection_len(e_p) + f.ins.z.intersection_len(e_n)) as u64;
+            f.ins.u_p.difference_into(&f.ins.z, &mut f.next_e_p);
+            f.ins.u_n.difference_into(&f.ins.z, &mut f.next_e_n);
+            e_p.union_into(e_n, &mut f.counted_next);
+            f.counted_next.intersect_with(&f.ins.z);
+            f.counted_next.union_with(counted);
         } else {
-            next_e_p = ins.u_p;
-            next_e_n = ins.u_n;
-            counted_next = counted.clone();
+            f.next_e_p.copy_from(&f.ins.u_p);
+            f.next_e_n.copy_from(&f.ins.u_n);
+            f.counted_next.copy_from(counted);
         }
 
         // ---- Descend (step 6): positive candidates first, then negative,
         // in ascending ORD order. `remaining` shrinks as we iterate so each
-        // child sees exactly the candidates ordered after it.
-        let mut remaining_p = next_e_p.clone();
-        for r in next_e_p.iter() {
+        // child sees exactly the candidates ordered after it. The child's
+        // `counted` is this node's plus the child row alone, so toggling
+        // the row around the recursive call avoids a per-child copy (the
+        // row is a live candidate, never already in `counted_next`).
+        f.remaining_p.copy_from(&f.next_e_p);
+        for r in f.next_e_p.iter() {
             if self.stats.budget_exhausted {
                 break;
             }
-            remaining_p.remove(r);
-            let mut counted_child = counted_next.clone();
-            counted_child.insert(r);
+            f.remaining_p.remove(r);
+            debug_assert!(!f.counted_next.contains(r));
+            f.counted_next.insert(r);
+            node.child_into(r as RowId, &mut f.child);
             self.visit(
-                &node.child(r as RowId),
+                scratch,
+                &f.child,
                 Some(r as RowId),
-                &counted_child,
-                remaining_p.clone(),
-                next_e_n.clone(),
+                &f.counted_next,
+                &f.remaining_p,
+                &f.next_e_n,
                 sup_p,
                 sup_n,
                 depth + 1,
             );
+            f.counted_next.remove(r);
         }
-        let mut remaining_n = next_e_n.clone();
-        for r in next_e_n.iter() {
+        // after the positive sweep `remaining_p` is drained, so it doubles
+        // as the negative children's (empty) positive candidate list; when
+        // the sweep was cut short the budget check below fires first.
+        f.remaining_n.copy_from(&f.next_e_n);
+        for r in f.next_e_n.iter() {
             if self.stats.budget_exhausted {
                 break;
             }
-            remaining_n.remove(r);
-            let mut counted_child = counted_next.clone();
-            counted_child.insert(r);
+            f.remaining_n.remove(r);
+            debug_assert!(!f.counted_next.contains(r));
+            f.counted_next.insert(r);
+            node.child_into(r as RowId, &mut f.child);
             self.visit(
-                &node.child(r as RowId),
+                scratch,
+                &f.child,
                 Some(r as RowId),
-                &counted_child,
-                RowSet::empty(self.n),
-                remaining_n.clone(),
+                &f.counted_next,
+                &f.remaining_p,
+                &f.remaining_n,
                 sup_p,
                 sup_n,
                 depth + 1,
             );
+            f.counted_next.remove(r);
         }
 
         // ---- Emit (step 7): after the whole subtree, so that every more
@@ -714,7 +905,7 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
         self.obs.group_emitted(sup_p, sup_n);
         self.irgs.push(Pending {
             upper,
-            rows: ins.z,
+            rows: f.ins.z.clone(),
             sup_p,
             sup_n,
             conf,

@@ -10,7 +10,7 @@
 
 use crate::measures::{self, chi_square, Contingency};
 use crate::params::{ExtraConstraint, MiningParams};
-use crate::rule::{MineResult, MineStats, RuleGroup};
+use crate::rule::{MineResult, MineStats, RuleGroup, SchedStats};
 use crate::session::{
     Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason, StopCause,
 };
@@ -203,6 +203,7 @@ pub fn mine_naive_session<O: MineObserver + ?Sized>(
     MineResult {
         groups,
         stats,
+        sched: SchedStats::default(),
         n_rows: n,
         n_class: m,
     }

@@ -147,6 +147,29 @@ pub struct MineStats {
     pub stop: StopCause,
 }
 
+/// How the run was scheduled and what its memory discipline looked like.
+///
+/// Unlike [`MineStats`], these numbers are **not** deterministic across
+/// parallel runs: under work stealing, which worker claims which depth-1
+/// subtree (and therefore the per-worker node split and steal count)
+/// depends on thread timing. They are kept out of `MineStats` so the
+/// determinism guarantees on the mining counters stay intact; treat them
+/// as observability, not as results.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Work-queue claims beyond each worker's first — i.e. how many
+    /// times a worker came back for more after its initial subtree.
+    /// Always 0 for sequential runs.
+    pub steals: u64,
+    /// Enumeration nodes visited per worker, indexed by worker id.
+    /// A single entry (the whole run) for sequential runs.
+    pub worker_nodes: Vec<u64>,
+    /// Deepest recursion frame held by any worker's scratch arena — the
+    /// steady-state buffer footprint is `peak_arena_depth` frames per
+    /// worker.
+    pub peak_arena_depth: usize,
+}
+
 /// The result of one mining run.
 #[derive(Clone, Debug)]
 pub struct MineResult {
@@ -154,6 +177,9 @@ pub struct MineResult {
     pub groups: Vec<RuleGroup>,
     /// Search counters.
     pub stats: MineStats,
+    /// Scheduling / memory observability (nondeterministic under
+    /// parallelism; see [`SchedStats`]).
+    pub sched: SchedStats,
     /// Total rows of the mined dataset.
     pub n_rows: usize,
     /// Rows labeled with the target class.
@@ -243,6 +269,7 @@ mod tests {
         let res = MineResult {
             groups: vec![lo.clone(), hi.clone()],
             stats: MineStats::default(),
+            sched: SchedStats::default(),
             n_rows: 6,
             n_class: 3,
         };

@@ -31,7 +31,7 @@
 
 use crate::rule::{MineResult, MineStats};
 use farmer_dataset::Dataset;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -304,6 +304,7 @@ impl MineControl {
     pub fn state_with_budget(&self, budget: Option<u64>) -> ControlState<'_> {
         ControlState {
             budget: budget.unwrap_or(u64::MAX),
+            shared: None,
             deadline: self.deadline,
             stop: &self.stop,
             ticks: 0,
@@ -313,6 +314,52 @@ impl MineControl {
     /// Per-run checking state using this control's own budget.
     pub fn state(&self) -> ControlState<'_> {
         self.state_with_budget(self.node_budget)
+    }
+
+    /// Per-run checking state drawing nodes from a budget pool *shared*
+    /// with other workers (parallel runs). When `shared` is `None` the
+    /// state is unbudgeted — deadline and stop flag still apply.
+    pub fn state_with_shared<'a>(&'a self, shared: Option<&'a SharedBudget>) -> ControlState<'a> {
+        ControlState {
+            budget: u64::MAX,
+            shared,
+            deadline: self.deadline,
+            stop: &self.stop,
+            ticks: 0,
+        }
+    }
+}
+
+/// A node budget drawn concurrently by every worker of one parallel run.
+///
+/// Replaces the old `budget / threads` per-worker split: with a shared
+/// pool, exactly `budget` nodes are expanded *globally* no matter how the
+/// subtrees are balanced, so the truncation point is independent of the
+/// thread count (a 1-thread budgeted run and an 8-thread one stop after
+/// the same amount of total work). Which nodes make up that prefix still
+/// depends on scheduling — see `Farmer::with_parallelism` for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct SharedBudget(AtomicU64);
+
+impl SharedBudget {
+    /// A pool of `budget` node tickets.
+    pub fn new(budget: u64) -> Self {
+        SharedBudget(AtomicU64::new(budget))
+    }
+
+    /// Draws one ticket; `false` when the pool is dry (the caller must
+    /// halt). Lock-free, one `fetch_update` per enumeration node.
+    #[inline]
+    pub fn take(&self) -> bool {
+        self.0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Tickets left in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -340,6 +387,9 @@ impl StopHandle {
 #[derive(Debug)]
 pub struct ControlState<'a> {
     budget: u64,
+    /// When set, the budget is drawn from this shared pool instead of
+    /// the local `budget` counter.
+    shared: Option<&'a SharedBudget>,
     deadline: Option<Instant>,
     stop: &'a AtomicBool,
     ticks: u64,
@@ -353,7 +403,11 @@ impl ControlState<'_> {
     #[inline]
     pub fn tick(&mut self) -> Option<StopCause> {
         self.ticks += 1;
-        if self.ticks > self.budget {
+        if let Some(pool) = self.shared {
+            if !pool.take() {
+                return Some(StopCause::Budget);
+            }
+        } else if self.ticks > self.budget {
             return Some(StopCause::Budget);
         }
         if self.stop.load(Ordering::Relaxed) {
@@ -427,6 +481,28 @@ mod tests {
         assert_eq!(st.tick(), None);
         assert_eq!(st.tick(), Some(StopCause::Budget));
         assert_eq!(st.ticks(), 4);
+    }
+
+    #[test]
+    fn shared_budget_is_drawn_globally() {
+        let ctl = MineControl::new();
+        let pool = SharedBudget::new(5);
+        let mut a = ctl.state_with_shared(Some(&pool));
+        let mut b = ctl.state_with_shared(Some(&pool));
+        // 5 tickets total, however they are interleaved
+        assert_eq!(a.tick(), None);
+        assert_eq!(b.tick(), None);
+        assert_eq!(a.tick(), None);
+        assert_eq!(a.tick(), None);
+        assert_eq!(b.tick(), None);
+        assert_eq!(pool.remaining(), 0);
+        assert_eq!(a.tick(), Some(StopCause::Budget));
+        assert_eq!(b.tick(), Some(StopCause::Budget));
+        // unbudgeted shared state never ticks out
+        let mut free = ctl.state_with_shared(None);
+        for _ in 0..1000 {
+            assert_eq!(free.tick(), None);
+        }
     }
 
     #[test]

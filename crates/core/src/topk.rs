@@ -16,7 +16,8 @@
 //! upper bound.
 
 use crate::cond::{BitsetNode, CondNode};
-use crate::rule::{MineResult, MineStats, RuleGroup};
+use crate::miner::{Frame, NodeScratch};
+use crate::rule::{MineResult, MineStats, RuleGroup, SchedStats};
 use crate::session::{
     ControlState, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason, StopCause,
 };
@@ -155,7 +156,17 @@ pub fn mine_top_k_session<O: MineObserver + ?Sized>(
     let root = BitsetNode::root(&reordered);
     let e_p = RowSet::from_ids(n, 0..m);
     let e_n = RowSet::from_ids(n, m..n);
-    ctx.visit(&root, None, &RowSet::empty(n), e_p, e_n, 0, 0);
+    let mut scratch = NodeScratch::new(n);
+    ctx.visit(
+        &mut scratch,
+        &root,
+        None,
+        &RowSet::empty(n),
+        &e_p,
+        &e_n,
+        0,
+        0,
+    );
 
     // order original-row-major, best first
     let mut per_row: Vec<Vec<TopKGroup>> = vec![Vec::new(); n];
@@ -230,13 +241,20 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
         }
     }
 
-    fn visit(
+    /// Split like `Farmer`'s visit: the wrapper runs the cheap per-node
+    /// accounting, borrows a [`Frame`] from the scratch arena, and
+    /// releases it when [`visit_scanned`](Self::visit_scanned) returns,
+    /// so steady-state enumeration reuses pooled buffers instead of
+    /// allocating per node.
+    #[allow(clippy::too_many_arguments)]
+    fn visit<'t>(
         &mut self,
-        node: &BitsetNode,
+        scratch: &mut NodeScratch<BitsetNode<'t>>,
+        node: &BitsetNode<'t>,
         last: Option<RowId>,
         counted: &RowSet,
-        e_p: RowSet,
-        e_n: RowSet,
+        e_p: &RowSet,
+        e_n: &RowSet,
         parent_sup_p: usize,
         depth: usize,
     ) {
@@ -256,15 +274,43 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
                 elapsed: self.start.elapsed(),
             });
         }
+        let mut frame = scratch.acquire(node);
+        self.visit_scanned(
+            scratch,
+            &mut frame,
+            node,
+            last,
+            counted,
+            e_p,
+            e_n,
+            parent_sup_p,
+            depth,
+        );
+        scratch.release(frame);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_scanned<'t>(
+        &mut self,
+        scratch: &mut NodeScratch<BitsetNode<'t>>,
+        f: &mut Frame<BitsetNode<'t>>,
+        node: &BitsetNode<'t>,
+        last: Option<RowId>,
+        counted: &RowSet,
+        e_p: &RowSet,
+        e_n: &RowSet,
+        parent_sup_p: usize,
+        depth: usize,
+    ) {
         let is_root = last.is_none();
         let last_is_pos = last.is_none_or(|r| (r as usize) < self.m);
 
-        let ins = node.inspect(&e_p, &e_n);
+        node.inspect_into(e_p, e_n, &mut f.ins);
 
         // duplicate-subtree pruning, as in FARMER strategy 2
         if !is_root {
             let last = last.expect("non-root") as usize;
-            if ins
+            if f.ins
                 .z
                 .iter()
                 .take_while(|&r| r < last)
@@ -275,13 +321,13 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
             }
         }
 
-        let sup_p = ins.z.intersection_len(&self.pos_mask);
-        let sup_n = ins.z.len() - sup_p;
+        let sup_p = f.ins.z.intersection_len(&self.pos_mask);
+        let sup_n = f.ins.z.len() - sup_p;
 
         // support bound (Us1) and the rising confidence floor
         if !is_root {
             let us1 = if last_is_pos {
-                parent_sup_p + 1 + ins.max_ep_tuple
+                parent_sup_p + 1 + f.ins.max_ep_tuple
             } else {
                 parent_sup_p
             };
@@ -300,52 +346,65 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
             }
         }
 
-        // compression (strategy 1)
-        let (next_e_p, next_e_n, counted_next) = if is_root {
-            (ins.u_p.clone(), ins.u_n.clone(), counted.clone())
+        // compression (strategy 1), in frame buffers: u ⊆ e makes
+        // `u \ z` equal `u \ (z ∩ e)`, and the counted update is
+        // counted ∪ (z ∩ (e_p ∪ e_n))
+        if is_root {
+            f.next_e_p.copy_from(&f.ins.u_p);
+            f.next_e_n.copy_from(&f.ins.u_n);
+            f.counted_next.copy_from(counted);
         } else {
-            let y_p = ins.z.intersection(&e_p);
-            let y_n = ins.z.intersection(&e_n);
-            let mut c = counted.union(&y_p);
-            c.union_with(&y_n);
-            (ins.u_p.difference(&y_p), ins.u_n.difference(&y_n), c)
-        };
-
-        let mut remaining_p = next_e_p.clone();
-        for r in next_e_p.iter() {
-            if !self.stop.is_complete() {
-                break;
-            }
-            remaining_p.remove(r);
-            let mut counted_child = counted_next.clone();
-            counted_child.insert(r);
-            self.visit(
-                &node.child(r as RowId),
-                Some(r as RowId),
-                &counted_child,
-                remaining_p.clone(),
-                next_e_n.clone(),
-                sup_p,
-                depth + 1,
-            );
+            f.ins.u_p.difference_into(&f.ins.z, &mut f.next_e_p);
+            f.ins.u_n.difference_into(&f.ins.z, &mut f.next_e_n);
+            e_p.union_into(e_n, &mut f.counted_next);
+            f.counted_next.intersect_with(&f.ins.z);
+            f.counted_next.union_with(counted);
         }
-        let mut remaining_n = next_e_n.clone();
-        for r in next_e_n.iter() {
+
+        f.remaining_p.copy_from(&f.next_e_p);
+        for r in f.next_e_p.iter() {
             if !self.stop.is_complete() {
                 break;
             }
-            remaining_n.remove(r);
-            let mut counted_child = counted_next.clone();
-            counted_child.insert(r);
+            f.remaining_p.remove(r);
+            debug_assert!(!f.counted_next.contains(r));
+            f.counted_next.insert(r);
+            node.child_into(r as RowId, &mut f.child);
             self.visit(
-                &node.child(r as RowId),
+                scratch,
+                &f.child,
                 Some(r as RowId),
-                &counted_child,
-                RowSet::empty(self.n),
-                remaining_n.clone(),
+                &f.counted_next,
+                &f.remaining_p,
+                &f.next_e_n,
                 sup_p,
                 depth + 1,
             );
+            f.counted_next.remove(r);
+        }
+        // `remaining_p` is drained by the positive sweep (or the stop
+        // check cuts the loop below first), so it serves as the negative
+        // children's empty positive candidate list
+        f.remaining_n.copy_from(&f.next_e_n);
+        for r in f.next_e_n.iter() {
+            if !self.stop.is_complete() {
+                break;
+            }
+            f.remaining_n.remove(r);
+            debug_assert!(!f.counted_next.contains(r));
+            f.counted_next.insert(r);
+            node.child_into(r as RowId, &mut f.child);
+            self.visit(
+                scratch,
+                &f.child,
+                Some(r as RowId),
+                &f.counted_next,
+                &f.remaining_p,
+                &f.remaining_n,
+                sup_p,
+                depth + 1,
+            );
+            f.counted_next.remove(r);
         }
 
         // offer this node's group to every covered row; a halted search
@@ -353,7 +412,7 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
         // the IRG miner)
         if !is_root && self.stop.is_complete() && sup_p >= self.min_sup {
             let mut support_set = RowSet::empty(self.n);
-            for r in ins.z.iter() {
+            for r in f.ins.z.iter() {
                 support_set.insert(self.order[r] as usize);
             }
             let group = TopKGroup {
@@ -364,7 +423,7 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
             };
             self.groups_offered += 1;
             self.obs.group_emitted(sup_p, sup_n);
-            for r in ins.z.iter() {
+            for r in f.ins.z.iter() {
                 self.offer(&group, r);
             }
         }
@@ -429,6 +488,11 @@ impl Miner for TopKMiner {
                 budget_exhausted: res.budget_exhausted,
                 stop: res.stop,
                 ..Default::default()
+            },
+            sched: SchedStats {
+                steals: 0,
+                worker_nodes: vec![res.nodes_visited],
+                peak_arena_depth: 0,
             },
             n_rows: n,
             n_class: m,

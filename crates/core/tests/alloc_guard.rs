@@ -1,0 +1,124 @@
+//! Allocation guard for the enumeration hot path.
+//!
+//! The miner threads a scratch arena through the search so that, once
+//! the frame pool is warm, expanding a node performs **zero** heap
+//! allocations (fused kernels work in place; candidate lists, counted
+//! sets, and child nodes live in recycled frames). This binary installs
+//! a counting global allocator and pins that contract at two levels:
+//!
+//! 1. a micro-probe: repeated `inspect_into` / `child_into` on warm
+//!    buffers allocate exactly nothing, for both engines;
+//! 2. a whole-run budget: a full mine allocates orders of magnitude
+//!    fewer times than it visits nodes (setup, frame warm-up, and
+//!    per-emission costs only).
+//!
+//! The binary is `harness = false` (see `Cargo.toml`): the libtest
+//! harness spawns threads of its own that occasionally allocate while a
+//! probe is mid-window, and the exact-zero assertions need the
+//! process-global counter to see *only* the hot path. A plain `main`
+//! keeps the whole process single-threaded and the measurement exact.
+
+use farmer_core::cond::{BitsetNode, CondNode, Inspect, PointerNode};
+use farmer_core::{Engine, Farmer, MiningParams};
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::synth::SynthConfig;
+use farmer_dataset::TransposedTable;
+use farmer_support::alloc::{allocation_count, CountingAlloc};
+use rowset::RowSet;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn workload() -> farmer_dataset::Dataset {
+    let m = SynthConfig {
+        n_rows: 24,
+        n_genes: 120,
+        n_class1: 12,
+        n_signature: 40,
+        clusters_per_class: 2,
+        cluster_spread: 1.8,
+        cluster_noise: 0.35,
+        ..Default::default()
+    }
+    .generate();
+    Discretizer::EqualDepth { buckets: 6 }.discretize(&m)
+}
+
+fn main() {
+    hot_path_is_allocation_free_once_warm();
+    println!("alloc_guard OK: hot path is allocation-free once warm");
+}
+
+fn hot_path_is_allocation_free_once_warm() {
+    let d = workload();
+    let n = d.n_rows();
+    let m = d.class_count(1);
+    let e_p = RowSet::from_ids(n, 0..m);
+    let e_n = RowSet::from_ids(n, m..n);
+
+    // ---- micro-probe, bitset engine: warm the buffers once, then
+    // demand exact zero across many scan + descend steps
+    let root = BitsetNode::root(&d);
+    let mut ins = Inspect::new(n);
+    let mut child = root.clone_shell();
+    root.inspect_into(&e_p, &e_n, &mut ins);
+    let probe = ins.u_p.iter().next().expect("workload has candidates");
+    root.child_into(probe as u32, &mut child);
+    let before = allocation_count();
+    for _ in 0..200 {
+        root.inspect_into(&e_p, &e_n, &mut ins);
+        root.child_into(probe as u32, &mut child);
+        child.inspect_into(&e_p, &e_n, &mut ins);
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "warm bitset inspect_into/child_into must not allocate"
+    );
+
+    // ---- micro-probe, pointer engine
+    let (tt, _reordered, _order) = TransposedTable::for_mining(&d, 1);
+    let proot = PointerNode::root(&tt);
+    let mut pins = Inspect::new(n);
+    let mut pchild = proot.clone_shell();
+    proot.inspect_into(&e_p, &e_n, &mut pins);
+    let pprobe = pins.u_p.iter().next().expect("workload has candidates");
+    proot.child_into(pprobe as u32, &mut pchild);
+    let before = allocation_count();
+    for _ in 0..200 {
+        proot.inspect_into(&e_p, &e_n, &mut pins);
+        proot.child_into(pprobe as u32, &mut pchild);
+        pchild.inspect_into(&e_p, &e_n, &mut pins);
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "warm pointer inspect_into/child_into must not allocate"
+    );
+
+    // ---- whole-run budget: allocations are sublinear in nodes visited.
+    // Costs left: session setup, warming ≤ peak-depth frames, and the
+    // emissions (upper-bound itemset, support-set clone, final
+    // `RuleGroup`) — nothing per ordinary node, which is what the
+    // `nodes / 10` term polices.
+    for engine in [Engine::Bitset, Engine::PointerList] {
+        let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+        let farmer = Farmer::new(params).with_engine(engine);
+        let before = allocation_count();
+        let r = farmer.mine(&d);
+        let allocs = allocation_count() - before;
+        assert!(
+            r.stats.nodes_visited > 1_000,
+            "workload too small to be meaningful: {} nodes",
+            r.stats.nodes_visited
+        );
+        let emissions = r.len() as u64 + r.stats.rejected_not_interesting;
+        let budget = 300 + 16 * emissions + r.stats.nodes_visited / 10;
+        assert!(
+            allocs < budget,
+            "{engine:?}: {allocs} allocations for {} nodes and {emissions} emissions \
+             (budget {budget}) — the hot path is allocating per node again",
+            r.stats.nodes_visited
+        );
+    }
+}

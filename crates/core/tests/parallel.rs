@@ -140,6 +140,74 @@ fn parallel_mining_is_deterministic() {
 }
 
 #[test]
+fn shared_budget_draws_one_global_pool() {
+    // The node budget is a single shared pool: a budgeted run expands
+    // `budget` nodes in total whatever the thread count (plus each
+    // worker's share of the root re-count and its halting node), instead
+    // of the old per-thread `budget / threads` split.
+    use farmer_core::{MineControl, NoOpObserver, StopCause};
+    let m = SynthConfig {
+        n_rows: 24,
+        n_genes: 120,
+        n_class1: 12,
+        n_signature: 30,
+        ..Default::default()
+    }
+    .generate();
+    let d = Discretizer::EqualDepth { buckets: 6 }.discretize(&m);
+    let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let full = Farmer::new(params.clone()).mine(&d);
+    assert!(
+        full.stats.nodes_visited > 100,
+        "need a non-trivial workload: {}",
+        full.stats.nodes_visited
+    );
+    let budget = full.stats.nodes_visited / 3;
+    for threads in [1usize, 2, 4] {
+        let ctl = MineControl::new().with_node_budget(Some(budget));
+        let r = Farmer::new(params.clone())
+            .with_parallelism(threads)
+            .mine_session(&d, &ctl, &mut NoOpObserver);
+        assert!(r.stats.budget_exhausted, "threads={threads}");
+        assert_eq!(r.stats.stop, StopCause::Budget, "threads={threads}");
+        // `budget` successful draws, plus per-worker root re-counts and
+        // at most one halting node per worker
+        assert!(
+            r.stats.nodes_visited >= budget + 1,
+            "threads={threads}: {} < {}",
+            r.stats.nodes_visited,
+            budget + 1
+        );
+        assert!(
+            r.stats.nodes_visited <= budget + 2 * threads as u64,
+            "threads={threads}: {} > {}",
+            r.stats.nodes_visited,
+            budget + 2 * threads as u64
+        );
+        // every truncated group is still a genuine rule group
+        for g in &r.groups {
+            assert_eq!(d.rows_supporting(&g.upper), g.support_set);
+            assert!(g.sup >= 2);
+        }
+    }
+}
+
+#[test]
+fn parallel_sched_stats_are_populated() {
+    let d = paper_example();
+    let par = Farmer::new(MiningParams::new(0))
+        .with_parallelism(3)
+        .mine(&d);
+    assert_eq!(par.sched.worker_nodes.len(), 3);
+    let subtree_nodes: u64 = par.sched.worker_nodes.iter().sum();
+    assert_eq!(subtree_nodes, par.stats.nodes_visited);
+    assert!(par.sched.peak_arena_depth >= 1);
+    let seq = Farmer::new(MiningParams::new(0)).mine(&d);
+    assert_eq!(seq.sched.steals, 0);
+    assert_eq!(seq.sched.worker_nodes, vec![seq.stats.nodes_visited]);
+}
+
+#[test]
 fn more_threads_than_candidates() {
     let mut b = DatasetBuilder::new(2);
     b.add_row([0, 1], 0);

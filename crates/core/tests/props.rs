@@ -160,6 +160,70 @@ check! {
         }
     }
 
+    /// Both conditional-table engines traverse identical enumeration
+    /// trees — every counter matches, not just the mined groups — so the
+    /// fused/in-place scan kernels cannot have skewed either engine.
+    #[test]
+    fn engines_traverse_identical_trees(
+        d in arb_dataset(),
+        class in 0u32..2,
+        min_sup in 1usize..3,
+    ) {
+        let params = MiningParams::new(class).min_sup(min_sup).lower_bounds(false);
+        let bit = Farmer::new(params.clone()).with_engine(Engine::Bitset).mine(&d);
+        let ptr = Farmer::new(params).with_engine(Engine::PointerList).mine(&d);
+        prop_assert_eq!(canon(&bit.groups), canon(&ptr.groups));
+        prop_assert_eq!(bit.stats, ptr.stats);
+    }
+
+    /// Scanning into a dirty recycled buffer equals a fresh allocating
+    /// scan, for both engines, at the root and every depth-1 child.
+    #[test]
+    fn inspect_into_agrees_with_inspect(d in arb_dataset(), class in 0u32..2) {
+        use farmer_core::cond::{BitsetNode, CondNode, Inspect, PointerNode};
+        use farmer_dataset::TransposedTable;
+        let (tt, reordered, _order) = TransposedTable::for_mining(&d, class);
+        let n = reordered.n_rows();
+        let m = tt.n_target();
+        let e_p = RowSet::from_ids(n, 0..m);
+        let e_n = RowSet::from_ids(n, m..n);
+
+        fn check_node<N: CondNode>(
+            node: &N,
+            e_p: &RowSet,
+            e_n: &RowSet,
+            dirty: &mut Inspect,
+        ) -> Inspect {
+            let fresh = node.inspect(e_p, e_n);
+            node.inspect_into(e_p, e_n, dirty);
+            prop_assert_eq!(&fresh.z, &dirty.z);
+            prop_assert_eq!(&fresh.u_p, &dirty.u_p);
+            prop_assert_eq!(&fresh.u_n, &dirty.u_n);
+            prop_assert_eq!(fresh.max_ep_tuple, dirty.max_ep_tuple);
+            fresh
+        }
+
+        let broot = BitsetNode::root(&reordered);
+        let proot = PointerNode::root(&tt);
+        let mut dirty = Inspect::new(n);
+        // soil the shared buffer with a swapped-role scan before each use
+        broot.inspect_into(&e_n, &e_p, &mut dirty);
+        let ins = check_node(&broot, &e_p, &e_n, &mut dirty);
+        for r in ins.u_p.iter().chain(ins.u_n.iter()) {
+            let mut child = broot.clone_shell();
+            broot.child_into(r as u32, &mut child);
+            proot.inspect_into(&e_n, &e_p, &mut dirty);
+            check_node(&child, &e_p, &e_n, &mut dirty);
+        }
+        let pins = check_node(&proot, &e_p, &e_n, &mut dirty);
+        for r in pins.u_p.iter().chain(pins.u_n.iter()) {
+            let mut child = proot.clone_shell();
+            proot.child_into(r as u32, &mut child);
+            broot.inspect_into(&e_n, &e_p, &mut dirty);
+            check_node(&child, &e_p, &e_n, &mut dirty);
+        }
+    }
+
     /// Group invariants: closure, support decomposition, lower bounds.
     #[test]
     fn mined_group_invariants(d in arb_dataset(), min_sup in 1usize..3) {

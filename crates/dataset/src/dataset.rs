@@ -81,6 +81,15 @@ impl Dataset {
         &self.item_rows[item as usize]
     }
 
+    /// All per-item row sets, indexed by item id: `item_row_sets()[i]` is
+    /// `R({i})`. The bitset mining engine borrows this slice directly as
+    /// its tuple store, so enumeration shares the dataset's columns
+    /// instead of copying them.
+    #[inline]
+    pub fn item_row_sets(&self) -> &[RowSet] {
+        &self.item_rows
+    }
+
     /// Support of a single item: `|R({item})|`.
     #[inline]
     pub fn item_support(&self, item: ItemId) -> usize {

@@ -41,15 +41,7 @@ impl RowSet {
     /// Creates the full set `{0, …, capacity-1}`. `O(n)`.
     pub fn full(capacity: usize) -> Self {
         let mut s = Self::empty(capacity);
-        for (i, w) in s.words.iter_mut().enumerate() {
-            let lo = i * BITS;
-            let hi = (lo + BITS).min(capacity);
-            *w = if hi - lo == BITS {
-                u64::MAX
-            } else {
-                (1u64 << (hi - lo)) - 1
-            };
-        }
+        s.make_full();
         s
     }
 
@@ -122,6 +114,103 @@ impl RowSet {
         self.words.fill(0);
     }
 
+    /// Makes this set the full set `{0, …, capacity-1}` in place, without
+    /// allocating. `O(n/64)`.
+    pub fn make_full(&mut self) {
+        let cap = self.capacity;
+        for (i, w) in self.words.iter_mut().enumerate() {
+            let lo = i * BITS;
+            let hi = (lo + BITS).min(cap);
+            *w = if hi - lo == BITS {
+                u64::MAX
+            } else {
+                (1u64 << (hi - lo)) - 1
+            };
+        }
+    }
+
+    /// Overwrites this set with `other`'s contents, without allocating.
+    /// `O(n/64)`.
+    pub fn copy_from(&mut self, other: &RowSet) {
+        self.check(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Removes every id `<= id` in place — the word-parallel form of the
+    /// "candidates strictly after `r`" masking the miner's schedulers
+    /// need. Ids at or beyond the capacity are fine (the set just ends up
+    /// empty). `O(n/64)`.
+    pub fn clear_through(&mut self, id: usize) {
+        let full_words = (id / BITS).min(self.words.len());
+        for w in &mut self.words[..full_words] {
+            *w = 0;
+        }
+        if let Some(w) = self.words.get_mut(full_words) {
+            if id / BITS == full_words {
+                // keep bits strictly above `id % BITS`
+                let b = id % BITS;
+                let mask = if b + 1 == BITS {
+                    0
+                } else {
+                    !((1u64 << (b + 1)) - 1)
+                };
+                *w &= mask;
+            }
+        }
+    }
+
+    /// The fused per-tuple kernel of the miner's `inspect` scan: in one
+    /// sweep over the words, folds `tuple` into the running intersection
+    /// `z` (`z &= t`) and the running occurrence union `occur`
+    /// (`occur |= t`), and returns `|tuple ∩ e_p|`. Equivalent to — and
+    /// property-tested against — the three separate passes, at a third of
+    /// the memory traffic. `O(n/64)`.
+    pub fn fused_scan(z: &mut RowSet, occur: &mut RowSet, tuple: &RowSet, e_p: &RowSet) -> usize {
+        z.check(tuple);
+        occur.check(tuple);
+        e_p.check(tuple);
+        let mut ep_count = 0usize;
+        for (((zw, ow), &tw), &ew) in z
+            .words
+            .iter_mut()
+            .zip(occur.words.iter_mut())
+            .zip(&tuple.words)
+            .zip(&e_p.words)
+        {
+            *zw &= tw;
+            *ow |= tw;
+            ep_count += (tw & ew).count_ones() as usize;
+        }
+        ep_count
+    }
+
+    /// Writes `self ∩ other` into `out` without allocating. `O(n/64)`.
+    pub fn intersection_into(&self, other: &RowSet, out: &mut RowSet) {
+        self.check(other);
+        self.check(out);
+        for ((o, &a), &b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a & b;
+        }
+    }
+
+    /// Writes `self ∪ other` into `out` without allocating. `O(n/64)`.
+    pub fn union_into(&self, other: &RowSet, out: &mut RowSet) {
+        self.check(other);
+        self.check(out);
+        for ((o, &a), &b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a | b;
+        }
+    }
+
+    /// Writes `self \ other` into `out` without allocating. `O(n/64)`.
+    pub fn difference_into(&self, other: &RowSet, out: &mut RowSet) {
+        self.check(other);
+        self.check(out);
+        for ((o, &a), &b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a & !b;
+        }
+    }
+
     /// In-place intersection with `other`. `O(n/64)`.
     pub fn intersect_with(&mut self, other: &RowSet) {
         self.check(other);
@@ -177,13 +266,17 @@ impl RowSet {
             .sum()
     }
 
-    /// `true` iff every id of `self` is in `other`. `O(n/64)`.
+    /// `true` iff every id of `self` is in `other`. Exits at the first
+    /// word that witnesses a non-member, so mismatches near the front of
+    /// the universe cost `O(1)`. `O(n/64)` worst case.
     pub fn is_subset(&self, other: &RowSet) -> bool {
         self.check(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        for (a, b) in self.words.iter().zip(&other.words) {
+            if a & !b != 0 {
+                return false;
+            }
+        }
+        true
     }
 
     /// `true` iff every id of `other` is in `self`. `O(n/64)`.

@@ -15,6 +15,22 @@ fn model(v: &[usize]) -> BTreeSet<usize> {
     v.iter().copied().collect()
 }
 
+/// A random capacity — deliberately covering the word boundaries 63/64/65
+/// and 127/128/129 — plus four id sets drawn from it.
+#[allow(clippy::type_complexity)]
+fn caps_and_sets() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>)>
+{
+    select(vec![1usize, 7, 63, 64, 65, 127, 128, 129, CAP]).prop_flat_map(|cap| {
+        (
+            just(cap),
+            collection::vec(0..cap, 0..64),
+            collection::vec(0..cap, 0..64),
+            collection::vec(0..cap, 0..64),
+            collection::vec(0..cap, 0..64),
+        )
+    })
+}
+
 check! {
     #[test]
     fn rowset_roundtrip(v in ids()) {
@@ -82,6 +98,51 @@ check! {
         prop_assert_eq!(as_list(&sa.intersection(&sb)), la.intersection(&lb));
         prop_assert_eq!(as_list(&sa.union(&sb)), la.union(&lb));
         prop_assert_eq!(as_list(&sa.difference(&sb)), la.difference(&lb));
+    }
+
+    #[test]
+    fn fused_scan_matches_naive_ops(g in caps_and_sets()) {
+        let (cap, a, b, c, d) = g;
+        // z/occur accumulators, tuple, e_p — all over the same random capacity
+        let mut z = RowSet::from_ids(cap, a.iter().copied());
+        let mut occur = RowSet::from_ids(cap, b.iter().copied());
+        let tuple = RowSet::from_ids(cap, c.iter().copied());
+        let e_p = RowSet::from_ids(cap, d.iter().copied());
+        let want_z = z.intersection(&tuple);
+        let want_occur = occur.union(&tuple);
+        let want_count = tuple.intersection_len(&e_p);
+        let got = RowSet::fused_scan(&mut z, &mut occur, &tuple, &e_p);
+        prop_assert_eq!(&z, &want_z);
+        prop_assert_eq!(&occur, &want_occur);
+        prop_assert_eq!(got, want_count);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops(g in caps_and_sets()) {
+        let (cap, a, b, dirty, _) = g;
+        let sa = RowSet::from_ids(cap, a.iter().copied());
+        let sb = RowSet::from_ids(cap, b.iter().copied());
+        // out starts dirty: the kernels must fully overwrite it
+        let mut out = RowSet::from_ids(cap, dirty.iter().copied());
+        sa.intersection_into(&sb, &mut out);
+        prop_assert_eq!(&out, &sa.intersection(&sb));
+        sa.union_into(&sb, &mut out);
+        prop_assert_eq!(&out, &sa.union(&sb));
+        sa.difference_into(&sb, &mut out);
+        prop_assert_eq!(&out, &sa.difference(&sb));
+        out.copy_from(&sa);
+        prop_assert_eq!(&out, &sa);
+        out.make_full();
+        prop_assert_eq!(&out, &RowSet::full(cap));
+    }
+
+    #[test]
+    fn clear_through_keeps_strictly_larger_ids(g in caps_and_sets(), cut in 0..2 * CAP) {
+        let (cap, a, _, _, _) = g;
+        let mut s = RowSet::from_ids(cap, a.iter().copied());
+        s.clear_through(cut);
+        let want: Vec<usize> = model(&a).into_iter().filter(|&x| x > cut).collect();
+        prop_assert_eq!(s.to_vec(), want);
     }
 
     #[test]

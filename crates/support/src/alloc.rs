@@ -1,0 +1,67 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! The enumeration hot path promises steady-state zero-allocation
+//! operation (scratch arenas + fused kernels); that promise rots
+//! silently unless a test counts. Install [`CountingAlloc`] as the
+//! `#[global_allocator]` of a test binary and read
+//! [`allocation_count`] around the region under test:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: farmer_support::alloc::CountingAlloc =
+//!     farmer_support::alloc::CountingAlloc::new();
+//!
+//! let before = farmer_support::alloc::allocation_count();
+//! hot_path();
+//! let during = farmer_support::alloc::allocation_count() - before;
+//! ```
+//!
+//! Counts are process-global (one counter, relaxed atomics), so a test
+//! binary using them must run its measured sections on a single thread
+//! — put them in **one** `#[test]` fn, or serialize with a lock.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of heap acquisitions (`alloc`, `alloc_zeroed`, and growing
+/// `realloc` calls) since process start, across all threads.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A `GlobalAlloc` that delegates to [`System`] and counts every heap
+/// acquisition. Install with `#[global_allocator]`; see the module docs.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A counting allocator (stateless; the counter is process-global).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+// SAFETY: pure delegation to `System`; the counter has no effect on the
+// returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -16,9 +16,12 @@
 //!   mutex over the standard library.
 //! * [`bench`] — criterion-lite timer for `harness = false` bench
 //!   binaries (`FARMER_BENCH_SAMPLES` / `FARMER_BENCH_JSON`).
+//! * [`alloc`] — a counting global allocator for allocation-budget
+//!   tests.
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bench;
 pub mod check;
 pub mod json;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full offline benchmark pass: every criterion-lite suite plus the PR
+# perf-trajectory report (committed at the repo root as BENCH_PR<k>.json).
+#
+#   FARMER_BENCH_SAMPLES=<n>  repetitions per measurement (default 3)
+#   scripts/bench.sh --smoke  1-sample quick pass (CI-friendly)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  export FARMER_BENCH_SAMPLES=1
+fi
+
+for suite in substrates engines_and_pruning farmer_sweeps baseline_comparison; do
+  echo "==> cargo bench --bench $suite"
+  cargo bench --offline -p farmer-bench --bench "$suite"
+done
+
+echo "==> perf trajectory (BENCH_PR3.json)"
+cargo run -q --offline --release -p farmer-bench --bin pr3_trajectory
+cargo run -q --offline --release -p farmer-bench --bin pr3_trajectory -- --check BENCH_PR3.json

@@ -15,6 +15,9 @@ echo "==> session layer (budgets, deadlines, cancellation, observers)"
 cargo test -q --offline -p farmer-core --test session
 cargo test -q --offline -p farmer-baselines adapters
 
+echo "==> allocation guard (hot path must not allocate once warm; release)"
+cargo test -q --offline --release -p farmer-core --test alloc_guard
+
 echo "==> CLI --stats-json smoke (output must parse with support::json)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -26,11 +29,24 @@ grep -q '"stop": "completed"' "$tmp/stats.json"
 # a budgeted run must still exit 0 and report the truncation
 ./target/release/farmer mine --in "$tmp/m.txt" --node-budget 5 --stats-json > "$tmp/trunc.json"
 grep -q '"stop": "budget"' "$tmp/trunc.json"
+# parallel run reports the scheduler block (per-worker nodes, steals)
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 --threads 2 --stats-json > "$tmp/par.json"
+grep -q '"scheduler"' "$tmp/par.json"
+grep -q '"peak_arena_depth"' "$tmp/par.json"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> bench smoke (1 sample, substrates)"
 FARMER_BENCH_SAMPLES=1 cargo bench --offline -p farmer-bench --bench substrates
+
+echo "==> perf trajectory smoke (1 sample) + schema check"
+FARMER_BENCH_SAMPLES=1 cargo run -q --offline --release -p farmer-bench \
+  --bin pr3_trajectory -- --out "$tmp/BENCH_PR3.json"
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr3_trajectory -- --check "$tmp/BENCH_PR3.json"
+# the committed trajectory point must also stay schema-valid
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr3_trajectory -- --check BENCH_PR3.json
 
 echo "==> verify OK"
