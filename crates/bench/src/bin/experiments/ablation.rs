@@ -106,25 +106,20 @@ pub fn run(opts: &Opts, cache: &WorkloadCache) {
     let mut obs = TrajectoryObserver::default();
     let res = Farmer::new(params).mine_session(&d, &ctl, &mut obs);
     let samples = obs.finish(&res.stats);
-    let mut t = Table::new(&[
-        "nodes",
-        "groups",
-        "dup",
-        "loose",
-        "tight-sup",
-        "tight-conf",
-        "chi",
-    ]);
+    // one column per prune reason, driven by the exhaustive list
+    let headers: Vec<&str> = ["nodes", "groups"]
+        .into_iter()
+        .chain(farmer_core::PruneReason::ALL.iter().map(|r| r.stats_key()))
+        .collect();
+    let mut t = Table::new(&headers);
     for s in &samples {
-        t.row_owned(vec![
-            s.nodes.to_string(),
-            s.groups.to_string(),
-            s.pruned_duplicate.to_string(),
-            s.pruned_loose.to_string(),
-            s.pruned_tight_support.to_string(),
-            s.pruned_tight_confidence.to_string(),
-            s.pruned_chi.to_string(),
-        ]);
+        let mut row = vec![s.nodes.to_string(), s.groups.to_string()];
+        row.extend(
+            farmer_core::PruneReason::ALL
+                .iter()
+                .map(|&r| s.pruned_count(r).to_string()),
+        );
+        t.row_owned(row);
     }
     println!("{}", t.render());
     let _ = opts;

@@ -16,46 +16,44 @@ pub struct TrajectoryPoint {
     pub nodes: u64,
     /// Groups emitted so far.
     pub groups: u64,
-    /// Strategy-2 duplicate prunes so far.
-    pub pruned_duplicate: u64,
-    /// Strategy-3 loose-bound prunes so far.
-    pub pruned_loose: u64,
-    /// Strategy-3 tight support prunes so far.
-    pub pruned_tight_support: u64,
-    /// Strategy-3 tight confidence prunes so far.
-    pub pruned_tight_confidence: u64,
-    /// χ²-bound prunes so far.
-    pub pruned_chi: u64,
-    /// Interestingness rejections so far.
-    pub rejected_not_interesting: u64,
+    /// Wall time since the run started, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Running tally per [`PruneReason`] variant, indexed by
+    /// [`PruneReason::index`] — sized by the exhaustive list, so a new
+    /// variant is sampled (and serialized) without touching this file.
+    pub pruned: [u64; PruneReason::ALL.len()],
 }
 
 impl TrajectoryPoint {
     fn from_counts(c: &CountingObserver, hb: &Heartbeat) -> Self {
+        let mut pruned = [0u64; PruneReason::ALL.len()];
+        for r in PruneReason::ALL {
+            pruned[r.index()] = c.pruned_count(r);
+        }
         TrajectoryPoint {
             nodes: hb.nodes_visited,
             groups: hb.groups_found as u64,
-            pruned_duplicate: c.pruned_duplicate,
-            pruned_loose: c.pruned_loose,
-            pruned_tight_support: c.pruned_tight_support,
-            pruned_tight_confidence: c.pruned_tight_confidence,
-            pruned_chi: c.pruned_chi,
-            rejected_not_interesting: c.rejected_not_interesting,
+            elapsed_ms: hb.elapsed.as_millis() as u64,
+            pruned,
         }
     }
 
-    /// Serializes into a flat JSON object.
+    /// The running tally for one prune reason.
+    pub fn pruned_count(&self, reason: PruneReason) -> u64 {
+        self.pruned[reason.index()]
+    }
+
+    /// Serializes into a flat JSON object, one key per prune reason
+    /// (the same keys the CLI's `--stats-json` `pruned` block uses).
     pub fn to_json(&self) -> Json {
-        ObjBuilder::new()
+        let mut b = ObjBuilder::new()
             .field("nodes", self.nodes)
             .field("groups", self.groups)
-            .field("duplicate", self.pruned_duplicate)
-            .field("loose_bound", self.pruned_loose)
-            .field("tight_support", self.pruned_tight_support)
-            .field("tight_confidence", self.pruned_tight_confidence)
-            .field("chi_bound", self.pruned_chi)
-            .field("not_interesting", self.rejected_not_interesting)
-            .build()
+            .field("elapsed_ms", self.elapsed_ms);
+        for r in PruneReason::ALL {
+            b = b.field(r.stats_key(), self.pruned_count(r));
+        }
+        b.build()
     }
 }
 
@@ -75,15 +73,17 @@ impl TrajectoryObserver {
     /// partial heartbeat interval is never lost, then returns the
     /// completed trajectory.
     pub fn finish(mut self, stats: &MineStats) -> Vec<TrajectoryPoint> {
+        let mut pruned = [0u64; PruneReason::ALL.len()];
+        for r in PruneReason::ALL {
+            pruned[r.index()] = stats.pruned_count(r);
+        }
         let last = TrajectoryPoint {
             nodes: stats.nodes_visited,
             groups: self.counts.emitted,
-            pruned_duplicate: self.counts.pruned_duplicate,
-            pruned_loose: self.counts.pruned_loose,
-            pruned_tight_support: self.counts.pruned_tight_support,
-            pruned_tight_confidence: self.counts.pruned_tight_confidence,
-            pruned_chi: self.counts.pruned_chi,
-            rejected_not_interesting: self.counts.rejected_not_interesting,
+            // stats carry no clock; reuse the last beat's timestamp so
+            // the dedup below still recognizes an already-final sample
+            elapsed_ms: self.samples.last().map_or(0, |p| p.elapsed_ms),
+            pruned,
         };
         if self.samples.last() != Some(&last) {
             self.samples.push(last);
@@ -154,12 +154,21 @@ mod tests {
         assert!(samples.len() > 2, "{}", samples.len());
         for w in samples.windows(2) {
             assert!(w[0].nodes < w[1].nodes);
-            assert!(w[0].pruned_tight_support <= w[1].pruned_tight_support);
+            assert!(w[0].elapsed_ms <= w[1].elapsed_ms);
+            for r in PruneReason::ALL {
+                assert!(w[0].pruned_count(r) <= w[1].pruned_count(r), "{r:?}");
+            }
             assert!(w[0].groups <= w[1].groups);
         }
         let last = samples.last().unwrap();
         assert_eq!(last.nodes, r.stats.nodes_visited);
-        assert_eq!(last.pruned_tight_support, r.stats.pruned_tight_support);
+        for reason in PruneReason::ALL {
+            assert_eq!(
+                last.pruned_count(reason),
+                r.stats.pruned_count(reason),
+                "{reason:?}"
+            );
+        }
         assert_eq!(last.groups as usize, r.len());
     }
 
@@ -175,6 +184,38 @@ mod tests {
         assert_eq!(
             parsed[samples.len() - 1]["nodes"].as_u64(),
             Some(r.stats.nodes_visited)
+        );
+        // one serialized key per prune reason, same names as --stats-json
+        for r in PruneReason::ALL {
+            assert!(
+                parsed[0][r.stats_key()].as_u64().is_some(),
+                "{} missing",
+                r.stats_key()
+            );
+        }
+    }
+
+    /// The trajectory observer and a [`RingTracer`] ride the same
+    /// session: heartbeat sampling keeps working under instrumented
+    /// mining, and both views agree on the node count.
+    #[test]
+    fn trajectory_composes_with_tracing() {
+        use farmer_core::trace;
+
+        let d = workload();
+        let ctl = MineControl::new().with_heartbeat_every(64);
+        let tracer = trace::mining_tracer(1);
+        let mut obs = TrajectoryObserver::default();
+        let r = Farmer::new(MiningParams::new(1).min_sup(2))
+            .mine_session_traced(&d, &ctl, &mut obs, &tracer);
+        let samples = obs.finish(&r.stats);
+        let report = tracer.drain();
+        assert!(samples.len() > 1);
+        assert_eq!(samples.last().unwrap().nodes, r.stats.nodes_visited);
+        assert_eq!(
+            report.hists[trace::HIST_NODE_VISIT.0 as usize].count(),
+            r.stats.nodes_visited,
+            "sequential traced run times every visited node"
         );
     }
 }

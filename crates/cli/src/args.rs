@@ -87,6 +87,11 @@ pub struct MineArgs {
     pub json: Option<PathBuf>,
     /// Optional HTML report path.
     pub html: Option<PathBuf>,
+    /// Optional Chrome trace-event JSON output path; setting it (or
+    /// `metrics_out`) turns instrumented mining on for the run.
+    pub trace_out: Option<PathBuf>,
+    /// Optional Prometheus text-format metrics output path.
+    pub metrics_out: Option<PathBuf>,
     /// Print at most this many groups (0 = all).
     pub limit: usize,
 }
@@ -170,6 +175,12 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             stats_json: flag(&opts, "stats-json"),
             json: opts.get("json").and_then(|v| v.clone().map(PathBuf::from)),
             html: opts.get("html").and_then(|v| v.clone().map(PathBuf::from)),
+            trace_out: opts
+                .get("trace-out")
+                .and_then(|v| v.clone().map(PathBuf::from)),
+            metrics_out: opts
+                .get("metrics-out")
+                .and_then(|v| v.clone().map(PathBuf::from)),
             limit: num(&opts, "limit", 20)?,
         })),
         "topk" => Ok(Command::TopK(TopKArgs {
@@ -303,6 +314,8 @@ mod tests {
                 assert!(!m.stats_json);
                 assert_eq!(m.json, None);
                 assert_eq!(m.html, None);
+                assert_eq!(m.trace_out, None);
+                assert_eq!(m.metrics_out, None);
                 assert_eq!(m.limit, 20);
             }
             other => panic!("{other:?}"),
@@ -325,6 +338,10 @@ mod tests {
             "4",
             "--progress",
             "--stats-json",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.prom",
         ]))
         .unwrap();
         match c {
@@ -335,6 +352,8 @@ mod tests {
                 assert_eq!(m.threads, 4);
                 assert!(m.progress);
                 assert!(m.stats_json);
+                assert_eq!(m.trace_out, Some(PathBuf::from("t.json")));
+                assert_eq!(m.metrics_out, Some(PathBuf::from("m.prom")));
             }
             other => panic!("{other:?}"),
         }

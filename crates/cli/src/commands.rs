@@ -9,6 +9,7 @@ use farmer_classify::pipeline::DiscretizedSplit;
 use farmer_classify::{CbaClassifier, IrgClassifier, SvmClassifier, SvmConfig};
 use farmer_core::naive::NaiveMiner;
 use farmer_core::topk::{mine_top_k_session, TopKMiner};
+use farmer_core::trace::{self, chrome_trace_json, prometheus_text, RingTracer, TraceReport};
 use farmer_core::{
     Farmer, Heartbeat, MineControl, MineObserver, Miner, MiningParams, NoOpObserver,
 };
@@ -223,8 +224,30 @@ fn control_from(timeout_ms: Option<u64>, node_budget: Option<u64>, progress: boo
     ctl
 }
 
+/// Writes the two trace export files from a drained [`TraceReport`].
+fn write_trace_exports(a: &MineArgs, report: &TraceReport) -> Result<()> {
+    if let Some(path) = &a.trace_out {
+        std::fs::write(path, chrome_trace_json(report).to_string())
+            .map_err(|e| CliError(format!("trace write failed: {e}")))?;
+    }
+    if let Some(path) = &a.metrics_out {
+        std::fs::write(path, prometheus_text(report))
+            .map_err(|e| CliError(format!("metrics write failed: {e}")))?;
+    }
+    Ok(())
+}
+
 fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
-    let data = load_and_check_class(&a.input, a.class)?;
+    // either export flag turns the instrumented mining path on; without
+    // them the miners run the statically-dispatched no-op tracer
+    let tracer: Option<RingTracer> =
+        (a.trace_out.is_some() || a.metrics_out.is_some()).then(|| trace::mining_tracer(a.threads));
+    let data = {
+        let _load = tracer
+            .as_ref()
+            .map(|t| trace::span(t, trace::LANE_MAIN, trace::SPAN_LOAD));
+        load_and_check_class(&a.input, a.class)?
+    };
     let params = MiningParams {
         min_sup: a.min_sup,
         min_conf: a.min_conf,
@@ -236,12 +259,18 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
     let miner = miner_for(&a, &params, &data)?;
     let ctl = control_from(a.timeout_ms, a.node_budget, a.progress);
     let started = Instant::now();
-    let result = if a.progress {
-        miner.mine_with(&data, &ctl, &mut ProgressObserver { started })
-    } else {
-        miner.mine_with(&data, &ctl, &mut NoOpObserver)
+    let mut progress = ProgressObserver { started };
+    let mut noop = NoOpObserver;
+    let obs: &mut dyn MineObserver = if a.progress { &mut progress } else { &mut noop };
+    let result = match &tracer {
+        Some(t) => miner.mine_traced(&data, &ctl, obs, t),
+        None => miner.mine_with(&data, &ctl, obs),
     };
     let elapsed_ms = started.elapsed().as_millis() as u64;
+    let report = tracer.as_ref().map(RingTracer::drain);
+    if let Some(report) = &report {
+        write_trace_exports(&a, report)?;
+    }
     if a.stats_json {
         // machine-readable mode: stdout is exactly one JSON document
         writeln!(
@@ -252,7 +281,8 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
                 &result.stats,
                 &result.sched,
                 result.len(),
-                elapsed_ms
+                elapsed_ms,
+                report.as_ref(),
             )
             .pretty()
         )?;
@@ -298,6 +328,15 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
             let title = format!("FARMER report — {}", a.input.display());
             std::fs::write(html_path, render_html(&title, &payload))?;
             writeln!(out, "wrote HTML report to {}", html_path.display())?;
+        }
+    }
+    if !a.stats_json {
+        // (suppressed in --stats-json mode, where stdout is one document)
+        if let Some(p) = &a.trace_out {
+            writeln!(out, "wrote Chrome trace to {}", p.display())?;
+        }
+        if let Some(p) = &a.metrics_out {
+            writeln!(out, "wrote Prometheus metrics to {}", p.display())?;
         }
     }
     Ok(())
@@ -675,9 +714,50 @@ mod tests {
         txt
     }
 
+    use farmer_support::json::Json;
+
+    /// Recursive structural comparison against the golden document:
+    /// objects must have identical keys in identical order, arrays must
+    /// be element-wise shaped like the golden's first element, and
+    /// scalars must agree on type (ints and floats both count as
+    /// numbers). Values are free to differ — timings and counters vary
+    /// run to run; the *schema* must not.
+    fn assert_same_shape(actual: &Json, golden: &Json, path: &str) {
+        match (actual, golden) {
+            (Json::Null, Json::Null) => {}
+            (Json::Bool(_), Json::Bool(_)) => {}
+            (Json::Str(_), Json::Str(_)) => {}
+            (Json::Int(_) | Json::Float(_), Json::Int(_) | Json::Float(_)) => {}
+            (Json::Arr(a), Json::Arr(g)) => {
+                if let Some(first) = g.first() {
+                    assert!(!a.is_empty(), "empty array at {path}, golden is not");
+                    for (i, el) in a.iter().enumerate() {
+                        assert_same_shape(el, first, &format!("{path}[{i}]"));
+                    }
+                }
+            }
+            (Json::Obj(a), Json::Obj(g)) => {
+                let keys = |o: &[(String, Json)]| -> Vec<String> {
+                    o.iter().map(|(k, _)| k.clone()).collect()
+                };
+                assert_eq!(keys(a), keys(g), "object keys at {path}");
+                for ((k, av), (_, gv)) in a.iter().zip(g.iter()) {
+                    assert_same_shape(av, gv, &format!("{path}.{k}"));
+                }
+            }
+            _ => panic!("shape mismatch at {path}: got {actual:?}, golden {golden:?}"),
+        }
+    }
+
+    /// The full `--stats-json` schema — scheduler and trace blocks
+    /// included — pinned against a checked-in golden document. Run with
+    /// `FARMER_UPDATE_GOLDEN=1` to regenerate after an intentional
+    /// schema change.
     #[test]
-    fn stats_json_is_parseable() {
+    fn stats_json_matches_golden_schema() {
+        let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/stats_schema.json");
         let txt = mining_input("sj", "20", "50");
+        let trace = tmp("sj-trace.json");
         let s = run_ok(&[
             "mine",
             "--in",
@@ -685,12 +765,26 @@ mod tests {
             "--min-sup",
             "3",
             "--stats-json",
+            "--trace-out",
+            trace.to_str().unwrap(),
         ]);
-        let j = farmer_support::json::Json::parse(&s).unwrap_or_else(|e| panic!("{e}: {s}"));
+        let j = Json::parse(&s).unwrap_or_else(|e| panic!("{e}: {s}"));
+        if std::env::var_os("FARMER_UPDATE_GOLDEN").is_some() {
+            std::fs::write(golden_path, j.pretty()).unwrap();
+        }
+        let golden =
+            Json::parse(&std::fs::read_to_string(golden_path).unwrap_or_else(|e| {
+                panic!("{golden_path}: {e} (FARMER_UPDATE_GOLDEN=1 to create)")
+            }))
+            .unwrap();
+        assert_same_shape(&j, &golden, "$");
+
+        // value invariants on top of the shape
         assert_eq!(j["algo"].as_str(), Some("farmer"));
         assert_eq!(j["stop"].as_str(), Some("completed"));
         assert!(j["nodes_visited"].as_u64().unwrap() > 0);
         assert!(j["pruned"]["tight_support"].as_u64().is_some(), "{s}");
+        assert!(j["pruned"]["confidence_floor"].as_u64().is_some(), "{s}");
         // scheduler observability: sequential run = one worker, no steals
         assert_eq!(j["scheduler"]["steals"].as_u64(), Some(0), "{s}");
         assert_eq!(
@@ -702,6 +796,117 @@ mod tests {
             j["scheduler"]["peak_arena_depth"].as_u64().unwrap() >= 1,
             "{s}"
         );
+        // trace block: sequential tracer = main lane + one worker lane,
+        // and the session span subsumes the enumerate span
+        assert_eq!(j["trace"]["lanes"].as_u64(), Some(2), "{s}");
+        let span_ns = |name: &str| {
+            let Json::Arr(spans) = &j["trace"]["spans"] else {
+                panic!("trace.spans not an array: {s}")
+            };
+            spans
+                .iter()
+                .find(|sp| sp["name"].as_str() == Some(name))
+                .unwrap_or_else(|| panic!("span '{name}' missing: {s}"))["total_ns"]
+                .as_u64()
+                .unwrap()
+        };
+        assert!(span_ns("session") >= span_ns("enumerate"), "{s}");
+        assert!(
+            j["trace"]["hists"][0]["count"].as_u64().unwrap() > 0,
+            "node_visit histogram empty: {s}"
+        );
+        assert_eq!(j["trace"]["dropped_events"].as_u64(), Some(0), "{s}");
+    }
+
+    /// Without `--trace-out`/`--metrics-out`, the report still carries
+    /// the `trace` key — as an explicit null, so consumers can branch on
+    /// it without probing for key presence.
+    #[test]
+    fn stats_json_trace_is_null_when_untraced() {
+        let txt = mining_input("sjn", "14", "30");
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "3",
+            "--stats-json",
+        ]);
+        let j = Json::parse(&s).unwrap();
+        assert!(matches!(j["trace"], Json::Null), "{s}");
+    }
+
+    /// `--trace-out` yields Chrome trace-event JSON (per-lane tracks
+    /// with thread names) and `--metrics-out` yields Prometheus text
+    /// with the expected metric families.
+    #[test]
+    fn trace_exports_are_valid() {
+        let txt = mining_input("te", "20", "50");
+        let trace = tmp("te-trace.json");
+        let prom = tmp("te-metrics.prom");
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "3",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            prom.to_str().unwrap(),
+        ]);
+        assert!(s.contains("wrote Chrome trace"), "{s}");
+        assert!(s.contains("wrote Prometheus metrics"), "{s}");
+
+        let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let Json::Arr(events) = &doc["traceEvents"] else {
+            panic!("traceEvents missing: {doc:?}")
+        };
+        assert!(!events.is_empty());
+        // one thread_name metadata record per lane: main + 2 workers
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("M"))
+            .map(|e| e["args"]["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["main", "worker-0", "worker-1"], "{doc:?}");
+        // every event targets pid 1 and a known lane; B/E events balance
+        let mut depth: i64 = 0;
+        for e in events {
+            assert_eq!(e["pid"].as_u64(), Some(1));
+            assert!(e["tid"].as_u64().unwrap() < 3);
+            match e["ph"].as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced begin/end events");
+        // both workers recorded their enumerate span
+        for tid in [1, 2] {
+            assert!(
+                events.iter().any(|e| e["ph"].as_str() == Some("B")
+                    && e["tid"].as_u64() == Some(tid)
+                    && e["name"].as_str() == Some("enumerate")),
+                "no enumerate span on worker lane {tid}"
+            );
+        }
+
+        let text = std::fs::read_to_string(&prom).unwrap();
+        for family in [
+            "farmer_span_seconds_total",
+            "farmer_span_calls_total",
+            "farmer_node_visit_ns_bucket",
+            "farmer_node_visit_ns_count",
+            "farmer_fused_scan_ns_count",
+            "farmer_lower_bound_ns_count",
+            "farmer_trace_dropped_events_total",
+        ] {
+            assert!(text.contains(family), "{family} missing from:\n{text}");
+        }
+        assert!(text.contains("le=\"+Inf\""), "{text}");
     }
 
     #[test]

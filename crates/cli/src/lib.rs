@@ -75,6 +75,9 @@ MINE OPTIONS:
   --progress          heartbeat progress lines on stderr
   --stats-json        machine-readable run report (JSON) instead of text
   --json/--html <p>   write the full result to a file
+  --trace-out <p>     record phase spans, write a Chrome trace-event JSON
+                      (load chrome://tracing or ui.perfetto.dev)
+  --metrics-out <p>   write Prometheus text-format metrics for the run
   --limit <n>         print at most n groups (0 = all, default 20)
 
 `farmer topk` also honors --timeout-ms.

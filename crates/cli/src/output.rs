@@ -1,6 +1,7 @@
 //! Serializable result shapes for `--json` and `--stats-json` output.
 
-use farmer_core::{MineStats, RuleGroup, SchedStats};
+use farmer_core::trace::{trace_stats_json, TraceReport};
+use farmer_core::{MineStats, PruneReason, RuleGroup, SchedStats};
 use farmer_dataset::Dataset;
 use farmer_support::json::{Json, ObjBuilder};
 
@@ -112,7 +113,14 @@ pub fn stats_json(
     sched: &SchedStats,
     n_groups: usize,
     elapsed_ms: u64,
+    trace: Option<&TraceReport>,
 ) -> Json {
+    // one `pruned` key per PruneReason variant, by iterating the
+    // exhaustive list — adding a variant extends this report for free
+    let mut pruned = ObjBuilder::new();
+    for r in PruneReason::ALL {
+        pruned = pruned.field(r.stats_key(), stats.pruned_count(r));
+    }
     ObjBuilder::new()
         .field("algo", algo)
         .field("stop", stats.stop.as_str())
@@ -120,17 +128,7 @@ pub fn stats_json(
         .field("n_groups", n_groups)
         .field("nodes_visited", stats.nodes_visited)
         .field("elapsed_ms", elapsed_ms)
-        .field(
-            "pruned",
-            ObjBuilder::new()
-                .field("duplicate", stats.pruned_duplicate)
-                .field("loose_bound", stats.pruned_loose)
-                .field("tight_support", stats.pruned_tight_support)
-                .field("tight_confidence", stats.pruned_tight_confidence)
-                .field("chi_bound", stats.pruned_chi)
-                .field("not_interesting", stats.rejected_not_interesting)
-                .build(),
-        )
+        .field("pruned", pruned.build())
         .field("rows_compressed", stats.rows_compressed)
         .field(
             "scheduler",
@@ -142,6 +140,13 @@ pub fn stats_json(
                 )
                 .field("peak_arena_depth", sched.peak_arena_depth)
                 .build(),
+        )
+        .field(
+            "trace",
+            match trace {
+                Some(report) => trace_stats_json(report),
+                None => Json::Null,
+            },
         )
         .build()
 }

@@ -60,6 +60,7 @@ pub mod minelb;
 pub mod naive;
 pub mod session;
 pub mod topk;
+pub mod trace;
 
 mod index;
 mod miner;
@@ -74,3 +75,4 @@ pub use session::{
     CountingObserver, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
     SharedBudget, StopCause, StopHandle,
 };
+pub use trace::{NoopTracer, RingTracer, TraceReport, TraceSink};

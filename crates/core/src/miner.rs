@@ -9,6 +9,7 @@ use crate::session::{
     ControlState, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
     SharedBudget,
 };
+use crate::trace::{self, NoopTracer, TraceSink};
 use farmer_dataset::{Dataset, RowId, TransposedTable};
 use farmer_support::thread::StealQueue;
 use rowset::{IdList, RowSet};
@@ -195,7 +196,34 @@ impl Farmer {
         ctl: &MineControl,
         obs: &mut O,
     ) -> MineResult {
-        let (tt, reordered, order) = TransposedTable::for_mining(data, self.params.target_class);
+        self.mine_session_traced(data, ctl, obs, &NoopTracer)
+    }
+
+    /// [`mine_session`](Self::mine_session) while recording phase
+    /// spans, steal instants, and latency histograms into `tracer`.
+    ///
+    /// Like the observer, the tracer is statically dispatched: with
+    /// [`NoopTracer`] (what `mine_session` passes) every instrumentation
+    /// site monomorphizes away and the search compiles to the exact
+    /// untraced code — pinned by the alloc-guard test and the
+    /// `BENCH_PR4.json` overhead bound. Sequential runs record on lane
+    /// 0; parallel runs give worker `w` its own lane `w + 1` (its own
+    /// track in the Chrome export).
+    pub fn mine_session_traced<O, T>(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut O,
+        tracer: &T,
+    ) -> MineResult
+    where
+        O: MineObserver + ?Sized,
+        T: TraceSink + ?Sized,
+    {
+        let (tt, reordered, order) = {
+            let _transpose = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_TRANSPOSE);
+            TransposedTable::for_mining(data, self.params.target_class)
+        };
         if self.threads > 1 {
             return match self.engine {
                 Engine::Bitset => self.run_parallel(
@@ -205,10 +233,17 @@ impl Farmer {
                     &order,
                     ctl,
                     obs,
+                    tracer,
                 ),
-                Engine::PointerList => {
-                    self.run_parallel(&PointerNode::root(&tt), &reordered, &tt, &order, ctl, obs)
-                }
+                Engine::PointerList => self.run_parallel(
+                    &PointerNode::root(&tt),
+                    &reordered,
+                    &tt,
+                    &order,
+                    ctl,
+                    obs,
+                    tracer,
+                ),
             };
         }
         match self.engine {
@@ -219,10 +254,17 @@ impl Farmer {
                 &order,
                 ctl,
                 obs,
+                tracer,
             ),
-            Engine::PointerList => {
-                self.run(PointerNode::root(&tt), &reordered, &tt, &order, ctl, obs)
-            }
+            Engine::PointerList => self.run(
+                PointerNode::root(&tt),
+                &reordered,
+                &tt,
+                &order,
+                ctl,
+                obs,
+                tracer,
+            ),
         }
     }
 
@@ -232,7 +274,8 @@ impl Farmer {
         ctl.node_budget.or(self.params.node_budget)
     }
 
-    fn run<N: CondNode, O: MineObserver + ?Sized>(
+    #[allow(clippy::too_many_arguments)]
+    fn run<N, O, T>(
         &self,
         root: N,
         reordered: &Dataset,
@@ -240,7 +283,13 @@ impl Farmer {
         order: &[RowId],
         ctl: &MineControl,
         obs: &mut O,
-    ) -> MineResult {
+        tracer: &T,
+    ) -> MineResult
+    where
+        N: CondNode,
+        O: MineObserver + ?Sized,
+        T: TraceSink + ?Sized,
+    {
         let n = reordered.n_rows();
         let m = tt.n_target();
         let eff_min_conf = self.effective_min_conf(n, m);
@@ -255,6 +304,8 @@ impl Farmer {
             heartbeat_every: ctl.heartbeat_every,
             start: Instant::now(),
             obs,
+            tracer,
+            lane: trace::LANE_MAIN,
             stats: MineStats::default(),
             irgs: Vec::new(),
             defer_interesting: false,
@@ -262,17 +313,20 @@ impl Farmer {
         let e_p = RowSet::from_ids(n, 0..m);
         let e_n = RowSet::from_ids(n, m..n);
         let mut scratch = NodeScratch::new(n);
-        ctx.visit(
-            &mut scratch,
-            &root,
-            None,
-            &RowSet::empty(n),
-            &e_p,
-            &e_n,
-            0,
-            0,
-            0,
-        );
+        {
+            let _enumerate = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_ENUMERATE);
+            ctx.visit(
+                &mut scratch,
+                &root,
+                None,
+                &RowSet::empty(n),
+                &e_p,
+                &e_n,
+                0,
+                0,
+                0,
+            );
+        }
         let irgs = ctx.irgs;
         let stats = ctx.stats;
         let sched = SchedStats {
@@ -280,7 +334,7 @@ impl Farmer {
             worker_nodes: vec![stats.nodes_visited],
             peak_arena_depth: scratch.peak_depth(),
         };
-        self.package(irgs, stats, sched, reordered, order, n, m)
+        self.package(irgs, stats, sched, reordered, order, n, m, tracer)
     }
 
     /// Parallel search: the root is built and scanned **once** (the
@@ -307,7 +361,8 @@ impl Farmer {
     /// run's group set may vary between runs (each is still a valid
     /// partial result: every group real, none added on the unwind);
     /// complete runs are unaffected.
-    fn run_parallel<N, O>(
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel<N, O, T>(
         &self,
         root: &N,
         reordered: &Dataset,
@@ -315,10 +370,12 @@ impl Farmer {
         order: &[RowId],
         ctl: &MineControl,
         obs: &mut O,
+        tracer: &T,
     ) -> MineResult
     where
         N: CondNode + Sync,
         O: MineObserver + ?Sized,
+        T: TraceSink + ?Sized,
     {
         let n = reordered.n_rows();
         let m = tt.n_target();
@@ -343,9 +400,11 @@ impl Farmer {
         type WorkerOut = (Vec<Pending>, MineStats, u64, usize);
         let results: Vec<WorkerOut> = farmer_support::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| {
+                .map(|w| {
                     let (ins, cands, queue) = (&ins, &cands, &queue);
                     scope.spawn(move || {
+                        let lane = trace::worker_lane(w);
+                        let _enumerate = trace::span(tracer, lane, trace::SPAN_ENUMERATE);
                         let mut noop = NoOpObserver;
                         let mut ctx = Ctx {
                             params: &self.params,
@@ -358,6 +417,8 @@ impl Farmer {
                             heartbeat_every: 0,
                             start: Instant::now(),
                             obs: &mut noop,
+                            tracer,
+                            lane,
                             stats: MineStats::default(),
                             irgs: Vec::new(),
                             defer_interesting: true,
@@ -369,9 +430,16 @@ impl Farmer {
                         let mut rem_p = RowSet::empty(n);
                         let mut rem_n = RowSet::empty(n);
                         let mut work = queue.stealing_iter();
-                        for idx in work.by_ref() {
+                        let mut seen_steals = 0;
+                        while let Some(idx) = work.next() {
                             if ctx.stats.budget_exhausted {
                                 break;
+                            }
+                            // a claim beyond the worker's first chunk is a
+                            // steal — mark it as an instant on this track
+                            if tracer.enabled() && work.steals() > seen_steals {
+                                seen_steals = work.steals();
+                                tracer.instant(lane, trace::SPAN_STEAL);
                             }
                             let r = cands[idx];
                             counted.clear();
@@ -427,6 +495,7 @@ impl Farmer {
         }
 
         // merge: dedupe by upper bound, combine stats
+        let _merge = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_MERGE);
         let mut stats = MineStats::default();
         let mut sched = SchedStats::default();
         let mut by_upper: std::collections::HashMap<IdList, Pending> =
@@ -438,6 +507,7 @@ impl Farmer {
             stats.pruned_tight_support += s.pruned_tight_support;
             stats.pruned_tight_confidence += s.pruned_tight_confidence;
             stats.pruned_chi += s.pruned_chi;
+            stats.pruned_floor += s.pruned_floor;
             stats.rows_compressed += s.rows_compressed;
             stats.budget_exhausted |= s.budget_exhausted;
             stats.stop = stats.stop.merge(s.stop);
@@ -471,7 +541,8 @@ impl Farmer {
                 accepted.push(p);
             }
         }
-        self.package(accepted, stats, sched, reordered, order, n, m)
+        drop(_merge);
+        self.package(accepted, stats, sched, reordered, order, n, m, tracer)
     }
 
     /// Folds any lift/conviction extras into the confidence threshold.
@@ -497,7 +568,7 @@ impl Farmer {
     /// Maps pending groups back to original row ids, attaches lower
     /// bounds, and assembles the result.
     #[allow(clippy::too_many_arguments)]
-    fn package(
+    fn package<T: TraceSink + ?Sized>(
         &self,
         irgs: Vec<Pending>,
         stats: MineStats,
@@ -506,7 +577,17 @@ impl Farmer {
         order: &[RowId],
         n: usize,
         m: usize,
+        tracer: &T,
     ) -> MineResult {
+        let _lb_span = if self.params.lower_bounds {
+            Some(trace::span(
+                tracer,
+                trace::LANE_MAIN,
+                trace::SPAN_LOWER_BOUNDS,
+            ))
+        } else {
+            None
+        };
         let groups = irgs
             .into_iter()
             .map(|p| {
@@ -515,7 +596,18 @@ impl Farmer {
                     support_set.insert(order[r] as usize);
                 }
                 let lower = if self.params.lower_bounds {
-                    mine_lower_bounds(&p.upper, &p.rows, reordered)
+                    if tracer.enabled() {
+                        let t0 = tracer.now_ns();
+                        let lower = mine_lower_bounds(&p.upper, &p.rows, reordered);
+                        tracer.duration_ns(
+                            trace::LANE_MAIN,
+                            trace::HIST_LOWER_BOUND,
+                            tracer.now_ns().saturating_sub(t0),
+                        );
+                        lower
+                    } else {
+                        mine_lower_bounds(&p.upper, &p.rows, reordered)
+                    }
                 } else {
                     Vec::new()
                 };
@@ -551,7 +643,7 @@ struct Pending {
     conf: f64,
 }
 
-struct Ctx<'a, O: MineObserver + ?Sized> {
+struct Ctx<'a, O: MineObserver + ?Sized, T: TraceSink + ?Sized> {
     params: &'a MiningParams,
     pruning: &'a PruningConfig,
     n: usize,
@@ -565,6 +657,10 @@ struct Ctx<'a, O: MineObserver + ?Sized> {
     heartbeat_every: u64,
     start: Instant,
     obs: &'a mut O,
+    /// Statically dispatched trace sink ([`NoopTracer`] = untraced).
+    tracer: &'a T,
+    /// The trace lane this context records on.
+    lane: usize,
     stats: MineStats,
     irgs: Vec<Pending>,
     /// Parallel mode: skip the step-7 interestingness comparison here
@@ -572,7 +668,7 @@ struct Ctx<'a, O: MineObserver + ?Sized> {
     defer_interesting: bool,
 }
 
-impl<O: MineObserver + ?Sized> Ctx<'_, O> {
+impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
     /// One node of the enumeration tree (Figure 5's `MineIRGs`).
     ///
     /// `last` is the row whose addition created this node (`None` at the
@@ -599,6 +695,55 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
         parent_sup_n: usize,
         depth: usize,
     ) {
+        // Traced runs time the whole (inclusive) visit; the branch is
+        // resolved at compile time for `NoopTracer`, leaving the
+        // untraced hot path clock-free.
+        if self.tracer.enabled() {
+            let t0 = self.tracer.now_ns();
+            self.visit_inner(
+                scratch,
+                node,
+                last,
+                counted,
+                e_p,
+                e_n,
+                parent_sup_p,
+                parent_sup_n,
+                depth,
+            );
+            self.tracer.duration_ns(
+                self.lane,
+                trace::HIST_NODE_VISIT,
+                self.tracer.now_ns().saturating_sub(t0),
+            );
+        } else {
+            self.visit_inner(
+                scratch,
+                node,
+                last,
+                counted,
+                e_p,
+                e_n,
+                parent_sup_p,
+                parent_sup_n,
+                depth,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_inner<N: CondNode>(
+        &mut self,
+        scratch: &mut NodeScratch<N>,
+        node: &N,
+        last: Option<RowId>,
+        counted: &RowSet,
+        e_p: &RowSet,
+        e_n: &RowSet,
+        parent_sup_p: usize,
+        parent_sup_n: usize,
+        depth: usize,
+    ) {
         if self.stats.budget_exhausted {
             return;
         }
@@ -609,12 +754,16 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
             self.stats.stop = cause;
             return;
         }
-        if self.heartbeat_every > 0 && self.stats.nodes_visited % self.heartbeat_every == 0 {
+        if MineControl::heartbeat_due(self.heartbeat_every, self.stats.nodes_visited) {
             self.obs.heartbeat(&Heartbeat {
                 nodes_visited: self.stats.nodes_visited,
                 groups_found: self.irgs.len(),
                 elapsed: self.start.elapsed(),
             });
+        }
+        if self.tracer.enabled() && self.stats.nodes_visited & trace::NODE_COUNTER_MASK == 0 {
+            self.tracer
+                .counter(self.lane, trace::COUNTER_NODES, self.stats.nodes_visited);
         }
         let is_root = last.is_none();
         // under ORD, positives are exactly the rows below the class margin
@@ -679,7 +828,17 @@ impl<O: MineObserver + ?Sized> Ctx<'_, O> {
         let last_is_pos = last.is_none_or(|r| (r as usize) < self.m);
 
         // ---- Scan TT|X (step 3).
-        node.inspect_into(e_p, e_n, &mut f.ins);
+        if self.tracer.enabled() {
+            let t0 = self.tracer.now_ns();
+            node.inspect_into(e_p, e_n, &mut f.ins);
+            self.tracer.duration_ns(
+                self.lane,
+                trace::HIST_FUSED_SCAN,
+                self.tracer.now_ns().saturating_sub(t0),
+            );
+        } else {
+            node.inspect_into(e_p, e_n, &mut f.ins);
+        }
 
         // ---- Pruning strategy 2 (step 1 in the paper; our back scan is
         // part of the main scan). A row ordered before this node's deepest
@@ -925,5 +1084,16 @@ impl Miner for Farmer {
         obs: &mut dyn MineObserver,
     ) -> MineResult {
         self.mine_session(data, ctl, obs)
+    }
+
+    fn mine_traced(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+        tracer: &dyn TraceSink,
+    ) -> MineResult {
+        let _session = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_SESSION);
+        self.mine_session_traced(data, ctl, obs, tracer)
     }
 }

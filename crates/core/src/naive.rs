@@ -109,7 +109,7 @@ pub fn mine_naive_session<O: MineObserver + ?Sized>(
             stop = cause;
             break;
         }
-        if ctl.heartbeat_every > 0 && st.ticks() % ctl.heartbeat_every == 0 {
+        if MineControl::heartbeat_due(ctl.heartbeat_every, st.ticks()) {
             obs.heartbeat(&Heartbeat {
                 nodes_visited: st.ticks(),
                 groups_found: by_support.len(),

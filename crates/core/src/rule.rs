@@ -1,7 +1,7 @@
 //! Mined rule groups and mining results.
 
 use crate::measures::{self, Contingency};
-use crate::session::StopCause;
+use crate::session::{PruneReason, StopCause};
 use farmer_dataset::{ClassLabel, Dataset, ItemId};
 use rowset::{IdList, RowSet};
 use std::fmt;
@@ -138,6 +138,9 @@ pub struct MineStats {
     /// Upper bounds that met all thresholds but failed the
     /// interestingness comparison of step 7.
     pub rejected_not_interesting: u64,
+    /// Subtrees cut by the rising per-row confidence floor (top-k
+    /// mining only; 0 for the threshold miners).
+    pub pruned_floor: u64,
     /// `true` iff the search stopped early — node budget, deadline, or
     /// cooperative cancellation — and the result is (possibly)
     /// incomplete. [`stop`](Self::stop) says which; this flag is kept
@@ -145,6 +148,24 @@ pub struct MineStats {
     pub budget_exhausted: bool,
     /// What ended the run (`Completed` unless `budget_exhausted`).
     pub stop: StopCause,
+}
+
+impl MineStats {
+    /// The counter tallying `reason`, so every [`PruneReason`] variant
+    /// maps to exactly one stats field (the exhaustive `match` turns a
+    /// forgotten mapping into a compile error; the parity test in
+    /// `crates/core/tests/session.rs` pins the rest of the wiring).
+    pub fn pruned_count(&self, reason: PruneReason) -> u64 {
+        match reason {
+            PruneReason::Duplicate => self.pruned_duplicate,
+            PruneReason::LooseBound => self.pruned_loose,
+            PruneReason::TightSupport => self.pruned_tight_support,
+            PruneReason::TightConfidence => self.pruned_tight_confidence,
+            PruneReason::ChiBound => self.pruned_chi,
+            PruneReason::NotInteresting => self.rejected_not_interesting,
+            PruneReason::ConfidenceFloor => self.pruned_floor,
+        }
+    }
 }
 
 /// How the run was scheduled and what its memory discipline looked like.

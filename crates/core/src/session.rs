@@ -30,6 +30,7 @@
 //! and [`MineStats::stop`].
 
 use crate::rule::{MineResult, MineStats};
+use crate::trace::{self, TraceSink};
 use farmer_dataset::Dataset;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,6 +54,66 @@ pub enum PruneReason {
     NotInteresting,
     /// Top-k mining only: the rising per-row confidence floor.
     ConfidenceFloor,
+}
+
+impl PruneReason {
+    /// Every variant, in declaration order. Paired with the exhaustive
+    /// matches in [`index`](Self::index) / [`as_str`](Self::as_str) /
+    /// [`stats_key`](Self::stats_key) (and the parity test in
+    /// `crates/core/tests/session.rs`), this makes adding a variant
+    /// without wiring its counter, name, and stats-json key a
+    /// compile/test error.
+    pub const ALL: [PruneReason; 7] = [
+        PruneReason::Duplicate,
+        PruneReason::LooseBound,
+        PruneReason::TightSupport,
+        PruneReason::TightConfidence,
+        PruneReason::ChiBound,
+        PruneReason::NotInteresting,
+        PruneReason::ConfidenceFloor,
+    ];
+
+    /// Position of the variant in [`ALL`](Self::ALL). The `match` is
+    /// exhaustive on purpose: a new variant fails to compile here until
+    /// it is added to `ALL` too.
+    pub fn index(self) -> usize {
+        match self {
+            PruneReason::Duplicate => 0,
+            PruneReason::LooseBound => 1,
+            PruneReason::TightSupport => 2,
+            PruneReason::TightConfidence => 3,
+            PruneReason::ChiBound => 4,
+            PruneReason::NotInteresting => 5,
+            PruneReason::ConfidenceFloor => 6,
+        }
+    }
+
+    /// Stable lowercase name, for reports and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PruneReason::Duplicate => "duplicate",
+            PruneReason::LooseBound => "loose bound",
+            PruneReason::TightSupport => "tight support",
+            PruneReason::TightConfidence => "tight confidence",
+            PruneReason::ChiBound => "chi bound",
+            PruneReason::NotInteresting => "not interesting",
+            PruneReason::ConfidenceFloor => "confidence floor",
+        }
+    }
+
+    /// The key of this counter inside the `pruned` block of the CLI's
+    /// `--stats-json` report.
+    pub fn stats_key(&self) -> &'static str {
+        match self {
+            PruneReason::Duplicate => "duplicate",
+            PruneReason::LooseBound => "loose_bound",
+            PruneReason::TightSupport => "tight_support",
+            PruneReason::TightConfidence => "tight_confidence",
+            PruneReason::ChiBound => "chi_bound",
+            PruneReason::NotInteresting => "not_interesting",
+            PruneReason::ConfidenceFloor => "confidence_floor",
+        }
+    }
 }
 
 /// What ended a mining run.
@@ -188,6 +249,23 @@ pub struct CountingObserver {
     pub workers: u64,
 }
 
+impl CountingObserver {
+    /// The tally of `pruned(reason)` events, one field per variant (the
+    /// exhaustive `match` keeps the observer in lockstep with
+    /// [`PruneReason`]).
+    pub fn pruned_count(&self, reason: PruneReason) -> u64 {
+        match reason {
+            PruneReason::Duplicate => self.pruned_duplicate,
+            PruneReason::LooseBound => self.pruned_loose,
+            PruneReason::TightSupport => self.pruned_tight_support,
+            PruneReason::TightConfidence => self.pruned_tight_confidence,
+            PruneReason::ChiBound => self.pruned_chi,
+            PruneReason::NotInteresting => self.rejected_not_interesting,
+            PruneReason::ConfidenceFloor => self.pruned_floor,
+        }
+    }
+}
+
 impl MineObserver for CountingObserver {
     fn node_entered(&mut self, depth: usize) {
         self.nodes += 1;
@@ -223,6 +301,7 @@ impl MineObserver for CountingObserver {
         self.pruned_tight_confidence += tally.pruned_tight_confidence;
         self.pruned_chi += tally.pruned_chi;
         self.rejected_not_interesting += tally.rejected_not_interesting;
+        self.pruned_floor += tally.pruned_floor;
     }
 }
 
@@ -280,6 +359,14 @@ impl MineControl {
     pub fn with_heartbeat_every(mut self, nodes: u64) -> Self {
         self.heartbeat_every = nodes;
         self
+    }
+
+    /// The heartbeat cadence rule, shared by every miner in the
+    /// workspace: a cadence of 0 means *disabled* (never due — not
+    /// "every node"), otherwise a heartbeat is due every `every` nodes.
+    #[inline]
+    pub fn heartbeat_due(every: u64, nodes: u64) -> bool {
+        every > 0 && nodes % every == 0
     }
 
     /// A handle that cancels this run (and every clone of this control)
@@ -453,6 +540,24 @@ pub trait Miner {
     /// Convenience: mines with no control and no observer.
     fn mine_unobserved(&self, data: &Dataset) -> MineResult {
         self.mine_with(data, &MineControl::new(), &mut NoOpObserver)
+    }
+
+    /// Mines while recording phase spans and latency histograms into
+    /// `tracer` (lane 0). The default implementation wraps the whole
+    /// run in a `session` span, which is what the four baseline
+    /// adapters report; [`Farmer`](crate::Farmer) and
+    /// [`TopKMiner`](crate::topk::TopKMiner) override it with their
+    /// fully instrumented paths (per-phase spans, per-worker lanes,
+    /// node-visit / fused-scan / lower-bound histograms).
+    fn mine_traced(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+        tracer: &dyn TraceSink,
+    ) -> MineResult {
+        let _session = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_SESSION);
+        self.mine_with(data, ctl, obs)
     }
 }
 

@@ -21,6 +21,7 @@ use crate::rule::{MineResult, MineStats, RuleGroup, SchedStats};
 use crate::session::{
     ControlState, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason, StopCause,
 };
+use crate::trace::{self, NoopTracer, TraceSink};
 use farmer_dataset::{ClassLabel, Dataset, RowId, TransposedTable};
 use rowset::{IdList, RowSet};
 use std::time::Instant;
@@ -132,8 +133,31 @@ pub fn mine_top_k_session<O: MineObserver + ?Sized>(
     ctl: &MineControl,
     obs: &mut O,
 ) -> TopKResult {
+    mine_top_k_session_traced(data, class, k, min_sup, ctl, obs, &NoopTracer)
+}
+
+/// [`mine_top_k_session`] while recording phase spans and latency
+/// histograms into `tracer` (lane 0; the top-k search is sequential).
+/// Statically dispatched like the observer: passing [`NoopTracer`]
+/// compiles to the untraced search.
+pub fn mine_top_k_session_traced<O, T>(
+    data: &Dataset,
+    class: ClassLabel,
+    k: usize,
+    min_sup: usize,
+    ctl: &MineControl,
+    obs: &mut O,
+    tracer: &T,
+) -> TopKResult
+where
+    O: MineObserver + ?Sized,
+    T: TraceSink + ?Sized,
+{
     assert!(k >= 1, "k must be >= 1");
-    let (tt, reordered, order) = TransposedTable::for_mining(data, class);
+    let (tt, reordered, order) = {
+        let _transpose = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_TRANSPOSE);
+        TransposedTable::for_mining(data, class)
+    };
     let n = reordered.n_rows();
     let m = tt.n_target();
     let mut ctx = TopKCtx {
@@ -148,6 +172,7 @@ pub fn mine_top_k_session<O: MineObserver + ?Sized>(
         heartbeat_every: ctl.heartbeat_every,
         start: Instant::now(),
         obs,
+        tracer,
         stop: StopCause::Completed,
         nodes_visited: 0,
         pruned_floor: 0,
@@ -157,16 +182,19 @@ pub fn mine_top_k_session<O: MineObserver + ?Sized>(
     let e_p = RowSet::from_ids(n, 0..m);
     let e_n = RowSet::from_ids(n, m..n);
     let mut scratch = NodeScratch::new(n);
-    ctx.visit(
-        &mut scratch,
-        &root,
-        None,
-        &RowSet::empty(n),
-        &e_p,
-        &e_n,
-        0,
-        0,
-    );
+    {
+        let _enumerate = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_ENUMERATE);
+        ctx.visit(
+            &mut scratch,
+            &root,
+            None,
+            &RowSet::empty(n),
+            &e_p,
+            &e_n,
+            0,
+            0,
+        );
+    }
 
     // order original-row-major, best first
     let mut per_row: Vec<Vec<TopKGroup>> = vec![Vec::new(); n];
@@ -185,7 +213,7 @@ pub fn mine_top_k_session<O: MineObserver + ?Sized>(
     }
 }
 
-struct TopKCtx<'a, O: MineObserver + ?Sized> {
+struct TopKCtx<'a, O: MineObserver + ?Sized, T: TraceSink + ?Sized> {
     k: usize,
     min_sup: usize,
     n: usize,
@@ -198,13 +226,15 @@ struct TopKCtx<'a, O: MineObserver + ?Sized> {
     heartbeat_every: u64,
     start: Instant,
     obs: &'a mut O,
+    /// Statically dispatched trace sink ([`NoopTracer`] = untraced).
+    tracer: &'a T,
     stop: StopCause,
     nodes_visited: u64,
     pruned_floor: u64,
     groups_offered: usize,
 }
 
-impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
+impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> TopKCtx<'_, O, T> {
     /// The global confidence floor: the smallest `k`-th-best confidence
     /// over all rows (0 while any row's heap is unfilled). A subtree
     /// whose confidence upper bound is below the floor cannot improve
@@ -258,6 +288,32 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
         parent_sup_p: usize,
         depth: usize,
     ) {
+        // compile-time branch: NoopTracer keeps the hot path clock-free
+        if self.tracer.enabled() {
+            let t0 = self.tracer.now_ns();
+            self.visit_inner(scratch, node, last, counted, e_p, e_n, parent_sup_p, depth);
+            self.tracer.duration_ns(
+                trace::LANE_MAIN,
+                trace::HIST_NODE_VISIT,
+                self.tracer.now_ns().saturating_sub(t0),
+            );
+        } else {
+            self.visit_inner(scratch, node, last, counted, e_p, e_n, parent_sup_p, depth);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_inner<'t>(
+        &mut self,
+        scratch: &mut NodeScratch<BitsetNode<'t>>,
+        node: &BitsetNode<'t>,
+        last: Option<RowId>,
+        counted: &RowSet,
+        e_p: &RowSet,
+        e_n: &RowSet,
+        parent_sup_p: usize,
+        depth: usize,
+    ) {
         if !self.stop.is_complete() {
             return;
         }
@@ -267,7 +323,7 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
             self.stop = cause;
             return;
         }
-        if self.heartbeat_every > 0 && self.nodes_visited % self.heartbeat_every == 0 {
+        if MineControl::heartbeat_due(self.heartbeat_every, self.nodes_visited) {
             self.obs.heartbeat(&Heartbeat {
                 nodes_visited: self.nodes_visited,
                 groups_found: self.groups_offered,
@@ -305,7 +361,17 @@ impl<O: MineObserver + ?Sized> TopKCtx<'_, O> {
         let is_root = last.is_none();
         let last_is_pos = last.is_none_or(|r| (r as usize) < self.m);
 
-        node.inspect_into(e_p, e_n, &mut f.ins);
+        if self.tracer.enabled() {
+            let t0 = self.tracer.now_ns();
+            node.inspect_into(e_p, e_n, &mut f.ins);
+            self.tracer.duration_ns(
+                trace::LANE_MAIN,
+                trace::HIST_FUSED_SCAN,
+                self.tracer.now_ns().saturating_sub(t0),
+            );
+        } else {
+            node.inspect_into(e_p, e_n, &mut f.ins);
+        }
 
         // duplicate-subtree pruning, as in FARMER strategy 2
         if !is_root {
@@ -443,18 +509,10 @@ pub struct TopKMiner {
     pub min_sup: usize,
 }
 
-impl Miner for TopKMiner {
-    fn name(&self) -> &'static str {
-        "topk"
-    }
-
-    fn mine_with(
-        &self,
-        data: &Dataset,
-        ctl: &MineControl,
-        obs: &mut dyn MineObserver,
-    ) -> MineResult {
-        let res = mine_top_k_session(data, self.class, self.k, self.min_sup, ctl, obs);
+impl TopKMiner {
+    /// Converts a [`TopKResult`] into the [`MineResult`] shape of the
+    /// `Miner` trait (shared by the plain and traced entry points).
+    fn package(&self, data: &Dataset, res: TopKResult) -> MineResult {
         let n = data.n_rows();
         let m = data.class_count(self.class);
         let mut by_upper: std::collections::BTreeMap<Vec<u32>, &TopKGroup> =
@@ -485,6 +543,7 @@ impl Miner for TopKMiner {
                 .collect(),
             stats: MineStats {
                 nodes_visited: res.nodes_visited,
+                pruned_floor: res.pruned_floor,
                 budget_exhausted: res.budget_exhausted,
                 stop: res.stop,
                 ..Default::default()
@@ -497,6 +556,35 @@ impl Miner for TopKMiner {
             n_rows: n,
             n_class: m,
         }
+    }
+}
+
+impl Miner for TopKMiner {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
+    fn mine_with(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+    ) -> MineResult {
+        let res = mine_top_k_session(data, self.class, self.k, self.min_sup, ctl, obs);
+        self.package(data, res)
+    }
+
+    fn mine_traced(
+        &self,
+        data: &Dataset,
+        ctl: &MineControl,
+        obs: &mut dyn MineObserver,
+        tracer: &dyn TraceSink,
+    ) -> MineResult {
+        let _session = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_SESSION);
+        let res =
+            mine_top_k_session_traced(data, self.class, self.k, self.min_sup, ctl, obs, tracer);
+        self.package(data, res)
     }
 }
 

@@ -19,7 +19,7 @@
 //! keeps the whole process single-threaded and the measurement exact.
 
 use farmer_core::cond::{BitsetNode, CondNode, Inspect, PointerNode};
-use farmer_core::{Engine, Farmer, MiningParams};
+use farmer_core::{Engine, Farmer, MineControl, MiningParams, NoOpObserver, NoopTracer};
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::SynthConfig;
 use farmer_dataset::TransposedTable;
@@ -46,6 +46,7 @@ fn workload() -> farmer_dataset::Dataset {
 
 fn main() {
     hot_path_is_allocation_free_once_warm();
+    disabled_tracing_stays_allocation_free();
     println!("alloc_guard OK: hot path is allocation-free once warm");
 }
 
@@ -118,6 +119,32 @@ fn hot_path_is_allocation_free_once_warm() {
             allocs < budget,
             "{engine:?}: {allocs} allocations for {} nodes and {emissions} emissions \
              (budget {budget}) — the hot path is allocating per node again",
+            r.stats.nodes_visited
+        );
+    }
+}
+
+/// The tracing instrumentation is statically dispatched: mining through
+/// `mine_session_traced` with the [`NoopTracer`] must monomorphize to
+/// the exact uninstrumented search — same whole-run allocation budget,
+/// no clock reads, no event buffers. (The enabled path is covered by
+/// `trace_integration.rs`; its ring buffers are allocated up front, so
+/// even there the warm path stays allocation-free.)
+fn disabled_tracing_stays_allocation_free() {
+    let d = workload();
+    for engine in [Engine::Bitset, Engine::PointerList] {
+        let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+        let farmer = Farmer::new(params).with_engine(engine);
+        let ctl = MineControl::new();
+        let before = allocation_count();
+        let r = farmer.mine_session_traced(&d, &ctl, &mut NoOpObserver, &NoopTracer);
+        let allocs = allocation_count() - before;
+        let emissions = r.len() as u64 + r.stats.rejected_not_interesting;
+        let budget = 300 + 16 * emissions + r.stats.nodes_visited / 10;
+        assert!(
+            allocs < budget,
+            "{engine:?} (NoopTracer): {allocs} allocations for {} nodes \
+             (budget {budget}) — disabled tracing is no longer free",
             r.stats.nodes_visited
         );
     }

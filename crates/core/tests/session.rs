@@ -4,7 +4,8 @@
 use farmer_core::naive::NaiveMiner;
 use farmer_core::topk::TopKMiner;
 use farmer_core::{
-    CountingObserver, Farmer, MineControl, Miner, MiningParams, NoOpObserver, StopCause,
+    CountingObserver, Farmer, Heartbeat, MineControl, MineObserver, MineStats, Miner, MiningParams,
+    NoOpObserver, PruneReason, StopCause,
 };
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::paper_example;
@@ -235,6 +236,128 @@ fn heartbeats_fire_on_cadence() {
     let r = Farmer::new(params).mine_session(&d, &ctl, &mut obs);
     assert_eq!(obs.heartbeats, r.stats.nodes_visited / 64);
     assert!(obs.heartbeats > 0, "workload too small for heartbeats");
+}
+
+/// Parity lint: every [`PruneReason`] variant must round-trip through
+/// the exhaustive list, carry unique display/stats names, and map onto
+/// exactly one [`CountingObserver`] field and one [`MineStats`] field.
+/// Adding a variant without extending all of those is a compile error
+/// (the `match`es are exhaustive) — this test pins the runtime wiring
+/// the type system can't see.
+#[test]
+fn prune_reason_parity() {
+    let all = PruneReason::ALL;
+
+    // index() is the position in ALL, so the list is exhaustive and
+    // duplicate-free
+    for (i, r) in all.iter().enumerate() {
+        assert_eq!(r.index(), i, "{r:?}");
+        assert_eq!(all[r.index()], *r);
+    }
+
+    // display names and stats-json keys are non-empty and unique
+    type Accessor = fn(&PruneReason) -> &'static str;
+    for accessor in [
+        PruneReason::as_str as Accessor,
+        PruneReason::stats_key as Accessor,
+    ] {
+        let mut names: Vec<&str> = all.iter().map(accessor).collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "names collide");
+    }
+
+    // each pruned(r) event lands in exactly the CountingObserver field
+    // pruned_count(r) reads, and in no other
+    for &r in &all {
+        let mut obs = CountingObserver::default();
+        obs.pruned(r);
+        for &other in &all {
+            let expect = u64::from(other == r);
+            assert_eq!(obs.pruned_count(other), expect, "{r:?} vs {other:?}");
+        }
+    }
+
+    // MineStats::pruned_count reads one distinct field per variant
+    let stats = MineStats {
+        pruned_duplicate: 1,
+        pruned_loose: 2,
+        pruned_tight_support: 3,
+        pruned_tight_confidence: 4,
+        pruned_chi: 5,
+        rejected_not_interesting: 6,
+        pruned_floor: 7,
+        ..MineStats::default()
+    };
+    let counts: Vec<u64> = all.iter().map(|&r| stats.pruned_count(r)).collect();
+    assert_eq!(counts, [1, 2, 3, 4, 5, 6, 7]);
+}
+
+/// `with_heartbeat_every(0)` means *disabled*, not "a heartbeat every
+/// node" — the regression this pins: `nodes % 0` would panic, and a
+/// cadence check written as `nodes % every == 0` with `every = 0` did.
+#[test]
+fn heartbeat_every_zero_means_disabled() {
+    assert!(!MineControl::heartbeat_due(0, 0));
+    assert!(!MineControl::heartbeat_due(0, 1));
+    assert!(!MineControl::heartbeat_due(0, u64::MAX));
+    assert!(MineControl::heartbeat_due(64, 64));
+    assert!(MineControl::heartbeat_due(64, 128));
+    assert!(!MineControl::heartbeat_due(64, 65));
+
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let ctl = MineControl::new().with_heartbeat_every(0);
+    let mut obs = CountingObserver::default();
+    let r = Farmer::new(params.clone()).mine_session(&d, &ctl, &mut obs);
+    assert!(r.stats.nodes_visited > 0);
+    assert_eq!(obs.heartbeats, 0, "cadence 0 must fire no heartbeats");
+
+    // the other miners share the cadence rule
+    let mut obs = CountingObserver::default();
+    NaiveMiner {
+        params: MiningParams::new(0).min_sup(1),
+    }
+    .mine_with(&paper_example(), &ctl, &mut obs);
+    assert_eq!(obs.heartbeats, 0);
+    let mut obs = CountingObserver::default();
+    TopKMiner {
+        class: 1,
+        k: 2,
+        min_sup: 2,
+    }
+    .mine_with(&d, &ctl, &mut obs);
+    assert_eq!(obs.heartbeats, 0);
+}
+
+/// Heartbeat snapshots advance monotonically: both the node counter and
+/// the elapsed clock never run backwards between consecutive beats.
+#[test]
+fn heartbeat_elapsed_is_monotonic() {
+    #[derive(Default)]
+    struct Beats {
+        nodes: Vec<u64>,
+        elapsed: Vec<Duration>,
+    }
+    impl MineObserver for Beats {
+        fn heartbeat(&mut self, hb: &Heartbeat) {
+            self.nodes.push(hb.nodes_visited);
+            self.elapsed.push(hb.elapsed);
+        }
+    }
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2).lower_bounds(false);
+    let ctl = MineControl::new().with_heartbeat_every(32);
+    let mut obs = Beats::default();
+    Farmer::new(params).mine_session(&d, &ctl, &mut obs);
+    assert!(obs.nodes.len() > 1, "workload too small: {:?}", obs.nodes);
+    for w in obs.nodes.windows(2) {
+        assert!(w[0] < w[1], "node counter regressed: {:?}", obs.nodes);
+    }
+    for w in obs.elapsed.windows(2) {
+        assert!(w[0] <= w[1], "elapsed regressed: {:?}", obs.elapsed);
+    }
 }
 
 #[test]

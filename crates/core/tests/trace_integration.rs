@@ -1,0 +1,204 @@
+//! Traced mining end-to-end: a [`RingTracer`]-instrumented run must
+//! return the same result as the untraced run, its merged histograms
+//! must equal the sum of the per-lane histograms, and every worker must
+//! leave its own span track.
+
+use farmer_core::trace::{self, EventKind, RingTracer, TraceSink};
+use farmer_core::{CountingObserver, Farmer, MineControl, Miner, MiningParams, NoOpObserver};
+use farmer_dataset::discretize::Discretizer;
+use farmer_dataset::synth::SynthConfig;
+
+fn workload() -> farmer_dataset::Dataset {
+    let m = SynthConfig {
+        n_rows: 24,
+        n_genes: 120,
+        n_class1: 12,
+        n_signature: 40,
+        clusters_per_class: 2,
+        cluster_spread: 1.8,
+        cluster_noise: 0.35,
+        ..Default::default()
+    }
+    .generate();
+    Discretizer::EqualDepth { buckets: 6 }.discretize(&m)
+}
+
+fn canon(groups: &[farmer_core::RuleGroup]) -> Vec<(Vec<u32>, usize, usize)> {
+    groups
+        .iter()
+        .map(|g| (g.upper.as_slice().to_vec(), g.sup, g.neg_sup))
+        .collect()
+}
+
+#[test]
+fn traced_run_is_identical_to_untraced_run() {
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2);
+    for threads in [1, 3] {
+        let farmer = Farmer::new(params.clone()).with_parallelism(threads);
+        let plain = farmer.mine_session(&d, &MineControl::new(), &mut NoOpObserver);
+        let tracer = trace::mining_tracer(threads);
+        let traced =
+            farmer.mine_session_traced(&d, &MineControl::new(), &mut NoOpObserver, &tracer);
+        assert_eq!(canon(&plain.groups), canon(&traced.groups), "t={threads}");
+        assert_eq!(plain.stats, traced.stats, "t={threads}");
+    }
+}
+
+/// The acceptance identity: after the drain, each merged histogram is
+/// exactly the sum of the per-worker (per-lane) histograms — count,
+/// sum, and every bucket.
+#[test]
+fn merged_histograms_equal_per_lane_sums() {
+    let d = workload();
+    let threads = 3;
+    let tracer = trace::mining_tracer(threads);
+    let r = Farmer::new(MiningParams::new(1).min_sup(2))
+        .with_parallelism(threads)
+        .mine_session_traced(&d, &MineControl::new(), &mut NoOpObserver, &tracer);
+    let report = tracer.drain();
+
+    assert_eq!(report.n_lanes(), threads + 1);
+    for (h, name) in report.hists.iter().zip(report.hist_names.iter()) {
+        let lane_count: u64 = report
+            .lane_hists
+            .iter()
+            .map(|l| l[hist_index(&report, name)].count())
+            .sum();
+        let lane_sum: u64 = report
+            .lane_hists
+            .iter()
+            .map(|l| l[hist_index(&report, name)].sum())
+            .sum();
+        assert_eq!(h.count(), lane_count, "{name}: merged count != lane sum");
+        assert_eq!(h.sum(), lane_sum, "{name}: merged sum != lane sum");
+        for k in 0..h.buckets().len() {
+            let lane_bucket: u64 = report
+                .lane_hists
+                .iter()
+                .map(|l| l[hist_index(&report, name)].buckets()[k])
+                .sum();
+            assert_eq!(h.buckets()[k], lane_bucket, "{name} bucket {k}");
+        }
+        // bucket counts are consistent with the recorded total
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count(), "{name}");
+    }
+
+    // one node-visit duration per enumeration node, except the shared
+    // root: every worker accounts it in its tally (that keeps the
+    // parallel node count comparable across thread counts) but only
+    // subtree nodes are actually visited — and therefore timed
+    let visits = report.hists[trace::HIST_NODE_VISIT.0 as usize].count();
+    assert_eq!(visits + threads as u64, r.stats.nodes_visited);
+
+    // every worker lane opened (and closed) its own enumerate span
+    for w in 0..threads {
+        let lane = trace::worker_lane(w);
+        let begins = report
+            .events
+            .iter()
+            .filter(|e| {
+                e.lane == lane
+                    && e.span == trace::SPAN_ENUMERATE.0
+                    && matches!(e.kind, EventKind::Begin)
+            })
+            .count();
+        let ends = report
+            .events
+            .iter()
+            .filter(|e| {
+                e.lane == lane
+                    && e.span == trace::SPAN_ENUMERATE.0
+                    && matches!(e.kind, EventKind::End)
+            })
+            .count();
+        assert_eq!(begins, 1, "worker {w} enumerate begins");
+        assert_eq!(ends, 1, "worker {w} enumerate ends");
+    }
+
+    // phase structure on the main lane: transpose, merge, lower_bounds
+    for span in [
+        trace::SPAN_TRANSPOSE,
+        trace::SPAN_MERGE,
+        trace::SPAN_LOWER_BOUNDS,
+    ] {
+        assert!(
+            report.events.iter().any(|e| e.lane == trace::LANE_MAIN
+                && e.span == span.0
+                && matches!(e.kind, EventKind::Begin)),
+            "main-lane span {} missing",
+            trace::SPAN_NAMES[span.0 as usize]
+        );
+    }
+    assert_eq!(report.dropped_total(), 0);
+
+    // the drained event stream is globally timestamp-ordered
+    for w in report.events.windows(2) {
+        assert!(w[0].t_ns <= w[1].t_ns, "events out of order");
+    }
+}
+
+fn hist_index(report: &farmer_core::TraceReport, name: &str) -> usize {
+    report.hist_names.iter().position(|n| n == name).unwrap()
+}
+
+/// `Miner::mine_traced` (the dyn-dispatched CLI path) wraps every miner
+/// in a session span — including the default implementation baselines
+/// inherit — and agrees with `mine_with`.
+#[test]
+fn dyn_mine_traced_emits_session_span() {
+    let d = workload();
+    let params = MiningParams::new(1).min_sup(2);
+    let miners: Vec<Box<dyn Miner>> = vec![
+        Box::new(Farmer::new(params.clone())),
+        Box::new(farmer_core::topk::TopKMiner {
+            class: 1,
+            k: 2,
+            min_sup: 2,
+        }),
+    ];
+    for m in &miners {
+        let tracer = trace::mining_tracer(1);
+        let mut obs = CountingObserver::default();
+        let r = m.mine_traced(&d, &MineControl::new(), &mut obs, &tracer);
+        let report = tracer.drain();
+        let totals = report.span_totals();
+        let session = &totals[trace::SPAN_SESSION.0 as usize];
+        assert_eq!(session.count, 1, "{}", m.name());
+        assert!(session.total_ns > 0, "{}", m.name());
+        // the session span covers the whole run, so no narrower phase
+        // can exceed it
+        for (i, t) in totals.iter().enumerate() {
+            assert!(
+                t.total_ns <= session.total_ns,
+                "{}: span {} exceeds session",
+                m.name(),
+                trace::SPAN_NAMES[i]
+            );
+        }
+        assert_eq!(obs.nodes, r.stats.nodes_visited, "{}", m.name());
+    }
+}
+
+/// Disabled-path contract: the `NoopTracer` reports `enabled() ==
+/// false`, so instrumentation sites skip clock reads entirely; and a
+/// `RingTracer` clamped to a tiny ring drops newest events but keeps
+/// counting them.
+#[test]
+fn noop_is_disabled_and_overflow_is_counted() {
+    assert!(!<farmer_core::NoopTracer as TraceSink>::enabled(
+        &farmer_core::NoopTracer
+    ));
+
+    let tiny = RingTracer::new(trace::SPAN_NAMES, trace::HIST_NAMES, 2, 4);
+    let d = workload();
+    Farmer::new(MiningParams::new(1).min_sup(2)).mine_session_traced(
+        &d,
+        &MineControl::new(),
+        &mut NoOpObserver,
+        &tiny,
+    );
+    let report = tiny.drain();
+    assert!(report.dropped_total() > 0, "4-slot ring cannot hold a run");
+    assert!(report.events.len() <= 8, "rings must stay within capacity");
+}

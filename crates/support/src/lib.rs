@@ -18,6 +18,9 @@
 //!   binaries (`FARMER_BENCH_SAMPLES` / `FARMER_BENCH_JSON`).
 //! * [`alloc`] — a counting global allocator for allocation-budget
 //!   tests.
+//! * [`trace`] — statically dispatched phase spans, latency
+//!   histograms, per-worker lock-free event rings, and Chrome-trace /
+//!   Prometheus-text exporters.
 
 #![warn(missing_docs)]
 
@@ -27,3 +30,4 @@ pub mod check;
 pub mod json;
 pub mod rng;
 pub mod thread;
+pub mod trace;

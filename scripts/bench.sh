@@ -19,3 +19,7 @@ done
 echo "==> perf trajectory (BENCH_PR3.json)"
 cargo run -q --offline --release -p farmer-bench --bin pr3_trajectory
 cargo run -q --offline --release -p farmer-bench --bin pr3_trajectory -- --check BENCH_PR3.json
+
+echo "==> tracing overhead (BENCH_PR4.json)"
+cargo run -q --offline --release -p farmer-bench --bin pr4_overhead
+cargo run -q --offline --release -p farmer-bench --bin pr4_overhead -- --check BENCH_PR4.json

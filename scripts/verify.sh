@@ -34,6 +34,24 @@ grep -q '"stop": "budget"' "$tmp/trunc.json"
 grep -q '"scheduler"' "$tmp/par.json"
 grep -q '"peak_arena_depth"' "$tmp/par.json"
 
+echo "==> trace smoke (--trace-out / --metrics-out / stats trace block)"
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 --threads 2 \
+  --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.prom" \
+  --stats-json > "$tmp/traced.json"
+# the trace export must be loadable Chrome trace-event JSON
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr4_overhead -- --check-trace "$tmp/trace.json"
+# the Prometheus text must expose every expected metric family
+for family in farmer_span_seconds_total farmer_span_calls_total \
+  farmer_node_visit_ns_bucket farmer_fused_scan_ns_count \
+  farmer_lower_bound_ns_sum farmer_trace_dropped_events_total; do
+  grep -q "$family" "$tmp/metrics.prom"
+done
+# the stats report folds the trace block in (and the pruned parity key)
+grep -q '"trace"' "$tmp/traced.json"
+grep -q '"dropped_events"' "$tmp/traced.json"
+grep -q '"confidence_floor"' "$tmp/traced.json"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -48,5 +66,9 @@ cargo run -q --offline --release -p farmer-bench \
 # the committed trajectory point must also stay schema-valid
 cargo run -q --offline --release -p farmer-bench \
   --bin pr3_trajectory -- --check BENCH_PR3.json
+
+echo "==> tracing overhead report: committed BENCH_PR4.json honors its bound"
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr4_overhead -- --check BENCH_PR4.json
 
 echo "==> verify OK"
