@@ -30,6 +30,7 @@ mod svm;
 
 pub use committee::TopKCommittee;
 pub use rules::{
-    CbaClassifier, IrgClassifier, RuleListClassifier, ScoredRule, IRG_FINGERPRINT_THETA,
+    irg_rule, rank_rules, rule_cmp, CbaClassifier, IrgClassifier, RuleListClassifier, ScoredRule,
+    IRG_FINGERPRINT_THETA,
 };
 pub use svm::{SvmClassifier, SvmConfig};

@@ -114,14 +114,7 @@ impl RuleListClassifier {
     ///    prefix with the fewest total training errors.
     pub fn build_with_coverage(mut candidates: Vec<ScoredRule>, train: &Dataset) -> Self {
         candidates.retain(|r| !r.is_empty());
-        candidates.sort_by(|a, b| {
-            b.conf
-                .partial_cmp(&a.conf)
-                .expect("confidences are finite")
-                .then(b.sup.cmp(&a.sup))
-                .then(a.len().cmp(&b.len()))
-                .then(a.antecedents.cmp(&b.antecedents))
-        });
+        rank_rules(&mut candidates);
 
         let n = train.n_rows();
         let mut uncovered = RowSet::full(n);
@@ -174,6 +167,20 @@ impl RuleListClassifier {
         let (default_class, _) = default_errors(train, &uncovered);
         RuleListClassifier {
             rules: selected,
+            default_class,
+        }
+    }
+
+    /// Builds a classifier from candidate rules *without* database
+    /// coverage: the full candidate list in [`rank_rules`] order, with
+    /// an explicit fallback class. This is the rule list a consumer
+    /// that has the rules but not the training rows (the serving layer
+    /// loading a stored artifact) can reconstruct exactly.
+    pub fn from_ranked(mut rules: Vec<ScoredRule>, default_class: ClassLabel) -> Self {
+        rules.retain(|r| !r.is_empty());
+        rank_rules(&mut rules);
+        RuleListClassifier {
+            rules,
             default_class,
         }
     }
@@ -294,10 +301,48 @@ impl CbaClassifier {
     }
 }
 
+/// Sorts rules into the canonical classification order: confidence
+/// descending, support descending, antecedent length ascending, then a
+/// deterministic structural tie-break (exact antecedents, fingerprint
+/// itemset, class). Total — two distinct rules never compare equal — so
+/// every consumer that ranks the same rule set walks it in the same
+/// order, regardless of the order mining produced them in.
+pub fn rank_rules(rules: &mut [ScoredRule]) {
+    rules.sort_by(rule_cmp);
+}
+
+/// The comparator behind [`rank_rules`], exposed so consumers that
+/// rank rules *indirectly* (the serving index argsorts group ids by
+/// their derived rules) use the identical order.
+pub fn rule_cmp(a: &ScoredRule, b: &ScoredRule) -> std::cmp::Ordering {
+    b.conf
+        .partial_cmp(&a.conf)
+        .expect("confidences are finite")
+        .then(b.sup.cmp(&a.sup))
+        .then(a.len().cmp(&b.len()))
+        .then_with(|| a.antecedents.cmp(&b.antecedents))
+        .then_with(|| {
+            let fa = a.fractional.as_ref().map(|(s, t)| (s, t.to_bits()));
+            let fb = b.fractional.as_ref().map(|(s, t)| (s, t.to_bits()));
+            fa.cmp(&fb)
+        })
+        .then(a.class.cmp(&b.class))
+}
+
 /// Fingerprint containment threshold of the IRG classifier: a test row
 /// is covered by a rule group when it carries at least this fraction of
 /// the group's upper bound.
 pub const IRG_FINGERPRINT_THETA: f64 = 0.8;
+
+/// The classification rule derived from one mined rule group: a
+/// fingerprint matcher over the group's upper bound with threshold
+/// `theta`, scored by the group's support and confidence. This is the
+/// single definition of "how a rule group classifies a sample" — the
+/// offline [`IrgClassifier`] and the serving index in `crates/serve`
+/// both build on it, which is what keeps their predictions comparable.
+pub fn irg_rule(g: &RuleGroup, theta: f64) -> ScoredRule {
+    ScoredRule::fingerprint(g.upper.clone(), theta, g.class, g.sup, g.confidence())
+}
 
 /// The IRG classifier of §4.2 (the paper leaves its construction
 /// unspecified; DESIGN.md records this design): one rule per interesting
@@ -315,15 +360,7 @@ impl IrgClassifier {
         let groups = mine_groups_per_class(train, sup_frac, min_conf);
         let candidates = groups
             .iter()
-            .map(|g| {
-                ScoredRule::fingerprint(
-                    g.upper.clone(),
-                    IRG_FINGERPRINT_THETA,
-                    g.class,
-                    g.sup,
-                    g.confidence(),
-                )
-            })
+            .map(|g| irg_rule(g, IRG_FINGERPRINT_THETA))
             .collect();
         RuleListClassifier::build_with_coverage(candidates, train)
     }

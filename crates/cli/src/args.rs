@@ -20,6 +20,10 @@ pub enum Command {
     Closed(ClosedArgs),
     /// `farmer classify`
     Classify(ClassifyArgs),
+    /// `farmer serve`
+    Serve(ServeArgs),
+    /// `farmer query`
+    Query(QueryArgs),
     /// `farmer help` / `--help`
     Help,
 }
@@ -94,6 +98,36 @@ pub struct MineArgs {
     pub metrics_out: Option<PathBuf>,
     /// Print at most this many groups (0 = all).
     pub limit: usize,
+    /// Optional `.fgi` artifact output: persist the mined groups (in
+    /// canonical order) for `farmer serve` / `farmer query`.
+    pub save_irgs: Option<PathBuf>,
+}
+
+/// Options of `farmer serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// The `.fgi` artifact to serve (positional: `farmer serve x.fgi`).
+    pub artifact: PathBuf,
+    /// Bind address (port 0 = ephemeral, printed on startup).
+    pub addr: String,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Exit cleanly after this many milliseconds without traffic
+    /// (absent = serve until killed).
+    pub idle_exit_ms: Option<u64>,
+}
+
+/// Options of `farmer query`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// The `.fgi` artifact to query (positional: `farmer query x.fgi`).
+    pub artifact: PathBuf,
+    /// Comma-separated sample items (names or numeric ids).
+    pub items: String,
+    /// Restrict matches to one class label.
+    pub class: Option<u32>,
+    /// Print at most this many matching groups (0 = all).
+    pub limit: usize,
 }
 
 /// Options of `farmer topk`.
@@ -143,7 +177,17 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     if argv.iter().any(|a| a == "--help" || a == "-h") {
         return Ok(Command::Help);
     }
-    let opts = options(&argv[1..])?;
+    // serve/query take the artifact as a positional argument
+    // (`farmer serve x.fgi`); --artifact also works.
+    let mut rest = &argv[1..];
+    let mut positional = None;
+    if matches!(cmd.as_str(), "serve" | "query") {
+        if let Some(first) = rest.first().filter(|a| !a.starts_with("--")) {
+            positional = Some(PathBuf::from(first));
+            rest = &rest[1..];
+        }
+    }
+    let opts = options(rest)?;
     match cmd.as_str() {
         "help" => Ok(Command::Help),
         "synth" => Ok(Command::Synth(SynthArgs {
@@ -182,6 +226,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 .get("metrics-out")
                 .and_then(|v| v.clone().map(PathBuf::from)),
             limit: num(&opts, "limit", 20)?,
+            save_irgs: opts
+                .get("save-irgs")
+                .and_then(|v| v.clone().map(PathBuf::from)),
         })),
         "topk" => Ok(Command::TopK(TopKArgs {
             input: path_required(&opts, "in")?,
@@ -200,6 +247,18 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             train: path_required(&opts, "train")?,
             test: path_required(&opts, "test")?,
             method: get_or(&opts, "method", "irg"),
+        })),
+        "serve" => Ok(Command::Serve(ServeArgs {
+            artifact: artifact_path(positional, &opts)?,
+            addr: get_or(&opts, "addr", "127.0.0.1:0"),
+            workers: num(&opts, "workers", 4)?,
+            idle_exit_ms: opt_num(&opts, "idle-exit-ms")?,
+        })),
+        "query" => Ok(Command::Query(QueryArgs {
+            artifact: artifact_path(positional, &opts)?,
+            items: get_or(&opts, "items", ""),
+            class: opt_num(&opts, "class")?,
+            limit: num(&opts, "limit", 10)?,
         })),
         other => Err(CliError(format!(
             "unknown command '{other}'; try `farmer help`"
@@ -260,6 +319,20 @@ fn opt_num<T: std::str::FromStr>(
             .map(Some)
             .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
         Some(None) => Err(CliError(format!("--{key} needs a value"))),
+    }
+}
+
+/// The artifact path of `serve`/`query`: the positional argument when
+/// given, else `--artifact <path>`.
+fn artifact_path(
+    positional: Option<PathBuf>,
+    opts: &HashMap<String, Option<String>>,
+) -> Result<PathBuf> {
+    match positional {
+        Some(p) => Ok(p),
+        None => path_required(opts, "artifact").map_err(|_| {
+            CliError("an artifact path is required (e.g. `farmer serve groups.fgi`)".into())
+        }),
     }
 }
 
@@ -371,6 +444,66 @@ mod tests {
     fn bad_number_errors() {
         let err = parse(&sv(&["mine", "--in", "x", "--min-sup", "abc"])).unwrap_err();
         assert!(err.to_string().contains("min-sup"), "{err}");
+    }
+
+    #[test]
+    fn parses_save_irgs() {
+        let c = parse(&sv(&["mine", "--in", "d.txt", "--save-irgs", "g.fgi"])).unwrap();
+        match c {
+            Command::Mine(m) => assert_eq!(m.save_irgs, Some(PathBuf::from("g.fgi"))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve_positional_and_flagged() {
+        let c = parse(&sv(&["serve", "g.fgi", "--workers", "8"])).unwrap();
+        match c {
+            Command::Serve(s) => {
+                assert_eq!(s.artifact, PathBuf::from("g.fgi"));
+                assert_eq!(s.addr, "127.0.0.1:0");
+                assert_eq!(s.workers, 8);
+                assert_eq!(s.idle_exit_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&sv(&[
+            "serve",
+            "--artifact",
+            "g.fgi",
+            "--addr",
+            "0.0.0.0:8080",
+            "--idle-exit-ms",
+            "500",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve(s) => {
+                assert_eq!(s.artifact, PathBuf::from("g.fgi"));
+                assert_eq!(s.addr, "0.0.0.0:8080");
+                assert_eq!(s.idle_exit_ms, Some(500));
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&sv(&["serve"])).unwrap_err();
+        assert!(err.to_string().contains("artifact"), "{err}");
+    }
+
+    #[test]
+    fn parses_query() {
+        let c = parse(&sv(&[
+            "query", "g.fgi", "--items", "i0,i1", "--class", "1", "--limit", "5",
+        ]))
+        .unwrap();
+        match c {
+            Command::Query(q) => {
+                assert_eq!(q.artifact, PathBuf::from("g.fgi"));
+                assert_eq!(q.items, "i0,i1");
+                assert_eq!(q.class, Some(1));
+                assert_eq!(q.limit, 5);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

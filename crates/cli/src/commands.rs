@@ -16,7 +16,10 @@ use farmer_core::{
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::{PaperDataset, SynthConfig};
 use farmer_dataset::{io as dio, Dataset};
+use farmer_serve::{RuleGroupIndex, ServeConfig};
+use farmer_store::{save_artifact, Artifact, ArtifactMeta};
 use std::io::Write;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Runs one parsed command, writing human-readable output to `out`.
@@ -29,6 +32,8 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
         Command::TopK(a) => topk(a, out),
         Command::Closed(a) => closed(a, out),
         Command::Classify(a) => classify(a, out),
+        Command::Serve(a) => serve(a, out),
+        Command::Query(a) => query(a, out),
     }
 }
 
@@ -338,6 +343,138 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
         if let Some(p) = &a.metrics_out {
             writeln!(out, "wrote Prometheus metrics to {}", p.display())?;
         }
+    }
+    if let Some(path) = &a.save_irgs {
+        // canonical order makes the artifact bytes independent of
+        // engine choice and worker scheduling
+        let mut groups = result.groups;
+        farmer_core::canonical_sort(&mut groups);
+        let meta = ArtifactMeta::from_dataset(&data);
+        let checksum = save_artifact(path, &meta, &groups)
+            .map_err(|e| CliError(format!("saving {}: {e}", path.display())))?;
+        if !a.stats_json {
+            writeln!(
+                out,
+                "wrote {} rule groups to {} (checksum {checksum:#018x})",
+                groups.len(),
+                path.display()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads and indexes an artifact, mapping store errors to CLI errors.
+fn load_index(path: &std::path::Path) -> Result<RuleGroupIndex> {
+    let artifact =
+        Artifact::load(path).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    Ok(RuleGroupIndex::from_artifact(artifact))
+}
+
+fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
+    let index = Arc::new(load_index(&a.artifact)?);
+    let config = ServeConfig {
+        addr: a.addr.clone(),
+        workers: a.workers,
+    };
+    let handle = farmer_serve::start(Arc::clone(&index), &config)
+        .map_err(|e| CliError(format!("cannot bind {}: {e}", a.addr)))?;
+    // scripts scrape this line for the resolved ephemeral port
+    writeln!(
+        out,
+        "serving {} rule groups ({} items, {} classes) at http://{}",
+        index.groups().len(),
+        index.meta().n_items(),
+        index.meta().n_classes(),
+        handle.addr()
+    )?;
+    out.flush()?;
+    match a.idle_exit_ms {
+        Some(ms) => {
+            // poll the served-request counter; a quiet stretch of `ms`
+            // milliseconds triggers a graceful drain and a clean exit
+            let idle = Duration::from_millis(ms);
+            let mut last_served = handle.requests_served();
+            let mut last_activity = Instant::now();
+            loop {
+                std::thread::sleep(Duration::from_millis(25.min(ms.max(1))));
+                let served = handle.requests_served();
+                if served != last_served {
+                    last_served = served;
+                    last_activity = Instant::now();
+                } else if last_activity.elapsed() >= idle {
+                    break;
+                }
+            }
+            handle.shutdown();
+            writeln!(
+                out,
+                "idle for {ms} ms after {last_served} requests; shut down cleanly"
+            )?;
+        }
+        None => loop {
+            std::thread::park();
+        },
+    }
+    Ok(())
+}
+
+fn query(a: QueryArgs, out: &mut dyn Write) -> Result<()> {
+    let index = load_index(&a.artifact)?;
+    let meta = index.meta();
+    if let Some(c) = a.class {
+        if c as usize >= meta.n_classes() {
+            return Err(CliError(format!(
+                "class {c} out of range (artifact has {} classes)",
+                meta.n_classes()
+            )));
+        }
+    }
+    let tokens = a.items.split(',').map(str::trim).filter(|t| !t.is_empty());
+    let (sample, unknown) = index.parse_sample(tokens);
+    for u in &unknown {
+        writeln!(out, "note: item '{u}' is not in the artifact's dictionary")?;
+    }
+    let p = index.classify(&sample);
+    match p.group {
+        Some(gi) => {
+            let g = &index.groups()[gi as usize];
+            writeln!(
+                out,
+                "classified as {} (group {gi}: sup {}, conf {:.2})",
+                meta.class_names[p.class as usize],
+                g.sup,
+                g.confidence()
+            )?;
+        }
+        None => writeln!(
+            out,
+            "classified as {} (no covering group; majority-class fallback)",
+            meta.class_names[p.class as usize]
+        )?,
+    }
+    let mut matched = index.matches(&sample);
+    if let Some(c) = a.class {
+        matched.retain(|&gi| index.groups()[gi as usize].class == c);
+    }
+    writeln!(out, "{} matching rule groups", matched.len())?;
+    let limit = if a.limit == 0 { usize::MAX } else { a.limit };
+    for &gi in matched.iter().take(limit) {
+        let g = &index.groups()[gi as usize];
+        let names: Vec<&str> = g
+            .upper
+            .iter()
+            .map(|i| meta.item_names[i as usize].as_str())
+            .collect();
+        writeln!(
+            out,
+            "  [{}] {{{}}} sup {} conf {:.2} chi2 {:.2}",
+            meta.class_names[g.class as usize],
+            names.join(","),
+            g.sup,
+            g.confidence(),
+            g.chi_square()
+        )?;
     }
     Ok(())
 }
@@ -1002,6 +1139,151 @@ mod tests {
         for algo in ["charm", "closet", "apriori", "column-e"] {
             assert_eq!(count(algo), reference, "{algo}");
         }
+    }
+
+    /// The full artifact flow: mine with --save-irgs, query the file
+    /// offline, then serve it and hit every endpoint over HTTP.
+    #[test]
+    fn mine_save_query_serve_pipeline() {
+        let txt = mining_input("fgi", "20", "50");
+        let fgi = tmp("fgi-groups.fgi");
+        let s = run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "3",
+            "--min-conf",
+            "0.7",
+            "--save-irgs",
+            fgi.to_str().unwrap(),
+        ]);
+        assert!(s.contains("rule groups to"), "{s}");
+        assert!(s.contains("checksum 0x"), "{s}");
+
+        // the artifact loads and the offline prediction matches the
+        // library's own classification of the same sample
+        let art = farmer_store::Artifact::load(&fgi).unwrap();
+        assert!(!art.groups.is_empty());
+        let first_upper: Vec<String> = art.groups[0]
+            .upper
+            .iter()
+            .map(|i| art.meta.item_names[i as usize].clone())
+            .collect();
+        let items = first_upper.join(",");
+
+        let s = run_ok(&["query", fgi.to_str().unwrap(), "--items", &items]);
+        assert!(s.contains("classified as"), "{s}");
+        assert!(s.contains("matching rule groups"), "{s}");
+        let s = run_ok(&["query", fgi.to_str().unwrap(), "--items", "no-such-item"]);
+        assert!(s.contains("not in the artifact"), "{s}");
+
+        // serve on an ephemeral port in a thread; idle-exit gives the
+        // command a clean way home once we stop sending traffic
+        let fgi2 = fgi.clone();
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let mut sink = AddrCapture {
+                tx: addr_tx,
+                buf: Vec::new(),
+            };
+            let argv: Vec<String> = [
+                "serve",
+                fgi2.to_str().unwrap(),
+                "--workers",
+                "2",
+                "--idle-exit-ms",
+                "1500",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            crate::run(&argv, &mut sink).unwrap();
+            String::from_utf8(sink.buf).unwrap()
+        });
+        let addr = addr_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("serve never printed its address");
+
+        let h = farmer_serve::http_get(&addr, "/healthz").unwrap();
+        assert_eq!(h.status, 200, "{}", h.body);
+        let c = farmer_serve::http_get(&addr, &format!("/classify?items={items}")).unwrap();
+        assert_eq!(c.status, 200, "{}", c.body);
+        let m = farmer_serve::http_get(&addr, "/metrics").unwrap();
+        assert!(
+            m.body.contains("farmer_serve_request_ns_count"),
+            "{}",
+            m.body
+        );
+
+        let summary = server.join().unwrap();
+        assert!(summary.contains("shut down cleanly"), "{summary}");
+    }
+
+    /// Captures the `serve` startup line and forwards the bound
+    /// address to the test thread.
+    struct AddrCapture {
+        tx: std::sync::mpsc::Sender<String>,
+        buf: Vec<u8>,
+    }
+
+    impl std::io::Write for AddrCapture {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            // `write!` delivers formatted fragments piecemeal; only a
+            // newline guarantees the port is complete
+            if let Some(rest) = std::str::from_utf8(&self.buf)
+                .ok()
+                .and_then(|s| s.split_once("at http://"))
+                .map(|(_, rest)| rest)
+            {
+                if let Some(line_end) = rest.find('\n') {
+                    let _ = self.tx.send(rest[..line_end].trim().to_string());
+                }
+            }
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn query_rejects_bad_artifact_and_class() {
+        let bogus = tmp("bogus.fgi");
+        std::fs::write(&bogus, b"not an artifact").unwrap();
+        let mut out = Vec::new();
+        let argv: Vec<String> = ["query", bogus.to_str().unwrap(), "--items", "i0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        let txt = mining_input("qb", "14", "30");
+        let fgi = tmp("qb.fgi");
+        run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "2",
+            "--save-irgs",
+            fgi.to_str().unwrap(),
+        ]);
+        let argv: Vec<String> = [
+            "query",
+            fgi.to_str().unwrap(),
+            "--items",
+            "i0",
+            "--class",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = crate::run(&argv, &mut out).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

@@ -58,6 +58,8 @@ COMMANDS:
   topk        mine the top-k covering rule groups per sample
   closed      mine closed patterns (carpenter | charm | closet)
   classify    train on one transaction/CSV file, evaluate on another
+  serve       serve a saved .fgi artifact over HTTP
+  query       classify a sample against a saved .fgi artifact
   help        show this message
 
 MINE OPTIONS:
@@ -79,6 +81,20 @@ MINE OPTIONS:
                       (load chrome://tracing or ui.perfetto.dev)
   --metrics-out <p>   write Prometheus text-format metrics for the run
   --limit <n>         print at most n groups (0 = all, default 20)
+  --save-irgs <p>     persist the mined rule groups as a .fgi artifact
+
+SERVE OPTIONS (farmer serve <artifact.fgi>):
+  --addr <host:port>  bind address (default 127.0.0.1:0 = ephemeral,
+                      resolved port printed on startup)
+  --workers <n>       worker-pool size (default 4)
+  --idle-exit-ms <n>  exit cleanly after n ms without traffic
+  endpoints: /classify?items=a,b  /query?items=a,b[&class=k][&limit=n]
+             /healthz  /metrics (Prometheus text)
+
+QUERY OPTIONS (farmer query <artifact.fgi>):
+  --items <a,b,c>     sample items, by name or numeric id
+  --class <k>         only show matching groups of one class
+  --limit <n>         print at most n matching groups (default 10)
 
 `farmer topk` also honors --timeout-ms.
 

@@ -70,7 +70,7 @@ mod rule;
 pub use index::GroupIndex;
 pub use miner::{Farmer, NodeScratch};
 pub use params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
-pub use rule::{MineResult, MineStats, RuleGroup, SchedStats};
+pub use rule::{canonical_sort, dump_groups, MineResult, MineStats, RuleGroup, SchedStats};
 pub use session::{
     CountingObserver, Heartbeat, MineControl, MineObserver, Miner, NoOpObserver, PruneReason,
     SharedBudget, StopCause, StopHandle,

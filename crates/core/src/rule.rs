@@ -89,6 +89,60 @@ impl RuleGroup {
     pub fn display<'a>(&'a self, data: &'a Dataset) -> RuleGroupDisplay<'a> {
         RuleGroupDisplay { group: self, data }
     }
+
+    /// Total order used wherever groups must serialize identically
+    /// across runs: `(class, upper bound)` — a unique key within one
+    /// mining result, since each rule group is identified by its upper
+    /// bound — with the remaining fields as tie-breakers so the order
+    /// is total even across unrelated group lists.
+    pub fn canonical_cmp(&self, other: &RuleGroup) -> std::cmp::Ordering {
+        self.class
+            .cmp(&other.class)
+            .then_with(|| self.upper.cmp(&other.upper))
+            .then_with(|| self.sup.cmp(&other.sup))
+            .then_with(|| self.neg_sup.cmp(&other.neg_sup))
+    }
+}
+
+/// Sorts `groups` into the canonical serialization order
+/// ([`RuleGroup::canonical_cmp`]) and each group's lower-bound list
+/// ascending. Discovery order depends on scheduling (a parallel run
+/// merges per-worker results); artifacts written through this sort are
+/// byte-identical for the same mined set at any thread count.
+pub fn canonical_sort(groups: &mut [RuleGroup]) {
+    for g in groups.iter_mut() {
+        g.lower.sort_unstable();
+    }
+    groups.sort_by(RuleGroup::canonical_cmp);
+}
+
+/// A deterministic, line-per-group textual dump of `groups`, exactly as
+/// ordered. Two group lists are equal iff their dumps are byte-identical
+/// — the round-trip tests of the artifact store compare these.
+pub fn dump_groups(groups: &[RuleGroup]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for g in groups {
+        write!(out, "class={} upper={}", g.class, g.upper.to_json()).unwrap();
+        out.push_str(" lower=[");
+        for (i, l) in g.lower.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&l.to_json());
+        }
+        writeln!(
+            out,
+            "] rows={} sup={} neg={} n_rows={} n_class={}",
+            g.support_set.to_json(),
+            g.sup,
+            g.neg_sup,
+            g.n_rows,
+            g.n_class,
+        )
+        .unwrap();
+    }
+    out
 }
 
 /// Helper returned by [`RuleGroup::display`].
@@ -299,6 +353,48 @@ mod tests {
         let ranked = res.ranked();
         assert_eq!(ranked[0].sup, 3);
         assert_eq!(ranked[1].sup, 2);
+    }
+
+    #[test]
+    fn canonical_sort_is_scheduling_independent() {
+        let a = RuleGroup {
+            upper: IdList::from_iter([0, 2]),
+            lower: vec![IdList::from_iter([2]), IdList::from_iter([0])],
+            ..group()
+        };
+        let b = RuleGroup {
+            upper: IdList::from_iter([1]),
+            class: 1,
+            ..group()
+        };
+        let c = RuleGroup {
+            upper: IdList::from_iter([0, 5]),
+            ..group()
+        };
+        // two "discovery orders" of the same set
+        let mut run1 = vec![a.clone(), b.clone(), c.clone()];
+        let mut run2 = vec![c, a, b];
+        canonical_sort(&mut run1);
+        canonical_sort(&mut run2);
+        assert_eq!(run1, run2);
+        assert_eq!(dump_groups(&run1), dump_groups(&run2));
+        // class sorts first, then upper; lowers are sorted within a group
+        assert_eq!(run1[0].upper, IdList::from_iter([0, 2]));
+        assert_eq!(run1[0].lower[0], IdList::from_iter([0]));
+        assert_eq!(run1[1].upper, IdList::from_iter([0, 5]));
+        assert_eq!(run1[2].class, 1);
+    }
+
+    #[test]
+    fn dump_is_line_per_group_and_field_complete() {
+        let d = dump_groups(&[group()]);
+        assert_eq!(d.lines().count(), 1);
+        assert!(
+            d.starts_with("class=0 upper=[0,2,5] lower=[[2],[5]] rows=[1,2,3] sup=2 neg=1"),
+            "{d}"
+        );
+        assert!(d.trim_end().ends_with("n_rows=6 n_class=3"), "{d}");
+        assert_eq!(dump_groups(&[]), "");
     }
 
     #[test]

@@ -324,6 +324,37 @@ impl RowSet {
         self.iter().collect()
     }
 
+    /// The packed 64-bit words backing the set, little-end-first: bit
+    /// `b` of `words()[w]` is row id `w * 64 + b`. This is the set's
+    /// canonical serialized form — `from_words` round-trips it exactly,
+    /// and the artifact store writes these words verbatim.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from its [`words`](Self::words) representation,
+    /// validating the two invariants every other method relies on: the
+    /// word count matches the capacity, and no bit at position
+    /// `>= capacity` is set. Both failures are errors, not panics —
+    /// this is the deserialization entry point for untrusted bytes.
+    pub fn from_words(capacity: usize, words: Vec<u64>) -> Result<Self, FromWordsError> {
+        if words.len() != capacity.div_ceil(BITS) {
+            return Err(FromWordsError::WrongWordCount {
+                capacity,
+                expected: capacity.div_ceil(BITS),
+                found: words.len(),
+            });
+        }
+        if let Some(last) = words.last() {
+            let used = capacity - (words.len() - 1) * BITS;
+            if used < BITS && *last >> used != 0 {
+                return Err(FromWordsError::TailBitsSet { capacity });
+            }
+        }
+        Ok(RowSet { capacity, words })
+    }
+
     /// Serializes as a JSON array of ascending row ids, e.g. `[0,3,7]`.
     /// Kept dependency-free so any JSON layer can embed it verbatim.
     pub fn to_json(&self) -> String {
@@ -347,6 +378,42 @@ impl RowSet {
         );
     }
 }
+
+/// Why [`RowSet::from_words`] rejected a serialized set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FromWordsError {
+    /// The word vector's length does not match the declared capacity.
+    WrongWordCount {
+        /// The declared universe size.
+        capacity: usize,
+        /// `capacity.div_ceil(64)`.
+        expected: usize,
+        /// The length actually supplied.
+        found: usize,
+    },
+    /// A bit at position `>= capacity` was set in the last word.
+    TailBitsSet {
+        /// The declared universe size.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for FromWordsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromWordsError::WrongWordCount {
+                capacity,
+                expected,
+                found,
+            } => write!(f, "capacity {capacity} needs {expected} words, got {found}"),
+            FromWordsError::TailBitsSet { capacity } => {
+                write!(f, "bit set beyond capacity {capacity} in last word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FromWordsError {}
 
 impl fmt::Debug for RowSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -515,6 +582,38 @@ mod tests {
     fn debug_format() {
         let s = RowSet::from_ids(10, [1, 4]);
         assert_eq!(format!("{s:?}"), "{1, 4}");
+    }
+
+    #[test]
+    fn words_round_trip() {
+        for cap in [0, 1, 63, 64, 65, 130] {
+            let s = RowSet::from_ids(cap, (0..cap).step_by(3));
+            let back = RowSet::from_words(cap, s.words().to_vec()).unwrap();
+            assert_eq!(back, s, "cap={cap}");
+            assert_eq!(back.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn from_words_rejects_bad_shapes() {
+        assert_eq!(
+            RowSet::from_words(100, vec![0; 3]),
+            Err(FromWordsError::WrongWordCount {
+                capacity: 100,
+                expected: 2,
+                found: 3
+            })
+        );
+        // capacity 65: the last word holds id 64 only
+        assert!(RowSet::from_words(65, vec![0, 0b1]).is_ok());
+        assert_eq!(
+            RowSet::from_words(65, vec![0, 0b10]),
+            Err(FromWordsError::TailBitsSet { capacity: 65 })
+        );
+        // exact multiple of 64: the whole last word is valid
+        assert!(RowSet::from_words(128, vec![u64::MAX, u64::MAX]).is_ok());
+        let e = RowSet::from_words(10, vec![1 << 10]).unwrap_err();
+        assert!(e.to_string().contains("capacity 10"), "{e}");
     }
 
     #[test]

@@ -146,6 +146,24 @@ check! {
     }
 
     #[test]
+    fn words_round_trip_any_capacity(g in caps_and_sets()) {
+        let (cap, a, _, _, _) = g;
+        let s = RowSet::from_ids(cap, a.iter().copied());
+        let back = RowSet::from_words(cap, s.words().to_vec()).unwrap();
+        prop_assert_eq!(&back, &s);
+        // the serialized form is canonical: equal sets, equal words
+        let t = RowSet::from_ids(cap, model(&a));
+        prop_assert_eq!(t.words(), s.words());
+        // and a word with a bit past the capacity never deserializes
+        if cap % 64 != 0 {
+            let mut bad = s.words().to_vec();
+            let last = bad.len() - 1;
+            bad[last] |= 1u64 << (cap % 64);
+            prop_assert!(RowSet::from_words(cap, bad).is_err());
+        }
+    }
+
+    #[test]
     fn insert_remove_consistent(v in ids(), x in 0..CAP) {
         let mut s = RowSet::from_ids(CAP, v.iter().copied());
         let before = s.contains(x);

@@ -1,0 +1,55 @@
+//! `fgi-client` — one-shot HTTP GET against a running `farmer serve`
+//! instance, for scripts and smoke tests.
+//!
+//! ```text
+//! fgi-client <host:port> <path> [--expect <status>]
+//! ```
+//!
+//! Prints the response body to stdout. Exits 0 when the status equals
+//! `--expect` (default 200), 1 otherwise, 2 on usage or I/O errors.
+
+use farmer_serve::http_get;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut expect = 200u16;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--expect" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(code) => expect = code,
+                None => return usage("--expect needs a numeric status"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: fgi-client <host:port> <path> [--expect <status>]");
+                return ExitCode::SUCCESS;
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [addr, path] = positional.as_slice() else {
+        return usage("need exactly <host:port> and <path>");
+    };
+    match http_get(addr, path) {
+        Ok(resp) => {
+            println!("{}", resp.body);
+            if resp.status == expect {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("fgi-client: got status {}, expected {expect}", resp.status);
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fgi-client: request failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fgi-client: {msg}\nusage: fgi-client <host:port> <path> [--expect <status>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,46 @@
+//! A minimal blocking HTTP/1.1 GET client — just enough for the
+//! `fgi-client` smoke binary, `scripts/verify.sh`, and the server's
+//! own integration tests, with no dependency beyond `std::net`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One fetched response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The numeric status code from the status line.
+    pub status: u16,
+    /// The response body (headers stripped).
+    pub body: String,
+}
+
+/// Issues `GET <path>` against `addr` (a `host:port` string) and reads
+/// the response to EOF — the server closes each connection after one
+/// response, so EOF delimits the body.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("response status line unparseable"))?;
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}

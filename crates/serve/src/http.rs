@@ -1,0 +1,435 @@
+//! A hermetic HTTP/1.1 server over a [`RuleGroupIndex`].
+//!
+//! Plain `std::net::TcpListener`, a fixed worker pool fed over a
+//! `farmer_support::thread` channel, one request per connection
+//! (`Connection: close`), and graceful shutdown on a stop flag: the
+//! acceptor stops taking new connections, drains its backlog to the
+//! workers, and every connection already established gets a full
+//! response before the pool exits.
+
+use crate::index::RuleGroupIndex;
+use farmer_support::json::{Json, ObjBuilder};
+use farmer_support::thread::{channel, Mutex, Receiver, Sender};
+use farmer_support::trace::{prometheus_text, HistId, RingTracer, TraceSink};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Latency histograms exported at `/metrics` (names feed PR 4's
+/// Prometheus text exporter, which renders `farmer_<name>_ns`).
+const HIST_NAMES: &[&str] = &[
+    "serve_request",
+    "serve_classify",
+    "serve_query",
+    "serve_healthz",
+    "serve_metrics",
+];
+const H_REQUEST: HistId = HistId(0);
+const H_CLASSIFY: HistId = HistId(1);
+const H_QUERY: HistId = HistId(2);
+const H_HEALTHZ: HistId = HistId(3);
+const H_METRICS: HistId = HistId(4);
+
+/// How the server binds and scales.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port (the
+    /// actual port is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Fixed worker-pool size (clamped to ≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+        }
+    }
+}
+
+/// A running server: the bound address plus the shutdown control.
+/// Dropping the handle shuts the server down gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections fully handled so far (monotonic; useful for idle
+    /// detection and smoke assertions).
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains every connection already established,
+    /// and joins the pool. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Binds and starts serving `index` in background threads.
+pub fn start(index: Arc<RuleGroupIndex>, config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    // Lane 0 is the acceptor's (unused); worker w records on lane w+1.
+    let tracer = Arc::new(RingTracer::new(&[], HIST_NAMES, workers + 1, 1));
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut pool = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let rx = Arc::clone(&rx);
+        let index = Arc::clone(&index);
+        let tracer = Arc::clone(&tracer);
+        let served = Arc::clone(&served);
+        pool.push(std::thread::spawn(move || loop {
+            // Hold the lock only for the receive itself; Err means the
+            // acceptor dropped the sender and the queue is empty.
+            let conn = { rx.lock().recv() };
+            match conn {
+                Ok(stream) => {
+                    handle_connection(stream, &index, &tracer, w + 1);
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => break,
+            }
+        }));
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Graceful drain: connections that reached the listener's
+            // backlog before the stop flag still get served.
+            let _ = listener.set_nonblocking(true);
+            while let Ok((stream, _)) = listener.accept() {
+                let _ = stream.set_nonblocking(false);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Dropping the sender lets the workers finish the queue
+            // and exit.
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        served,
+        acceptor: Some(acceptor),
+        workers: pool,
+    })
+}
+
+/// One parsed request: method, decoded path, decoded query pairs.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+}
+
+impl Request {
+    fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn handle_connection(stream: TcpStream, index: &RuleGroupIndex, tracer: &RingTracer, lane: usize) {
+    // Timeouts keep a stalled peer from wedging a worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream);
+    let Some(req) = parse_request(&mut reader) else {
+        return; // unreadable request line: nothing to answer
+    };
+    let (status, content_type, body, hist) = respond(&req, index, tracer);
+    let stream = reader.get_mut();
+    let _ = write_response(stream, status, content_type, &body);
+    let _ = stream.flush();
+    let ns = started.elapsed().as_nanos() as u64;
+    tracer.duration_ns(lane, H_REQUEST, ns);
+    if let Some(h) = hist {
+        tracer.duration_ns(lane, h, ns);
+    }
+}
+
+/// Reads the request line and headers (discarded — every endpoint is a
+/// bodyless GET). `None` when the peer sent nothing parseable.
+fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return None,
+        }
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    Some(Request {
+        method,
+        path: percent_decode(path),
+        query,
+    })
+}
+
+/// Minimal `%XX` + `+` decoding for query components.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Routes one request. Returns status, content type, body, and the
+/// per-endpoint histogram to record into.
+fn respond(
+    req: &Request,
+    index: &RuleGroupIndex,
+    tracer: &RingTracer,
+) -> (u16, &'static str, String, Option<HistId>) {
+    if req.method != "GET" {
+        return (
+            405,
+            "application/json",
+            error_body("only GET is supported"),
+            None,
+        );
+    }
+    match req.path.as_str() {
+        "/healthz" => {
+            let body = ObjBuilder::new()
+                .field("status", "ok")
+                .field("groups", index.groups().len())
+                .field("items", index.meta().n_items())
+                .field("classes", index.meta().n_classes())
+                .build()
+                .to_string();
+            (200, "application/json", body, Some(H_HEALTHZ))
+        }
+        "/metrics" => {
+            let text = prometheus_text(&tracer.drain());
+            (200, "text/plain; version=0.0.4", text, Some(H_METRICS))
+        }
+        "/classify" => match sample_of(req, index) {
+            Ok((sample, unknown)) => {
+                let p = index.classify(&sample);
+                let mut obj = ObjBuilder::new()
+                    .field("class", p.class)
+                    .field(
+                        "class_name",
+                        index.meta().class_names[p.class as usize].as_str(),
+                    )
+                    .field("default", p.group.is_none());
+                obj = match p.group {
+                    Some(gi) => {
+                        let g = &index.groups()[gi as usize];
+                        obj.field("group", gi)
+                            .field("conf", g.confidence())
+                            .field("sup", g.sup)
+                    }
+                    None => obj.field("group", Json::Null),
+                };
+                let body = obj
+                    .field("unknown_items", str_array(&unknown))
+                    .build()
+                    .to_string();
+                (200, "application/json", body, Some(H_CLASSIFY))
+            }
+            Err(e) => (400, "application/json", e, Some(H_CLASSIFY)),
+        },
+        "/query" => match sample_of(req, index) {
+            Ok((sample, unknown)) => {
+                let class_filter = match req.param("class").map(str::parse::<u32>) {
+                    None => None,
+                    Some(Ok(c)) if (c as usize) < index.meta().n_classes() => Some(c),
+                    Some(_) => {
+                        return (
+                            400,
+                            "application/json",
+                            error_body("class must be a valid class label"),
+                            Some(H_QUERY),
+                        )
+                    }
+                };
+                let limit = req
+                    .param("limit")
+                    .and_then(|l| l.parse::<usize>().ok())
+                    .unwrap_or(20);
+                let mut matched = index.matches(&sample);
+                if let Some(c) = class_filter {
+                    matched.retain(|&gi| index.groups()[gi as usize].class == c);
+                }
+                let total = matched.len();
+                matched.truncate(limit);
+                let groups: Vec<Json> = matched.iter().map(|&gi| group_json(index, gi)).collect();
+                let body = ObjBuilder::new()
+                    .field("total", total)
+                    .field("returned", groups.len())
+                    .field("groups", Json::Arr(groups))
+                    .field("unknown_items", str_array(&unknown))
+                    .build()
+                    .to_string();
+                (200, "application/json", body, Some(H_QUERY))
+            }
+            Err(e) => (400, "application/json", e, Some(H_QUERY)),
+        },
+        _ => (
+            404,
+            "application/json",
+            error_body("no such endpoint"),
+            None,
+        ),
+    }
+}
+
+/// Extracts the `items` parameter as a sample, or a 400 body.
+fn sample_of(
+    req: &Request,
+    index: &RuleGroupIndex,
+) -> Result<(rowset::IdList, Vec<String>), String> {
+    let Some(items) = req.param("items") else {
+        return Err(error_body("missing items parameter (items=a,b,c)"));
+    };
+    let tokens = items.split(',').map(str::trim).filter(|t| !t.is_empty());
+    Ok(index.parse_sample(tokens))
+}
+
+fn group_json(index: &RuleGroupIndex, gi: u32) -> Json {
+    let g = &index.groups()[gi as usize];
+    let upper: Vec<Json> = g
+        .upper
+        .iter()
+        .map(|i| Json::Str(index.meta().item_names[i as usize].clone()))
+        .collect();
+    ObjBuilder::new()
+        .field("group", gi)
+        .field("class", g.class)
+        .field(
+            "class_name",
+            index.meta().class_names[g.class as usize].as_str(),
+        )
+        .field("upper", Json::Arr(upper))
+        .field("n_lower", g.lower.len())
+        .field("sup", g.sup)
+        .field("conf", g.confidence())
+        .field("chi2", g.chi_square())
+        .build()
+}
+
+fn str_array(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn error_body(msg: &str) -> String {
+    ObjBuilder::new().field("error", msg).build().to_string()
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}

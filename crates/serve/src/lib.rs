@@ -1,0 +1,32 @@
+//! Serving mined rule groups: index a stored `.fgi` artifact in
+//! memory and answer classification and query traffic over HTTP.
+//!
+//! This is the online half of the store→index→serve pipeline
+//! (`farmer-store` is the offline half). Three layers:
+//!
+//! - [`RuleGroupIndex`] — inverted item→group posting lists with
+//!   per-class partitions. `matches(sample)` touches only the posting
+//!   lists of the items the sample carries (no linear scan over
+//!   groups); `classify(sample)` reproduces exactly what
+//!   `farmer_classify::RuleListClassifier::from_ranked` would predict
+//!   from the same artifact, falling back to the majority class.
+//! - [`start`] / [`ServerHandle`] — a hermetic HTTP/1.1 server on
+//!   `std::net::TcpListener` with a fixed worker pool: `GET /classify`,
+//!   `/query`, `/healthz`, and `/metrics` (request latency histograms
+//!   in Prometheus text format, via the `farmer_support::trace`
+//!   exporter). Shutdown is graceful: the stop flag halts accepting,
+//!   the backlog drains, and in-flight requests complete.
+//! - [`http_get`] — the tiny blocking client used by the `fgi-client`
+//!   binary, the end-to-end smoke in `scripts/verify.sh`, and the
+//!   concurrency tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod http;
+mod index;
+
+pub use client::{http_get, HttpResponse};
+pub use http::{start, ServeConfig, ServerHandle};
+pub use index::{Prediction, RuleGroupIndex};

@@ -1,0 +1,218 @@
+//! Integration tests of the HTTP server: endpoint behavior, answer
+//! stability under concurrent load, and graceful shutdown draining.
+
+use farmer_core::{canonical_sort, Farmer, MiningParams};
+use farmer_dataset::DatasetBuilder;
+use farmer_serve::{http_get, start, RuleGroupIndex, ServeConfig};
+use farmer_store::{Artifact, ArtifactMeta};
+use farmer_support::json::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_index() -> Arc<RuleGroupIndex> {
+    let mut b = DatasetBuilder::new(2);
+    b.add_row([0, 1, 2], 0);
+    b.add_row([0, 1], 0);
+    b.add_row([0, 2, 4], 0);
+    b.add_row([1, 2, 3], 1);
+    b.add_row([0, 3], 1);
+    b.add_row([3, 4], 1);
+    let d = b.build();
+    let mut groups = Vec::new();
+    for class in 0..2 {
+        groups.extend(
+            Farmer::new(MiningParams::new(class).min_sup(1))
+                .mine(&d)
+                .groups,
+        );
+    }
+    canonical_sort(&mut groups);
+    assert!(!groups.is_empty());
+    Arc::new(RuleGroupIndex::from_artifact(Artifact {
+        meta: ArtifactMeta::from_dataset(&d),
+        groups,
+    }))
+}
+
+fn config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+    }
+}
+
+#[test]
+fn endpoints_answer() {
+    let index = test_index();
+    let server = start(Arc::clone(&index), &config(2)).unwrap();
+    let addr = server.addr().to_string();
+
+    let h = http_get(&addr, "/healthz").unwrap();
+    assert_eq!(h.status, 200);
+    let health = Json::parse(&h.body).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("groups").and_then(Json::as_u64),
+        Some(index.groups().len() as u64)
+    );
+
+    let c = http_get(&addr, "/classify?items=i0,i1,i2").unwrap();
+    assert_eq!(c.status, 200, "body: {}", c.body);
+    let body = Json::parse(&c.body).unwrap();
+    let class = body.get("class").and_then(Json::as_u64).unwrap() as u32;
+    let (sample, _) = index.parse_sample(["i0", "i1", "i2"]);
+    assert_eq!(class, index.classify(&sample).class);
+
+    let q = http_get(&addr, "/query?items=i0,i1,i2&limit=3").unwrap();
+    assert_eq!(q.status, 200);
+    let body = Json::parse(&q.body).unwrap();
+    let total = body.get("total").and_then(Json::as_u64).unwrap();
+    assert_eq!(total, index.matches(&sample).len() as u64);
+    assert!(body.get("returned").and_then(Json::as_u64).unwrap() <= 3);
+
+    // Error paths: missing items, bad class, unknown path.
+    assert_eq!(http_get(&addr, "/classify").unwrap().status, 400);
+    assert_eq!(
+        http_get(&addr, "/query?items=i0&class=9").unwrap().status,
+        400
+    );
+    assert_eq!(http_get(&addr, "/nope").unwrap().status, 404);
+
+    let m = http_get(&addr, "/metrics").unwrap();
+    assert_eq!(m.status, 200);
+    assert!(m.body.contains("farmer_serve_request_ns_count"));
+    assert!(m.body.contains("farmer_serve_classify_ns_bucket"));
+
+    server.shutdown();
+}
+
+#[test]
+fn non_get_is_405() {
+    let server = start(test_index(), &config(1)).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(stream, "POST /classify HTTP/1.1\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_answers_equal_sequential() {
+    let index = test_index();
+    let server = start(Arc::clone(&index), &config(4)).unwrap();
+    let addr = server.addr().to_string();
+
+    let paths: Vec<String> = [
+        "/classify?items=i0,i1",
+        "/classify?items=i3",
+        "/classify?items=i0,i2,i4",
+        "/classify?items=",
+        "/query?items=i0,i1,i2&limit=100",
+        "/query?items=i3,i4",
+        "/healthz",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let sequential: Vec<String> = paths
+        .iter()
+        .map(|p| {
+            let r = http_get(&addr, p).unwrap();
+            assert_eq!(r.status, 200, "{p}: {}", r.body);
+            r.body
+        })
+        .collect();
+
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 10;
+    farmer_support::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            s.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for (p, expected) in paths.iter().zip(&sequential) {
+                        let r = http_get(&addr, p).unwrap();
+                        assert_eq!(r.status, 200);
+                        assert_eq!(&r.body, expected, "{p} answered differently under load");
+                    }
+                }
+            });
+        }
+    });
+
+    // Every one of those requests shows up in the latency histogram.
+    let m = http_get(&addr, "/metrics").unwrap();
+    let total = (CLIENTS * ROUNDS + 1) * paths.len();
+    let count_line = m
+        .body
+        .lines()
+        .find(|l| l.starts_with("farmer_serve_request_ns_count"))
+        .expect("request histogram family present");
+    let count: u64 = count_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        count >= total as u64,
+        "metrics count {count} < requests issued {total}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let index = test_index();
+    let server = start(Arc::clone(&index), &config(2)).unwrap();
+    let addr = server.addr();
+
+    // Establish connections *before* shutdown, but hold the requests
+    // back: the workers are now blocked reading these sockets.
+    const IN_FLIGHT: usize = 6;
+    let mut conns: Vec<TcpStream> = (0..IN_FLIGHT)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+    // Give the acceptor a beat to pull them off the backlog.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    // Shutdown must not complete while requests are still unanswered;
+    // send them now and demand full responses.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut bodies = Vec::new();
+    for s in conns.iter_mut() {
+        write!(s, "GET /classify?items=i0,i1 HTTP/1.1\r\n\r\n").unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 200"),
+            "dropped in-flight request: {out:?}"
+        );
+        bodies.push(out.split("\r\n\r\n").nth(1).unwrap().to_string());
+    }
+    shutdown.join().unwrap();
+
+    // Every drained answer matches the live answer.
+    let (sample, _) = index.parse_sample(["i0", "i1"]);
+    let expected = index.classify(&sample).class as u64;
+    for b in bodies {
+        let got = Json::parse(&b).unwrap().get("class").and_then(Json::as_u64);
+        assert_eq!(got, Some(expected));
+    }
+
+    // The listener is closed: new connections are refused or reset.
+    assert!(
+        TcpStream::connect(addr).is_err() || http_get(&addr.to_string(), "/healthz").is_err(),
+        "server still accepting after shutdown"
+    );
+}

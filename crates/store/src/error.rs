@@ -1,0 +1,137 @@
+//! The error taxonomy of the `.fgi` reader and writer.
+
+use std::fmt;
+
+/// Every way reading or writing an artifact can fail. Reader failures
+/// are precise by design: the corrupt-artifact regression tests assert
+/// the *variant*, not just "some error", so a truncation can never be
+/// misreported as a checksum problem or vice versa.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying I/O operation failed (open, read, write, seek).
+    Io(std::io::Error),
+    /// The file ends before the bytes its header (or the fixed header
+    /// itself) says must exist.
+    Truncated {
+        /// Bytes the file needed to be complete.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// The first four bytes are not [`crate::MAGIC`] — not an `.fgi`
+    /// file at all.
+    BadMagic {
+        /// The bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The file declares a format version this build does not read.
+    VersionSkew {
+        /// The version in the file.
+        found: u32,
+        /// The newest version this build supports.
+        supported: u32,
+    },
+    /// The payload does not hash to the checksum in the header: the
+    /// bytes were damaged after writing.
+    ChecksumMismatch {
+        /// The checksum stored in the header.
+        stored: u64,
+        /// The checksum computed over the payload as read.
+        computed: u64,
+    },
+    /// The envelope is intact (magic, version, length, checksum all
+    /// pass) but the payload's structure is inconsistent — impossible
+    /// counts, invalid UTF-8, out-of-dictionary item ids, bitset bits
+    /// beyond the row capacity. Indicates a writer bug or a deliberate
+    /// hand-crafted file, not transport damage.
+    Corrupt {
+        /// What was wrong, for the human reading the log.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            StoreError::Truncated { expected, found } => {
+                write!(f, "artifact truncated: need {expected} bytes, have {found}")
+            }
+            StoreError::BadMagic { found } => {
+                write!(f, "not an .fgi artifact (magic bytes {found:02x?})")
+            }
+            StoreError::VersionSkew { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than supported version {supported}"
+            ),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: header says {stored:#018x}, payload hashes to {computed:#018x}"
+            ),
+            StoreError::Corrupt { detail } => write!(f, "artifact payload corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_every_field() {
+        let cases: Vec<(StoreError, &[&str])> = vec![
+            (
+                StoreError::Truncated {
+                    expected: 24,
+                    found: 3,
+                },
+                &["24", "3", "truncated"],
+            ),
+            (StoreError::BadMagic { found: *b"ZIP!" }, &["magic"]),
+            (
+                StoreError::VersionSkew {
+                    found: 9,
+                    supported: 1,
+                },
+                &["9", "1", "version"],
+            ),
+            (
+                StoreError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                &["checksum", "0x"],
+            ),
+            (StoreError::corrupt("bad utf-8 in item 3"), &["item 3"]),
+        ];
+        for (e, needles) in cases {
+            let s = e.to_string();
+            for n in needles {
+                assert!(s.contains(n), "{s:?} missing {n}");
+            }
+        }
+    }
+}

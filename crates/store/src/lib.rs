@@ -1,0 +1,88 @@
+//! Persistent artifacts for mined interesting rule groups.
+//!
+//! A `farmer mine` run produces a set of IRGs — upper bounds, lower
+//! bounds, row-support bitsets, and support/confidence/χ² margins —
+//! that the downstream consumers (the serving index in `farmer-serve`,
+//! the offline classifiers, ad-hoc queries) want *after* the mining
+//! process has exited. This crate defines the `.fgi` on-disk format
+//! for that rule base and nothing else: writing is streaming (one
+//! group at a time, constant memory beyond the open file), reading is
+//! validating (magic, version, declared length, FNV-1a content
+//! checksum, then structural checks on every record), and every way a
+//! file can be unacceptable maps to a distinct [`StoreError`] variant
+//! rather than a panic or a silently wrong result.
+//!
+//! # The `.fgi` format (version 1)
+//!
+//! All integers are little-endian. The file is a fixed 24-byte header
+//! followed by one checksummed payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"FGIA"
+//!      4     4  format version (u32) = 1
+//!      8     8  payload length in bytes (u64)
+//!     16     8  FNV-1a 64 checksum of the payload bytes (u64)
+//!     24     –  payload
+//! ```
+//!
+//! Payload layout:
+//!
+//! ```text
+//! n_rows   u64            dataset row count (bitset capacity)
+//! n_class  u32            class count
+//! per class:              name (u32 len + UTF-8 bytes), row count u64
+//! n_items  u32            item dictionary size
+//! per item:               name (u32 len + UTF-8 bytes)
+//! group records…          self-delimiting, see below
+//! n_groups u32            trailing record count (cross-check)
+//! ```
+//!
+//! Each group record: class `u32`; `sup`, `neg_sup`, `n_rows`,
+//! `n_class` as `u64`; upper bound (`u32` count + ids); lower bounds
+//! (`u32` count, each an id list); the row-support bitset (`u64`
+//! capacity + `u32` word count + packed `u64` words, exactly
+//! [`rowset::RowSet::words`]).
+//!
+//! The group count lives *after* the records so the writer can stream
+//! groups without knowing how many are coming: at
+//! [`ArtifactWriter::finish`] it appends the count, then seeks back
+//! once to patch the payload length and checksum into the header. The
+//! reader knows where the records end because the header declares the
+//! payload length.
+//!
+//! # Ordering
+//!
+//! The format preserves whatever group order the writer was handed.
+//! Callers that want run-independent bytes (the CLI's `--save-irgs`
+//! does) sort with [`farmer_core::canonical_sort`] first; the
+//! round-trip property tests pin `save → load` to reproduce
+//! byte-identical [`farmer_core::dump_groups`] dumps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod meta;
+mod reader;
+mod writer;
+
+pub use error::StoreError;
+pub use meta::ArtifactMeta;
+pub use reader::{read_artifact, Artifact};
+pub use writer::{save_artifact, ArtifactWriter};
+
+/// The four magic bytes opening every `.fgi` file.
+pub const MAGIC: [u8; 4] = *b"FGIA";
+
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Size of the fixed header preceding the payload.
+pub const HEADER_LEN: usize = 24;
+
+/// Byte offset of the payload-length field within the header.
+pub(crate) const LEN_OFFSET: u64 = 8;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,239 @@
+//! Validating `.fgi` reader.
+
+use crate::{ArtifactMeta, Result, StoreError, HEADER_LEN, MAGIC, VERSION};
+use farmer_core::RuleGroup;
+use farmer_support::hash::fnv1a;
+use rowset::{IdList, RowSet};
+use std::path::Path;
+
+/// A fully loaded, fully validated artifact.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Dataset-level metadata: dictionaries, class counts, row count.
+    pub meta: ArtifactMeta,
+    /// The stored rule groups, in file order.
+    pub groups: Vec<RuleGroup>,
+}
+
+impl Artifact {
+    /// Reads and validates the artifact at `path`.
+    pub fn load(path: &Path) -> Result<Artifact> {
+        read_artifact(&std::fs::read(path)?)
+    }
+}
+
+/// Parses an artifact from bytes already in memory.
+///
+/// Validation happens outside-in: the fixed header first (truncation,
+/// magic, version), then the declared payload length against the bytes
+/// actually present, then the FNV-1a checksum over the whole payload,
+/// and only then the payload's structure. A file that fails an outer
+/// layer is reported by that layer's error — a truncated file is
+/// [`StoreError::Truncated`] even though its checksum would not match
+/// either.
+pub fn read_artifact(bytes: &[u8]) -> Result<Artifact> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            found: bytes.len() as u64,
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::VersionSkew {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let stored = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let need = (HEADER_LEN as u64).saturating_add(payload_len);
+    let have = bytes.len() as u64;
+    if have < need {
+        return Err(StoreError::Truncated {
+            expected: need,
+            found: have,
+        });
+    }
+    if have > need {
+        return Err(StoreError::corrupt(format!(
+            "{} bytes of trailing garbage after the declared payload",
+            have - need
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let computed = fnv1a(payload);
+    if computed != stored {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    parse_payload(payload)
+}
+
+/// Parses a payload whose envelope (length, checksum) already passed.
+/// Every failure from here on is [`StoreError::Corrupt`].
+fn parse_payload(payload: &[u8]) -> Result<Artifact> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let n_rows = c.u64("n_rows")?;
+    let n_classes = c.u32("n_class")?;
+    let mut class_names = Vec::new();
+    let mut class_counts = Vec::new();
+    for i in 0..n_classes {
+        class_names.push(c.string(&format!("class {i} name"))?);
+        class_counts.push(c.u64(&format!("class {i} count"))?);
+    }
+    let n_items = c.u32("n_items")?;
+    let mut item_names = Vec::new();
+    for i in 0..n_items {
+        item_names.push(c.string(&format!("item {i} name"))?);
+    }
+    let meta = ArtifactMeta {
+        n_rows,
+        class_names,
+        class_counts,
+        item_names,
+    };
+
+    // Group records fill the payload up to the trailing 4-byte count.
+    let mut groups = Vec::new();
+    while c.remaining() > 4 {
+        groups.push(read_group(&mut c, &meta, groups.len())?);
+    }
+    let declared = c.u32("trailing group count")?;
+    if c.remaining() != 0 {
+        return Err(StoreError::corrupt(format!(
+            "{} bytes left over after the trailing group count",
+            c.remaining()
+        )));
+    }
+    if declared as usize != groups.len() {
+        return Err(StoreError::corrupt(format!(
+            "trailing count says {declared} groups, file holds {}",
+            groups.len()
+        )));
+    }
+    Ok(Artifact { meta, groups })
+}
+
+fn read_group(c: &mut Cursor<'_>, meta: &ArtifactMeta, idx: usize) -> Result<RuleGroup> {
+    let what = |field: &str| format!("group {idx} {field}");
+    let class = c.u32(&what("class"))?;
+    if class as usize >= meta.n_classes() {
+        return Err(StoreError::corrupt(format!(
+            "group {idx} class {class} outside the {}-class dictionary",
+            meta.n_classes()
+        )));
+    }
+    let sup = c.u64(&what("sup"))? as usize;
+    let neg_sup = c.u64(&what("neg_sup"))? as usize;
+    let g_rows = c.u64(&what("n_rows"))? as usize;
+    let g_class = c.u64(&what("n_class"))? as usize;
+    let upper = read_ids(c, meta, &what("upper"))?;
+    let n_lower = c.u32(&what("lower count"))?;
+    let mut lower = Vec::new();
+    for l in 0..n_lower {
+        lower.push(read_ids(c, meta, &what(&format!("lower {l}")))?);
+    }
+    let capacity = c.u64(&what("bitset capacity"))?;
+    if capacity != meta.n_rows {
+        return Err(StoreError::corrupt(format!(
+            "group {idx} bitset capacity {capacity} != dataset rows {}",
+            meta.n_rows
+        )));
+    }
+    let n_words = c.u32(&what("bitset word count"))?;
+    let mut words = Vec::with_capacity(n_words as usize);
+    for _ in 0..n_words {
+        words.push(c.u64(&what("bitset word"))?);
+    }
+    let support_set = RowSet::from_words(capacity as usize, words)
+        .map_err(|e| StoreError::corrupt(format!("group {idx} bitset: {e}")))?;
+    if support_set.len() != sup + neg_sup {
+        return Err(StoreError::corrupt(format!(
+            "group {idx} bitset holds {} rows but sup {sup} + neg_sup {neg_sup}",
+            support_set.len()
+        )));
+    }
+    Ok(RuleGroup {
+        upper,
+        lower,
+        support_set,
+        sup,
+        neg_sup,
+        class,
+        n_rows: g_rows,
+        n_class: g_class,
+    })
+}
+
+fn read_ids(c: &mut Cursor<'_>, meta: &ArtifactMeta, what: &str) -> Result<IdList> {
+    let n = c.u32(&format!("{what} count"))?;
+    let mut ids = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let id = c.u32(what)?;
+        if id as usize >= meta.n_items() {
+            return Err(StoreError::corrupt(format!(
+                "{what}: item {id} outside the {}-item dictionary",
+                meta.n_items()
+            )));
+        }
+        ids.push(id);
+    }
+    // IdList's merge algebra requires strictly ascending ids; the writer
+    // always stores them that way, so anything else is corruption.
+    if !ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err(StoreError::corrupt(format!(
+            "{what}: item ids not strictly ascending"
+        )));
+    }
+    Ok(IdList::from_sorted(ids))
+}
+
+/// Bounds-checked little-endian reads over the payload. Running off
+/// the end is always `Corrupt` (never a panic): the envelope already
+/// proved the byte count matches what the writer declared, so an
+/// overrun means the structure lies about itself.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::corrupt(format!(
+                "payload ends inside {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::corrupt(format!("{what}: invalid UTF-8")))
+    }
+}

@@ -1,0 +1,161 @@
+//! Streaming `.fgi` writer.
+
+use crate::{ArtifactMeta, Result, StoreError, HEADER_LEN, LEN_OFFSET, MAGIC, VERSION};
+use farmer_core::RuleGroup;
+use farmer_support::hash::Fnv1a;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Writes an artifact one group at a time.
+///
+/// The header goes out first with zeroed length/checksum fields; every
+/// payload byte is folded into a running FNV-1a as it is written; and
+/// [`finish`](Self::finish) appends the trailing group count, then
+/// seeks back exactly once to patch the header. Memory use is constant
+/// in the number of groups.
+pub struct ArtifactWriter<W: Write + Seek> {
+    w: W,
+    hasher: Fnv1a,
+    payload_len: u64,
+    n_groups: u32,
+    // dictionary shape, for validating groups as they stream through
+    n_rows: u64,
+    n_classes: u32,
+    n_items: u32,
+}
+
+impl<W: Write + Seek> ArtifactWriter<W> {
+    /// Opens the stream: writes the placeholder header and the
+    /// dictionary sections of `meta`.
+    pub fn new(mut w: W, meta: &ArtifactMeta) -> Result<Self> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?; // payload_len, patched in finish
+        w.write_all(&0u64.to_le_bytes())?; // checksum, patched in finish
+        let mut this = ArtifactWriter {
+            w,
+            hasher: Fnv1a::new(),
+            payload_len: 0,
+            n_groups: 0,
+            n_rows: meta.n_rows,
+            n_classes: meta.n_classes() as u32,
+            n_items: meta.n_items() as u32,
+        };
+        this.put_u64(meta.n_rows)?;
+        this.put_u32(this.n_classes)?;
+        for (name, &count) in meta.class_names.iter().zip(&meta.class_counts) {
+            this.put_str(name)?;
+            this.put_u64(count)?;
+        }
+        debug_assert_eq!(meta.class_names.len(), meta.class_counts.len());
+        this.put_u32(this.n_items)?;
+        for name in &meta.item_names {
+            this.put_str(name)?;
+        }
+        Ok(this)
+    }
+
+    /// Appends one group record. Groups must refer only to the
+    /// dictionary the writer was opened with; a group that does not is
+    /// rejected here (as [`StoreError::Corrupt`]) instead of producing
+    /// a file the reader would reject later.
+    pub fn write_group(&mut self, g: &RuleGroup) -> Result<()> {
+        if g.class >= self.n_classes {
+            return Err(StoreError::corrupt(format!(
+                "group class {} outside the {}-class dictionary",
+                g.class, self.n_classes
+            )));
+        }
+        for items in std::iter::once(&g.upper).chain(&g.lower) {
+            if let Some(bad) = items.iter().find(|&i| i >= self.n_items) {
+                return Err(StoreError::corrupt(format!(
+                    "group item {bad} outside the {}-item dictionary",
+                    self.n_items
+                )));
+            }
+        }
+        if g.support_set.capacity() as u64 != self.n_rows {
+            return Err(StoreError::corrupt(format!(
+                "group bitset capacity {} != dataset rows {}",
+                g.support_set.capacity(),
+                self.n_rows
+            )));
+        }
+        self.put_u32(g.class)?;
+        self.put_u64(g.sup as u64)?;
+        self.put_u64(g.neg_sup as u64)?;
+        self.put_u64(g.n_rows as u64)?;
+        self.put_u64(g.n_class as u64)?;
+        self.put_ids(&g.upper)?;
+        self.put_u32(g.lower.len() as u32)?;
+        for l in &g.lower {
+            self.put_ids(l)?;
+        }
+        let words = g.support_set.words();
+        self.put_u64(g.support_set.capacity() as u64)?;
+        self.put_u32(words.len() as u32)?;
+        for &w in words {
+            self.put_u64(w)?;
+        }
+        self.n_groups += 1;
+        Ok(())
+    }
+
+    /// Appends the trailing group count, patches the header's payload
+    /// length and checksum, and flushes. Returns the content checksum.
+    pub fn finish(mut self) -> Result<u64> {
+        let n = self.n_groups;
+        self.put_u32(n)?;
+        let checksum = self.hasher.finish();
+        self.w.seek(SeekFrom::Start(LEN_OFFSET))?;
+        self.w.write_all(&self.payload_len.to_le_bytes())?;
+        self.w.write_all(&checksum.to_le_bytes())?;
+        self.w.flush()?;
+        Ok(checksum)
+    }
+
+    /// Total bytes this writer will have produced if finished now
+    /// (header + payload so far + the 4-byte trailer).
+    pub fn bytes_written(&self) -> u64 {
+        HEADER_LEN as u64 + self.payload_len
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.w.write_all(bytes)?;
+        self.hasher.write(bytes);
+        self.payload_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn put_u32(&mut self, v: u32) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_u64(&mut self, v: u64) -> Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn put_str(&mut self, s: &str) -> Result<()> {
+        self.put_u32(s.len() as u32)?;
+        self.put(s.as_bytes())
+    }
+
+    fn put_ids(&mut self, ids: &rowset::IdList) -> Result<()> {
+        self.put_u32(ids.len() as u32)?;
+        for id in ids.iter() {
+            self.put_u32(id)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes `groups` to `path` in one call, creating or replacing the
+/// file. Returns the content checksum.
+pub fn save_artifact(path: &Path, meta: &ArtifactMeta, groups: &[RuleGroup]) -> Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let mut w = ArtifactWriter::new(std::io::BufWriter::new(file), meta)?;
+    for g in groups {
+        w.write_group(g)?;
+    }
+    w.finish()
+}

@@ -1,0 +1,198 @@
+//! Corrupt-artifact regressions: every damaged file maps to the
+//! *specific* [`StoreError`] variant for its kind of damage — and none
+//! of them panics.
+
+use farmer_core::{canonical_sort, Farmer, MiningParams};
+use farmer_dataset::DatasetBuilder;
+use farmer_store::{read_artifact, ArtifactMeta, ArtifactWriter, StoreError, HEADER_LEN, VERSION};
+use std::io::Cursor;
+
+/// A small but non-trivial valid artifact to damage.
+fn valid_artifact() -> Vec<u8> {
+    let mut b = DatasetBuilder::new(2);
+    b.add_row([0, 1, 2], 0);
+    b.add_row([0, 1], 0);
+    b.add_row([1, 2, 3], 1);
+    b.add_row([0, 3], 1);
+    let d = b.build();
+    let mut groups = Vec::new();
+    for class in 0..2 {
+        groups.extend(
+            Farmer::new(MiningParams::new(class).min_sup(1))
+                .mine(&d)
+                .groups,
+        );
+    }
+    canonical_sort(&mut groups);
+    assert!(!groups.is_empty());
+    let meta = ArtifactMeta::from_dataset(&d);
+    let mut buf = Cursor::new(Vec::new());
+    let mut w = ArtifactWriter::new(&mut buf, &meta).unwrap();
+    for g in &groups {
+        w.write_group(g).unwrap();
+    }
+    w.finish().unwrap();
+    buf.into_inner()
+}
+
+#[test]
+fn pristine_bytes_load() {
+    assert!(read_artifact(&valid_artifact()).is_ok());
+}
+
+#[test]
+fn truncation_at_every_length_is_truncated_error() {
+    let bytes = valid_artifact();
+    // Every proper prefix must be rejected as Truncated — including
+    // prefixes shorter than the header — and must never panic.
+    for cut in 0..bytes.len() {
+        match read_artifact(&bytes[..cut]) {
+            Err(StoreError::Truncated { expected, found }) => {
+                assert_eq!(found, cut as u64);
+                assert!(expected > found, "cut at {cut}");
+            }
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_checksum_mismatch() {
+    let bytes = valid_artifact();
+    // Flip one byte in each payload word-ish stride; the checksum must
+    // catch every one of them.
+    for pos in (HEADER_LEN..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x40;
+        match read_artifact(&bad) {
+            Err(StoreError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed, "flip at {pos}")
+            }
+            other => panic!("flip at {pos}: expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn flipped_stored_checksum_is_checksum_mismatch() {
+    let mut bad = valid_artifact();
+    bad[16] ^= 0x01; // low byte of the header checksum field
+    assert!(matches!(
+        read_artifact(&bad),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_magic_is_bad_magic() {
+    let mut bad = valid_artifact();
+    bad[..4].copy_from_slice(b"ZIP!");
+    match read_artifact(&bad) {
+        Err(StoreError::BadMagic { found }) => assert_eq!(&found, b"ZIP!"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_version_skew() {
+    let mut bad = valid_artifact();
+    bad[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    match read_artifact(&bad) {
+        Err(StoreError::VersionSkew { found, supported }) => {
+            assert_eq!(found, VERSION + 1);
+            assert_eq!(supported, VERSION);
+        }
+        other => panic!("expected VersionSkew, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_is_corrupt() {
+    let mut bad = valid_artifact();
+    bad.extend_from_slice(b"extra");
+    assert!(matches!(
+        read_artifact(&bad),
+        Err(StoreError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn precedence_magic_before_version_before_checksum() {
+    // A file damaged in several ways reports the outermost failure.
+    let mut bad = valid_artifact();
+    bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+    bad[HEADER_LEN] ^= 0xff;
+    let mut worse = bad.clone();
+    worse[..4].copy_from_slice(b"????");
+    assert!(matches!(
+        read_artifact(&worse),
+        Err(StoreError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        read_artifact(&bad),
+        Err(StoreError::VersionSkew { found: 99, .. })
+    ));
+}
+
+/// Rebuilds a structurally damaged payload with a *correct* envelope,
+/// so the structural validator (not the checksum) must catch it.
+fn reseal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&farmer_store::MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&farmer_support::hash::fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[test]
+fn resealed_structural_damage_is_corrupt_never_panic() {
+    let bytes = valid_artifact();
+    let payload = &bytes[HEADER_LEN..];
+    // Miscount the trailing group tally.
+    let mut miscounted = payload.to_vec();
+    let n = payload.len();
+    let count = u32::from_le_bytes(payload[n - 4..].try_into().unwrap());
+    miscounted[n - 4..].copy_from_slice(&(count + 1).to_le_bytes());
+    assert!(matches!(
+        read_artifact(&reseal(&miscounted)),
+        Err(StoreError::Corrupt { .. })
+    ));
+    // Chop the payload mid-record (envelope resealed to match, so this
+    // is structural truncation, not file truncation).
+    for cut in [n - 5, n - 13, n / 2] {
+        assert!(
+            matches!(
+                read_artifact(&reseal(&payload[..cut])),
+                Err(StoreError::Corrupt { .. }),
+            ),
+            "cut at {cut}"
+        );
+    }
+    // Invalid UTF-8 in the first class name (offset 12 = n_rows u64 +
+    // n_class u32, then the u32 length prefix precedes the bytes).
+    let mut bad_name = payload.to_vec();
+    bad_name[16] = 0xff;
+    assert!(matches!(
+        read_artifact(&reseal(&bad_name)),
+        Err(StoreError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn header_only_file_is_truncated_not_corrupt() {
+    // A header that promises a payload which never arrives.
+    let mut out = Vec::new();
+    out.extend_from_slice(&farmer_store::MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&100u64.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    match read_artifact(&out) {
+        Err(StoreError::Truncated { expected, found }) => {
+            assert_eq!(expected, HEADER_LEN as u64 + 100);
+            assert_eq!(found, HEADER_LEN as u64);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}

@@ -1,0 +1,141 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! The workspace needs one stable, dependency-free hash in two places:
+//! the store's artifact content checksum (`crates/store`) and the
+//! serving index's item-set fingerprints (`crates/serve`). FNV-1a is
+//! the standard pick for both — byte-at-a-time (so it streams), well
+//! specified (so the digest can be pinned in a test and trusted across
+//! platforms and releases), and with good dispersion on the short keys
+//! we feed it. It is **not** cryptographic; nothing here defends
+//! against adversarial inputs, only against accidental corruption.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// ```
+/// use farmer_support::hash::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write(b"foo");
+/// h.write(b"bar");
+/// assert_eq!(h.finish(), farmer_support::hash::fnv1a(b"foobar"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Folds `bytes` into the running digest.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= b as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Folds a little-endian `u64` into the digest (the store writes
+    /// all integers little-endian, so checksumming through this method
+    /// equals checksumming the serialized bytes).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a little-endian `u32` into the digest.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest. The hasher stays usable afterwards.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64-bit digest of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Digest stability: these are the published FNV-1a 64 test
+    /// vectors. If any of them ever changes, existing `.fgi` artifacts
+    /// on disk would stop validating — this test pins the function for
+    /// the lifetime of the format.
+    #[test]
+    fn pinned_reference_digests() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(fnv1a(b"chongo was here!\n"), 0x4681_0940_eff5_f915);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut h = Fnv1a::new();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), fnv1a(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn integer_helpers_match_le_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        a.write_u32(0xdead_beef);
+        let mut b = Fnv1a::new();
+        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        b.write(&0xdead_beefu32.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn single_bit_flips_change_digest() {
+        let base = b"farmer artifact payload".to_vec();
+        let d0 = fnv1a(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fnv1a(&flipped), d0, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut h = Fnv1a::new();
+        h.write(b"xyz");
+        assert_eq!(h.finish(), h.finish());
+    }
+}

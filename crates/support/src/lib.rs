@@ -18,6 +18,8 @@
 //!   binaries (`FARMER_BENCH_SAMPLES` / `FARMER_BENCH_JSON`).
 //! * [`alloc`] — a counting global allocator for allocation-budget
 //!   tests.
+//! * [`hash`] — FNV-1a 64-bit hashing (artifact checksums, index
+//!   fingerprints), with pinned reference digests.
 //! * [`trace`] — statically dispatched phase spans, latency
 //!   histograms, per-worker lock-free event rings, and Chrome-trace /
 //!   Prometheus-text exporters.
@@ -27,6 +29,7 @@
 pub mod alloc;
 pub mod bench;
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod thread;

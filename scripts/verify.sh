@@ -52,11 +52,43 @@ grep -q '"trace"' "$tmp/traced.json"
 grep -q '"dropped_events"' "$tmp/traced.json"
 grep -q '"confidence_floor"' "$tmp/traced.json"
 
+echo "==> store & serve smoke (mine --save-irgs -> serve -> client -> clean exit)"
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 \
+  --save-irgs "$tmp/m.fgi" > "$tmp/mine_save.txt"
+grep -q 'rule groups to' "$tmp/mine_save.txt"
+# offline query against the saved artifact answers without a server
+./target/release/farmer query "$tmp/m.fgi" --items 0,1 --limit 3 > "$tmp/query.txt"
+grep -q 'classified as' "$tmp/query.txt"
+# serve on an ephemeral port; --idle-exit-ms lets it exit 0 by itself
+./target/release/farmer serve "$tmp/m.fgi" --workers 2 --idle-exit-ms 2000 \
+  > "$tmp/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's|.*at http://||p' "$tmp/serve.log" | head -n1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ]
+client=./target/release/fgi-client
+"$client" "$addr" /healthz --expect 200 | grep -q '"status":"ok"'
+"$client" "$addr" "/classify?items=0,1" --expect 200 | grep -q '"class"'
+"$client" "$addr" "/query?items=0,1&limit=2" --expect 200 | grep -q '"groups"'
+"$client" "$addr" /nope --expect 404 > /dev/null
+"$client" "$addr" /metrics --expect 200 > "$tmp/serve_metrics.prom"
+for family in farmer_serve_request_ns farmer_serve_classify_ns \
+  farmer_serve_healthz_ns; do
+  grep -q "$family" "$tmp/serve_metrics.prom"
+done
+wait "$serve_pid"
+grep -q 'shut down cleanly' "$tmp/serve.log"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> bench smoke (1 sample, substrates)"
+echo "==> bench smoke (1 sample, substrates + serving)"
 FARMER_BENCH_SAMPLES=1 cargo bench --offline -p farmer-bench --bench substrates
+FARMER_BENCH_SAMPLES=1 cargo bench --offline -p farmer-bench --bench serving
 
 echo "==> perf trajectory smoke (1 sample) + schema check"
 FARMER_BENCH_SAMPLES=1 cargo run -q --offline --release -p farmer-bench \
