@@ -83,6 +83,8 @@ pub struct MineArgs {
     pub node_budget: Option<u64>,
     /// Worker threads for `--algo farmer` (1 = sequential).
     pub threads: usize,
+    /// Shared prune/memo table slots for `--algo farmer` (0 = off).
+    pub memo_capacity: usize,
     /// Print heartbeat progress lines to stderr while mining.
     pub progress: bool,
     /// Print a machine-readable run report (JSON) to stdout.
@@ -215,6 +217,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             timeout_ms: opt_num(&opts, "timeout-ms")?,
             node_budget: opt_num(&opts, "node-budget")?,
             threads: num(&opts, "threads", 1)?,
+            memo_capacity: num(&opts, "memo-capacity", 0)?,
             progress: flag(&opts, "progress"),
             stats_json: flag(&opts, "stats-json"),
             json: opts.get("json").and_then(|v| v.clone().map(PathBuf::from)),
@@ -383,6 +386,7 @@ mod tests {
                 assert_eq!(m.timeout_ms, None);
                 assert_eq!(m.node_budget, None);
                 assert_eq!(m.threads, 1);
+                assert_eq!(m.memo_capacity, 0);
                 assert!(!m.progress);
                 assert!(!m.stats_json);
                 assert_eq!(m.json, None);
@@ -409,6 +413,8 @@ mod tests {
             "10000",
             "--threads",
             "4",
+            "--memo-capacity",
+            "65536",
             "--progress",
             "--stats-json",
             "--trace-out",
@@ -423,6 +429,7 @@ mod tests {
                 assert_eq!(m.timeout_ms, Some(250));
                 assert_eq!(m.node_budget, Some(10000));
                 assert_eq!(m.threads, 4);
+                assert_eq!(m.memo_capacity, 65536);
                 assert!(m.progress);
                 assert!(m.stats_json);
                 assert_eq!(m.trace_out, Some(PathBuf::from("t.json")));

@@ -56,6 +56,7 @@ pub mod carpenter;
 pub mod cobbler;
 pub mod cond;
 pub mod measures;
+pub mod memo;
 pub mod minelb;
 pub mod naive;
 pub mod session;
@@ -68,6 +69,7 @@ mod params;
 mod rule;
 
 pub use index::GroupIndex;
+pub use memo::{MemoStats, MemoTable};
 pub use miner::{Farmer, NodeScratch};
 pub use params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
 pub use rule::{canonical_sort, dump_groups, MineResult, MineStats, RuleGroup, SchedStats};

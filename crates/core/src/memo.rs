@@ -1,0 +1,350 @@
+//! Lock-free shared prune/memo table over canonical row-set digests.
+//!
+//! FARMER's backward scan (paper §3.2) prunes a node exactly when its
+//! closed row set was already enumerated on an earlier branch. That
+//! check is *local* — it re-derives the answer from the current
+//! conditional table. The [`MemoTable`] makes the same fact *shared*:
+//! once any worker closes a row set, it publishes the set's FNV-1a
+//! digest, and every other worker's probe of an equal row set answers
+//! "already closed" without rescanning.
+//!
+//! ## Layout and claim protocol
+//!
+//! The table is a fixed-capacity open-addressed array of `AtomicU64`
+//! words, one word per slot, no separate metadata:
+//!
+//! ```text
+//!   63                    16 15            0
+//!   +-----------------------+--------------+
+//!   |  digest tag (48 bits) | epoch (16)   |
+//!   +-----------------------+--------------+
+//! ```
+//!
+//! Epoch `0` is the empty sentinel, so a freshly zeroed array is an
+//! empty table and [`MemoTable::reset`] is O(1): bump the epoch and
+//! every live word becomes logically stale. Slot index comes from the
+//! digest's *low* bits (`digest & mask`), the tag from its high 48 —
+//! independent halves, so the tag loses no discriminating power to the
+//! index.
+//!
+//! Inserts claim a slot with a single CAS on the packed word (empty or
+//! stale observed value → new word). A lost CAS is re-examined: if the
+//! winner wrote the same tag the digest is already present and the
+//! insert is a no-op. If the linear-probe window is full of live
+//! non-matching entries the insert is *dropped* (collision counter),
+//! trading recall for boundedness exactly like tantabus's `CacheTable`
+//! — a dropped insert only costs a redundant rescan later, never
+//! correctness.
+//!
+//! ## False positives
+//!
+//! Two distinct row sets collide only if they agree on the 48-bit tag
+//! *and* the index bits — probability ~2⁻⁴⁸ per pair under FNV-1a
+//! mixing, negligible against the ~2²⁰-node workloads this repo
+//! targets, and the same trade twsearch's `PruneTable` makes. The
+//! miner additionally gates memo pruning on the configurations where a
+//! hit is provably equivalent to the backward scan (see
+//! `miner.rs`), so a hit never changes *which* groups are emitted.
+
+use farmer_support::hash::Fnv1a;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits of the packed word holding the digest tag.
+const TAG_MASK: u64 = !0u64 << 16;
+/// Bits of the packed word holding the epoch.
+const EPOCH_MASK: u64 = 0xFFFF;
+/// Longest linear-probe run before an insert is dropped / a probe
+/// reports a miss. Short on purpose: the table is a cache, not a map.
+const PROBE_WINDOW: usize = 8;
+
+/// FNV-1a digest of a row set's canonical packed-word form.
+///
+/// Feeding the 64-bit words (little-end-first, as
+/// `rowset::RowSet::words` defines them) through
+/// [`Fnv1a::write_u64`] makes the digest a pure function of set
+/// *contents*: equal row sets hash equal regardless of which branch or
+/// worker derived them.
+#[inline]
+pub fn rowset_digest(words: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// Racy-but-monotonic counters describing one mining run's memo
+/// traffic. See [`MemoTable::snapshot`].
+///
+/// The counts are summed across workers with relaxed atomics, so in a
+/// parallel run the hit/miss split depends on thread interleaving —
+/// only the invariant `hits + misses == probes` and (single-threaded)
+/// exact values are stable enough to pin in tests. That is why these
+/// live in the scheduler stats, not in the deterministic `MineStats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Configured slot count (0 when the memo table is disabled).
+    pub capacity: usize,
+    /// Lookups issued against the table.
+    pub probes: u64,
+    /// Lookups that found their digest already published.
+    pub hits: u64,
+    /// Lookups that did not find their digest.
+    pub misses: u64,
+    /// Digests successfully published.
+    pub inserts: u64,
+    /// Inserts dropped because the probe window was full of live,
+    /// non-matching entries.
+    pub collisions: u64,
+}
+
+/// Fixed-capacity, lock-free, open-addressed digest table shared by
+/// every worker of a mining run. See the module docs for the layout
+/// and claim protocol.
+#[derive(Debug)]
+pub struct MemoTable {
+    slots: Vec<AtomicU64>,
+    mask: u64,
+    epoch: AtomicU64,
+    probes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl MemoTable {
+    /// Builds an empty table with at least `capacity` slots (rounded up
+    /// to a power of two, minimum [`PROBE_WINDOW`]).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(PROBE_WINDOW);
+        MemoTable {
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap as u64 - 1,
+            epoch: AtomicU64::new(1),
+            probes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn packed(&self, digest: u64) -> u64 {
+        (digest & TAG_MASK) | self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Looks `digest` up; `true` means some worker already published
+    /// it (its subtree is already closed and can be skipped).
+    #[inline]
+    pub fn probe(&self, digest: u64) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let want = self.packed(digest);
+        let epoch = want & EPOCH_MASK;
+        let base = digest & self.mask;
+        for i in 0..PROBE_WINDOW.min(self.slots.len()) {
+            let word = self.slots[(base as usize + i) & self.mask as usize].load(Ordering::Acquire);
+            if word == want {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            if word & EPOCH_MASK != epoch {
+                // empty or stale: an inserter would have claimed this
+                // slot before probing further, so the digest is absent
+                break;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Publishes `digest`. Claims the first empty/stale slot in the
+    /// probe window with a CAS; re-examines lost races (the winner may
+    /// have written the same tag); drops the insert entirely when the
+    /// window holds only live foreign entries.
+    pub fn insert(&self, digest: u64) {
+        let want = self.packed(digest);
+        let epoch = want & EPOCH_MASK;
+        let base = digest & self.mask;
+        for i in 0..PROBE_WINDOW.min(self.slots.len()) {
+            let slot = &self.slots[(base as usize + i) & self.mask as usize];
+            let mut word = slot.load(Ordering::Acquire);
+            loop {
+                if word == want {
+                    return; // already present (possibly a racing twin)
+                }
+                if word & EPOCH_MASK == epoch {
+                    break; // live foreign entry: try the next slot
+                }
+                match slot.compare_exchange_weak(word, want, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        self.inserts.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(seen) => word = seen, // lost the race: re-examine
+                }
+            }
+        }
+        self.collisions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// O(1) logical clear: bumps the epoch (skipping the empty
+    /// sentinel `0` on wrap) so every published word goes stale, and
+    /// zeroes the counters. Not linearizable against concurrent
+    /// probes/inserts — call between runs, not during one.
+    pub fn reset(&self) {
+        let next = match (self.epoch.load(Ordering::Relaxed) + 1) & EPOCH_MASK {
+            0 => 1,
+            e => e,
+        };
+        self.epoch.store(next, Ordering::Release);
+        for c in [
+            &self.probes,
+            &self.hits,
+            &self.misses,
+            &self.inserts,
+            &self.collisions,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the counters out. `hits + misses == probes` holds for
+    /// any quiescent snapshot.
+    pub fn snapshot(&self) -> MemoStats {
+        MemoStats {
+            capacity: self.capacity(),
+            probes: self.probes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_support::thread::scope;
+
+    #[test]
+    fn digest_is_content_addressed() {
+        assert_eq!(rowset_digest(&[1, 0, 7]), rowset_digest(&[1, 0, 7]));
+        assert_ne!(rowset_digest(&[1, 0, 7]), rowset_digest(&[1, 7, 0]));
+        assert_ne!(rowset_digest(&[]), rowset_digest(&[0]));
+    }
+
+    #[test]
+    fn probe_miss_then_insert_then_hit() {
+        let t = MemoTable::new(64);
+        let d = rowset_digest(&[0b1011, 0, 1]);
+        assert!(!t.probe(d));
+        t.insert(d);
+        assert!(t.probe(d));
+        t.insert(d); // idempotent: no second insert counted
+        let s = t.snapshot();
+        assert_eq!(s.capacity, 64);
+        assert_eq!((s.probes, s.hits, s.misses), (2, 1, 1));
+        assert_eq!((s.inserts, s.collisions), (1, 0));
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_has_a_floor() {
+        assert_eq!(MemoTable::new(0).capacity(), PROBE_WINDOW);
+        assert_eq!(MemoTable::new(100).capacity(), 128);
+    }
+
+    #[test]
+    fn full_window_drops_inserts_and_counts_collisions() {
+        // capacity == window, and digests sharing index bits: after the
+        // window fills, further inserts drop and probes miss
+        let t = MemoTable::new(PROBE_WINDOW);
+        let mask = t.capacity() as u64 - 1;
+        let digests: Vec<u64> = (0..)
+            .map(|i: u64| (i << 16) | 3) // same index bits, distinct tags
+            .filter(|d| d & mask == 3)
+            .take(PROBE_WINDOW + 2)
+            .collect();
+        for &d in &digests[..PROBE_WINDOW] {
+            t.insert(d);
+            assert!(t.probe(d));
+        }
+        for &d in &digests[PROBE_WINDOW..] {
+            t.insert(d);
+            assert!(!t.probe(d), "dropped insert must not be visible");
+        }
+        let s = t.snapshot();
+        assert_eq!(s.inserts, PROBE_WINDOW as u64);
+        assert_eq!(s.collisions, 2);
+        assert_eq!(s.hits + s.misses, s.probes);
+    }
+
+    #[test]
+    fn reset_empties_the_table_in_o1() {
+        let t = MemoTable::new(32);
+        for w in 0..20u64 {
+            t.insert(rowset_digest(&[w]));
+        }
+        t.reset();
+        let fresh = t.snapshot();
+        assert_eq!(
+            fresh,
+            MemoStats {
+                capacity: 32,
+                ..MemoStats::default()
+            }
+        );
+        for w in 0..20u64 {
+            assert!(!t.probe(rowset_digest(&[w])), "stale epoch must miss");
+        }
+    }
+
+    #[test]
+    fn epoch_wrap_skips_empty_sentinel() {
+        let t = MemoTable::new(8);
+        for _ in 0..=(EPOCH_MASK as usize + 4) {
+            t.reset();
+            assert_ne!(t.epoch.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_probes_keep_counters_consistent() {
+        let t = MemoTable::new(256);
+        scope(|s| {
+            for w in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    // overlapping digest ranges force racing twins
+                    for i in 0..500u64 {
+                        let d = rowset_digest(&[(w * 250 + i) % 700]);
+                        if !t.probe(d) {
+                            t.insert(d);
+                        }
+                    }
+                });
+            }
+        });
+        let s = t.snapshot();
+        assert_eq!(s.probes, 2000);
+        assert_eq!(s.hits + s.misses, s.probes);
+        // every one of the 700 distinct digests is either present
+        // (inserted once) or was dropped on a full window
+        assert!(s.inserts <= 700);
+        for v in 0..700u64 {
+            let d = rowset_digest(&[v]);
+            // a probe hit must be stable once quiescent
+            if t.probe(d) {
+                assert!(t.probe(d));
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::cond::{BitsetNode, CondNode, Inspect, PointerNode};
 use crate::measures::{self, chi_square, chi_square_upper_bound, convex_upper_bound, Contingency};
+use crate::memo::{self, MemoTable};
 use crate::minelb::mine_lower_bounds;
 use crate::params::{Engine, ExtraConstraint, MiningParams, PruningConfig};
 use crate::rule::{MineResult, MineStats, RuleGroup, SchedStats};
@@ -11,8 +12,9 @@ use crate::session::{
 };
 use crate::trace::{self, NoopTracer, TraceSink};
 use farmer_dataset::{Dataset, RowId, TransposedTable};
-use farmer_support::thread::StealQueue;
+use farmer_support::thread::WorkDeque;
 use rowset::{IdList, RowSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// One recursion frame's worth of buffers: everything a node of the
@@ -108,6 +110,7 @@ pub struct Farmer {
     pruning: PruningConfig,
     engine: Engine,
     threads: usize,
+    memo_capacity: usize,
 }
 
 impl Farmer {
@@ -119,6 +122,7 @@ impl Farmer {
             pruning: PruningConfig::default(),
             engine: Engine::default(),
             threads: 1,
+            memo_capacity: 0,
         }
     }
 
@@ -150,6 +154,39 @@ impl Farmer {
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Enables the shared prune/memo table with (at least) `capacity`
+    /// slots; `0` (the default) disables it.
+    ///
+    /// The table memoizes the backward scan of pruning strategy 2: once
+    /// any worker closes a row set, every later node with an equal
+    /// closed set — on any thread — is pruned by a single digest probe
+    /// instead of a rescan. A hit is provably equivalent to the back
+    /// scan it replaces (see [`memo`]), so the memo never changes which
+    /// groups are emitted or any [`MineStats`] counter; it only
+    /// relocates where the `pruned_duplicate` time is spent. When
+    /// pruning strategies 1 or 2 are disabled the equivalence argument
+    /// breaks down, so the memo silently stays off for those ablation
+    /// configs.
+    pub fn with_memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = capacity;
+        self
+    }
+
+    /// The memo table this run should use, if any: requested *and*
+    /// sound. A memo hit asserts "an equal closed row set already
+    /// passed the back scan", which substitutes for this node's back
+    /// scan only while strategy 2 performs that scan and strategy 1
+    /// guarantees at most one back-scan survivor per closed set —
+    /// with compression off, both `{z₁}`-closers and deeper
+    /// `{z₁,z₂}`-closers survive the scan, and memo-pruning the deeper
+    /// one would drop its descendants' groups.
+    fn memo_table(&self) -> Option<MemoTable> {
+        (self.memo_capacity > 0
+            && self.pruning.strategy1_compression
+            && self.pruning.strategy2_duplicate)
+            .then(|| MemoTable::new(self.memo_capacity))
     }
 
     /// Mines all interesting rule groups of `data` for the configured
@@ -293,6 +330,7 @@ impl Farmer {
         let n = reordered.n_rows();
         let m = tt.n_target();
         let eff_min_conf = self.effective_min_conf(n, m);
+        let memo = self.memo_table();
         let mut ctx = Ctx {
             params: &self.params,
             pruning: &self.pruning,
@@ -309,6 +347,9 @@ impl Farmer {
             stats: MineStats::default(),
             irgs: Vec::new(),
             defer_interesting: false,
+            memo: memo.as_ref(),
+            split: None,
+            current_root: 0,
         };
         let e_p = RowSet::from_ids(n, 0..m);
         let e_n = RowSet::from_ids(n, m..n);
@@ -333,16 +374,27 @@ impl Farmer {
             steals: 0,
             worker_nodes: vec![stats.nodes_visited],
             peak_arena_depth: scratch.peak_depth(),
+            memo: memo.as_ref().map(MemoTable::snapshot).unwrap_or_default(),
         };
+        emit_memo_counters(tracer, &sched.memo);
         self.package(irgs, stats, sched, reordered, order, n, m, tracer)
     }
 
     /// Parallel search: the root is built and scanned **once** (the
     /// engines borrow the dataset's own tuple store, so the root is
     /// `Sync` and shared by reference), and the depth-1 subtrees are
-    /// distributed through a work-stealing index queue — a worker stuck
-    /// in a heavy subtree simply claims fewer, so the orders-of-magnitude
-    /// skew between subtrees self-balances. Threshold-passing groups are
+    /// seeded round-robin into per-worker [`WorkDeque`]s — the owner
+    /// works its own deque LIFO while dry workers steal FIFO from the
+    /// others, so a worker stuck in a heavy subtree sheds its queued
+    /// roots to the rest. When every deque runs dry and some subtree is
+    /// still grinding, its worker notices the `hungry` count and
+    /// **splits**: depth-1 nodes push their not-yet-descended children
+    /// as packed `(root, child)` tasks instead of recursing, and the
+    /// claimant replays the child's exact recursion state from the
+    /// shared root scan — the visited-node multiset is identical to the
+    /// unsplit run, so [`MineStats`] stay deterministic. Workers also
+    /// share one [`MemoTable`] (when enabled), letting any worker skip
+    /// subtrees another already closed. Threshold-passing groups are
     /// merged and the interestingness filter runs as a final pass
     /// (equivalent to step 7 by Lemma 3.4); for complete runs the merged
     /// output and [`MineStats`] are deterministic regardless of
@@ -383,6 +435,8 @@ impl Farmer {
         let threads = self.threads;
         let shared_budget = self.resolve_budget(ctl).map(SharedBudget::new);
         let budget = shared_budget.as_ref();
+        let memo = self.memo_table();
+        let memo_ref = memo.as_ref();
 
         // replicate the sequential root step once (no compression at the
         // root, exact candidates), then queue the depth-1 subtrees
@@ -395,13 +449,39 @@ impl Farmer {
         // candidates in sequential order: positives then negatives
         let cands: Vec<usize> = ins.u_p.iter().chain(ins.u_n.iter()).collect();
         let n_pos = ins.u_p.len();
-        let queue = StealQueue::new(cands.len(), 1);
+
+        // Per-worker deques, seeded round-robin before any worker runs
+        // (so the pre-spawn pushes need no synchronization). Seeds go in
+        // reversed so the owner's LIFO pops claim its roots in ascending
+        // (sequential) order; split pushes later ride the same deques.
+        // Capacity covers the worst seed share plus a split burst —
+        // overflowing pushes are simply run inline by the splitter.
+        let deque_cap = (cands.len() / threads.max(1) + 2)
+            .next_power_of_two()
+            .max(256);
+        let deques: Vec<WorkDeque> = (0..threads).map(|_| WorkDeque::new(deque_cap)).collect();
+        for (w, dq) in deques.iter().enumerate() {
+            let seeds: Vec<usize> = (w..cands.len()).step_by(threads).collect();
+            for &idx in seeds.iter().rev() {
+                assert!(dq.push(idx as u64), "deque sized to fit its seed share");
+            }
+        }
+        // Tasks seeded or split but not yet executed. A split increments
+        // *before* pushing and the claimant decrements only *after* the
+        // subtree returns, so the count can't touch zero while any task
+        // is pending — that makes `in_flight == 0` a safe termination
+        // signal for starving workers. `halt` covers the other exit:
+        // budget/deadline/cancel stops a worker with tasks still queued.
+        let in_flight = AtomicUsize::new(cands.len());
+        let hungry = AtomicUsize::new(0);
+        let halt = AtomicBool::new(false);
 
         type WorkerOut = (Vec<Pending>, MineStats, u64, usize);
         let results: Vec<WorkerOut> = farmer_support::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
-                    let (ins, cands, queue) = (&ins, &cands, &queue);
+                    let (ins, cands, deques) = (&ins, &cands, &deques);
+                    let (in_flight, hungry, halt) = (&in_flight, &hungry, &halt);
                     scope.spawn(move || {
                         let lane = trace::worker_lane(w);
                         let _enumerate = trace::span(tracer, lane, trace::SPAN_ENUMERATE);
@@ -422,63 +502,192 @@ impl Farmer {
                             stats: MineStats::default(),
                             irgs: Vec::new(),
                             defer_interesting: true,
+                            memo: memo_ref,
+                            split: Some(SplitCtx {
+                                deque: &deques[w],
+                                hungry,
+                                in_flight,
+                            }),
+                            current_root: 0,
                         };
                         ctx.stats.nodes_visited += 1; // the shared root
                         let mut scratch = NodeScratch::new(n);
+                        // depth-1 task buffers
                         let mut child = root.clone_shell();
                         let mut counted = RowSet::empty(n);
                         let mut rem_p = RowSet::empty(n);
                         let mut rem_n = RowSet::empty(n);
-                        let mut work = queue.stealing_iter();
-                        let mut seen_steals = 0;
-                        while let Some(idx) = work.next() {
+                        // split-task replay buffers (see `Replay`)
+                        let mut child2 = root.clone_shell();
+                        let mut ins1 = crate::cond::Inspect::new(n);
+                        let mut task_e_p = RowSet::empty(n);
+                        let mut task_e_n = RowSet::empty(n);
+                        let mut steals = 0u64;
+                        // FIFO-steal the next victim round-robin from w
+                        let try_steal = |steals: &mut u64| -> Option<u64> {
+                            for off in 1..threads {
+                                if let Some(t) = deques[(w + off) % threads].steal() {
+                                    *steals += 1;
+                                    if tracer.enabled() {
+                                        tracer.instant(lane, trace::SPAN_STEAL);
+                                    }
+                                    return Some(t);
+                                }
+                            }
+                            None
+                        };
+                        loop {
                             if ctx.stats.budget_exhausted {
+                                // release anyone starving on in_flight:
+                                // queued tasks will never run
+                                halt.store(true, Ordering::Release);
                                 break;
                             }
-                            // a claim beyond the worker's first chunk is a
-                            // steal — mark it as an instant on this track
-                            if tracer.enabled() && work.steals() > seen_steals {
-                                seen_steals = work.steals();
-                                tracer.instant(lane, trace::SPAN_STEAL);
-                            }
+                            let task = match deques[w].pop().or_else(|| try_steal(&mut steals)) {
+                                Some(t) => t,
+                                None => {
+                                    // every deque is dry: advertise the
+                                    // starvation (so busy workers start
+                                    // splitting) and wait for a split
+                                    // task, run-out, or halt
+                                    hungry.fetch_add(1, Ordering::SeqCst);
+                                    let mut got = None;
+                                    let mut spins = 0u32;
+                                    while !halt.load(Ordering::Acquire)
+                                        && in_flight.load(Ordering::SeqCst) > 0
+                                    {
+                                        got = try_steal(&mut steals);
+                                        if got.is_some() {
+                                            break;
+                                        }
+                                        // yield first (cheap wake-up on
+                                        // real cores), then back off to
+                                        // short sleeps: when workers
+                                        // outnumber cores a pure yield
+                                        // loop steals timeslices from
+                                        // the thread doing real work
+                                        spins += 1;
+                                        if spins < 64 {
+                                            std::thread::yield_now();
+                                        } else {
+                                            std::thread::sleep(std::time::Duration::from_micros(
+                                                50,
+                                            ));
+                                        }
+                                    }
+                                    hungry.fetch_sub(1, Ordering::SeqCst);
+                                    match got {
+                                        Some(t) => t,
+                                        None => break,
+                                    }
+                                }
+                            };
+                            let idx = (task & u64::from(u32::MAX)) as usize;
                             let r = cands[idx];
-                            counted.clear();
-                            counted.insert(r);
-                            root.child_into(r as RowId, &mut child);
-                            if idx < n_pos {
-                                // positive subtree: candidates after r
-                                rem_p.copy_from(&ins.u_p);
-                                rem_p.clear_through(r);
-                                ctx.visit(
-                                    &mut scratch,
-                                    &child,
-                                    Some(r as RowId),
-                                    &counted,
-                                    &rem_p,
-                                    &ins.u_n,
-                                    sup_p0,
-                                    sup_n0,
-                                    1,
-                                );
-                            } else {
-                                // negative subtree: no positive candidates
-                                rem_p.clear();
-                                rem_n.copy_from(&ins.u_n);
-                                rem_n.clear_through(r);
-                                ctx.visit(
-                                    &mut scratch,
-                                    &child,
-                                    Some(r as RowId),
-                                    &counted,
-                                    &rem_p,
-                                    &rem_n,
-                                    sup_p0,
-                                    sup_n0,
-                                    1,
-                                );
+                            match (task >> 32) as u32 {
+                                0 => {
+                                    // depth-1 root task: exactly the
+                                    // sequential root's descend step
+                                    ctx.current_root = idx as u32;
+                                    counted.clear();
+                                    counted.insert(r);
+                                    root.child_into(r as RowId, &mut child);
+                                    if idx < n_pos {
+                                        // positive subtree: candidates after r
+                                        rem_p.copy_from(&ins.u_p);
+                                        rem_p.clear_through(r);
+                                        ctx.visit(
+                                            &mut scratch,
+                                            &child,
+                                            Some(r as RowId),
+                                            &counted,
+                                            &rem_p,
+                                            &ins.u_n,
+                                            sup_p0,
+                                            sup_n0,
+                                            1,
+                                        );
+                                    } else {
+                                        // negative subtree: no positive candidates
+                                        rem_p.clear();
+                                        rem_n.copy_from(&ins.u_n);
+                                        rem_n.clear_through(r);
+                                        ctx.visit(
+                                            &mut scratch,
+                                            &child,
+                                            Some(r as RowId),
+                                            &counted,
+                                            &rem_p,
+                                            &rem_n,
+                                            sup_p0,
+                                            sup_n0,
+                                            1,
+                                        );
+                                    }
+                                }
+                                c_plus_1 => {
+                                    // split task: replay the depth-1 node
+                                    // (r)'s state from the shared root scan,
+                                    // then run its child c's subtree. The
+                                    // replay is pure arithmetic — no tick, no
+                                    // node count — because the depth-1 node
+                                    // was already visited by the splitter.
+                                    let c = (c_plus_1 - 1) as usize;
+                                    root.child_into(r as RowId, &mut child);
+                                    if idx < n_pos {
+                                        task_e_p.copy_from(&ins.u_p);
+                                        task_e_p.clear_through(r);
+                                        task_e_n.copy_from(&ins.u_n);
+                                    } else {
+                                        task_e_p.clear();
+                                        task_e_n.copy_from(&ins.u_n);
+                                        task_e_n.clear_through(r);
+                                    }
+                                    child.inspect_into(&task_e_p, &task_e_n, &mut ins1);
+                                    let sup_p1 = ins1.z.intersection_len(&ctx.pos_mask);
+                                    let sup_n1 = ins1.z.len() - sup_p1;
+                                    counted.clear();
+                                    counted.insert(r);
+                                    if self.pruning.strategy1_compression {
+                                        // mirror visit_scanned's step 5
+                                        ins1.u_p.difference_into(&ins1.z, &mut rem_p);
+                                        ins1.u_n.difference_into(&ins1.z, &mut rem_n);
+                                        task_e_p.union_with(&task_e_n);
+                                        task_e_p.intersect_with(&ins1.z);
+                                        counted.union_with(&task_e_p);
+                                    } else {
+                                        rem_p.copy_from(&ins1.u_p);
+                                        rem_n.copy_from(&ins1.u_n);
+                                    }
+                                    debug_assert!(!counted.contains(c));
+                                    counted.insert(c);
+                                    child.child_into(c as RowId, &mut child2);
+                                    if c < m {
+                                        // positive child: later positives
+                                        // plus the full negative list
+                                        rem_p.clear_through(c);
+                                    } else {
+                                        // negative child: positives drained,
+                                        // later negatives remain
+                                        rem_p.clear();
+                                        rem_n.clear_through(c);
+                                    }
+                                    ctx.visit(
+                                        &mut scratch,
+                                        &child2,
+                                        Some(c as RowId),
+                                        &counted,
+                                        &rem_p,
+                                        &rem_n,
+                                        sup_p1,
+                                        sup_n1,
+                                        2,
+                                    );
+                                }
                             }
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
-                        (ctx.irgs, ctx.stats, work.steals(), scratch.peak_depth())
+                        (ctx.irgs, ctx.stats, steals, scratch.peak_depth())
                     })
                 })
                 .collect();
@@ -518,6 +727,8 @@ impl Farmer {
                 by_upper.entry(p.upper.clone()).or_insert(p);
             }
         }
+        sched.memo = memo.as_ref().map(MemoTable::snapshot).unwrap_or_default();
+        emit_memo_counters(tracer, &sched.memo);
 
         // final interestingness pass: generality order, keep a group iff
         // no accepted more-general group has confidence >= its own
@@ -633,6 +844,38 @@ impl Farmer {
     }
 }
 
+/// Publishes the final memo-table counters on the main lane so traced
+/// runs fold memo traffic into the Chrome/Prometheus exports. One call
+/// per run (at merge time), not per node — the counters are already
+/// aggregated atomics.
+fn emit_memo_counters<T: TraceSink + ?Sized>(tracer: &T, memo: &memo::MemoStats) {
+    if tracer.enabled() && memo.capacity > 0 {
+        tracer.counter(trace::LANE_MAIN, trace::COUNTER_MEMO_HITS, memo.hits);
+        tracer.counter(trace::LANE_MAIN, trace::COUNTER_MEMO_MISSES, memo.misses);
+        tracer.counter(trace::LANE_MAIN, trace::COUNTER_MEMO_INSERTS, memo.inserts);
+        tracer.counter(
+            trace::LANE_MAIN,
+            trace::COUNTER_MEMO_COLLISIONS,
+            memo.collisions,
+        );
+    }
+}
+
+/// The scheduler hooks a parallel worker threads through its [`Ctx`]:
+/// everything a depth-1 node needs to shed its children to starving
+/// peers instead of recursing into them.
+struct SplitCtx<'a> {
+    /// The worker's own deque — split children are pushed here (the
+    /// deque's owner side), where idle thieves steal them FIFO.
+    deque: &'a WorkDeque,
+    /// Workers currently starving. Splitting costs a replay rescan, so
+    /// nodes only split while someone is actually idle.
+    hungry: &'a AtomicUsize,
+    /// Seeded + split tasks not yet executed; `0` tells starving
+    /// workers the run is over. Incremented *before* every push.
+    in_flight: &'a AtomicUsize,
+}
+
 /// A discovered IRG, in reordered row-id space (pending final mapping).
 struct Pending {
     upper: IdList,
@@ -666,9 +909,44 @@ struct Ctx<'a, O: MineObserver + ?Sized, T: TraceSink + ?Sized> {
     /// Parallel mode: skip the step-7 interestingness comparison here
     /// and let the merge phase run it over all threads' groups.
     defer_interesting: bool,
+    /// Shared memo table, when enabled *and* sound for the pruning
+    /// config (see [`Farmer::memo_table`]).
+    memo: Option<&'a MemoTable>,
+    /// Parallel mode: the deque/starvation hooks for adaptive
+    /// splitting. `None` in sequential runs.
+    split: Option<SplitCtx<'a>>,
+    /// Index (into the parallel run's candidate list) of the depth-1
+    /// root this context is currently under — split tasks carry it so
+    /// the claimant can replay the path. Meaningless when `split` is
+    /// `None`.
+    current_root: u32,
 }
 
 impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
+    /// Offers child row `child` of the current depth-1 node to starving
+    /// peers. Returns `true` when the child was packed into the deque
+    /// (caller skips the recursion — someone will replay it), `false`
+    /// when nobody is hungry or the deque is full (caller recurses as
+    /// usual). `in_flight` goes up before the push so the task count
+    /// can never read zero while this task is claimable.
+    #[inline]
+    fn try_split(&mut self, child: usize) -> bool {
+        let Some(sp) = &self.split else { return false };
+        if sp.hungry.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        sp.in_flight.fetch_add(1, Ordering::SeqCst);
+        if sp
+            .deque
+            .push(((child as u64 + 1) << 32) | u64::from(self.current_root))
+        {
+            true
+        } else {
+            sp.in_flight.fetch_sub(1, Ordering::SeqCst);
+            false
+        }
+    }
+
     /// One node of the enumeration tree (Figure 5's `MineIRGs`).
     ///
     /// `last` is the row whose addition created this node (`None` at the
@@ -840,6 +1118,28 @@ impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
             node.inspect_into(e_p, e_n, &mut f.ins);
         }
 
+        // ---- Shared memo probe: before paying for the back scan, ask
+        // whether *any* worker already closed this exact row set. A hit
+        // is equivalent to a back-scan prune: with strategies 1+2 on
+        // (the gate for `memo` being `Some`), exactly one node per
+        // closed set survives the back scan and only survivors insert,
+        // so a present digest proves the survivor ran elsewhere — and
+        // this node, being a different node with an equal closed set,
+        // is exactly what Lemma 3.6 prunes. Counting it as
+        // `pruned_duplicate` therefore keeps every `MineStats` counter
+        // identical with the memo on or off, at any thread count.
+        let digest = match self.memo {
+            Some(_) => memo::rowset_digest(f.ins.z.words()),
+            None => 0,
+        };
+        if let Some(table) = self.memo {
+            if !is_root && table.probe(digest) {
+                self.stats.pruned_duplicate += 1;
+                self.obs.pruned(PruneReason::Duplicate);
+                return;
+            }
+        }
+
         // ---- Pruning strategy 2 (step 1 in the paper; our back scan is
         // part of the main scan). A row ordered before this node's deepest
         // row that occurs in every tuple — and was neither enumerated nor
@@ -859,6 +1159,14 @@ impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
                 self.stats.pruned_duplicate += 1;
                 self.obs.pruned(PruneReason::Duplicate);
                 return;
+            }
+            // back-scan survivor: this is the unique node that closes
+            // `z`, so publish it for every other worker (and for later
+            // branches here). Publishing before the tight bounds is
+            // deliberate — equal-`z` nodes get back-scan-pruned whether
+            // or not the bounds kill this node afterwards.
+            if let Some(table) = self.memo {
+                table.insert(digest);
             }
         }
 
@@ -958,6 +1266,11 @@ impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
                 break;
             }
             f.remaining_p.remove(r);
+            // adaptive split: while peers starve, a depth-1 node sheds
+            // this child as a replayable task instead of recursing
+            if depth == 1 && self.try_split(r) {
+                continue;
+            }
             debug_assert!(!f.counted_next.contains(r));
             f.counted_next.insert(r);
             node.child_into(r as RowId, &mut f.child);
@@ -983,6 +1296,9 @@ impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
                 break;
             }
             f.remaining_n.remove(r);
+            if depth == 1 && self.try_split(r) {
+                continue;
+            }
             debug_assert!(!f.counted_next.contains(r));
             f.counted_next.insert(r);
             node.child_into(r as RowId, &mut f.child);

@@ -23,3 +23,7 @@ cargo run -q --offline --release -p farmer-bench --bin pr3_trajectory -- --check
 echo "==> tracing overhead (BENCH_PR4.json)"
 cargo run -q --offline --release -p farmer-bench --bin pr4_overhead
 cargo run -q --offline --release -p farmer-bench --bin pr4_overhead -- --check BENCH_PR4.json
+
+echo "==> scheduler guard (BENCH_PR6.json)"
+cargo run -q --offline --release -p farmer-bench --bin pr6_scheduler
+cargo run -q --offline --release -p farmer-bench --bin pr6_scheduler -- --check BENCH_PR6.json

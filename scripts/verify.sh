@@ -18,6 +18,12 @@ cargo test -q --offline -p farmer-baselines adapters
 echo "==> allocation guard (hot path must not allocate once warm; release)"
 cargo test -q --offline --release -p farmer-core --test alloc_guard
 
+echo "==> parallel determinism matrix (threads x engine x memo, byte-pinned)"
+cargo test -q --offline -p farmer-core --test parallel_matrix
+
+echo "==> memo hammer (8 threads on a 16-slot table vs sequential oracle)"
+cargo test -q --offline --test stress memo_hammer
+
 echo "==> CLI --stats-json smoke (output must parse with support::json)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -33,6 +39,11 @@ grep -q '"stop": "budget"' "$tmp/trunc.json"
 ./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 --threads 2 --stats-json > "$tmp/par.json"
 grep -q '"scheduler"' "$tmp/par.json"
 grep -q '"peak_arena_depth"' "$tmp/par.json"
+# memo-enabled run reports the memo block with live counters
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 --threads 2 \
+  --memo-capacity 4096 --stats-json > "$tmp/memo.json"
+grep -q '"memo"' "$tmp/memo.json"
+grep -q '"hits"' "$tmp/memo.json"
 
 echo "==> trace smoke (--trace-out / --metrics-out / stats trace block)"
 ./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 --threads 2 \
@@ -102,5 +113,14 @@ cargo run -q --offline --release -p farmer-bench \
 echo "==> tracing overhead report: committed BENCH_PR4.json honors its bound"
 cargo run -q --offline --release -p farmer-bench \
   --bin pr4_overhead -- --check BENCH_PR4.json
+
+echo "==> scheduler guard smoke (1 sample) + committed BENCH_PR6.json bounds"
+FARMER_BENCH_SAMPLES=1 cargo run -q --offline --release -p farmer-bench \
+  --bin pr6_scheduler -- --out "$tmp/BENCH_PR6.json"
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr6_scheduler -- --check "$tmp/BENCH_PR6.json"
+# the committed scheduler report must also honor its recorded bounds
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr6_scheduler -- --check BENCH_PR6.json
 
 echo "==> verify OK"

@@ -15,6 +15,78 @@ use farmer_suite::dataset::DatasetBuilder;
 use farmer_support::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 
+/// 8-thread hammer on a deliberately tiny shared memo table: with 16
+/// slots (the implementation floor is 8, so 16 stays) and hundreds of
+/// closed sets, the probe windows overflow constantly — every insert
+/// race, drop-on-collision, and stale-epoch path gets exercised. The
+/// sequential memo-off run is the oracle: the parallel memo-on result
+/// must contain exactly the same groups (none lost to a bogus hit, none
+/// duplicated by a missed dedupe), and the memo counters must stay
+/// self-consistent. Seeded, so failures replay.
+#[test]
+fn memo_hammer_vs_sequential_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xFA12_6B07);
+    for trial in 0..25 {
+        let n_rows = rng.gen_range(8..=16);
+        let n_items = rng.gen_range(8..=20);
+        let density = rng.gen_range(0.3..0.8);
+        let mut b = DatasetBuilder::new(2);
+        for _ in 0..n_rows {
+            let items: Vec<u32> = (0..n_items as u32)
+                .filter(|_| rng.gen_bool(density))
+                .collect();
+            b.add_row(items, u32::from(rng.gen_bool(0.5)));
+        }
+        let d = b.build();
+        let params = MiningParams::new(rng.gen_range(0..2))
+            .min_sup(rng.gen_range(1..=2))
+            .min_conf([0.0, 0.6][trial % 2])
+            .lower_bounds(false);
+
+        let canon = |groups: &[farmer_suite::core::RuleGroup]| -> Vec<(Vec<u32>, usize, usize)> {
+            let mut v: Vec<_> = groups
+                .iter()
+                .map(|g| (g.upper.as_slice().to_vec(), g.sup, g.neg_sup))
+                .collect();
+            v.sort();
+            v
+        };
+        let oracle = Farmer::new(params.clone()).mine(&d);
+        let want = canon(&oracle.groups);
+
+        for engine in [Engine::Bitset, Engine::PointerList] {
+            let got = Farmer::new(params.clone())
+                .with_engine(engine)
+                .with_parallelism(8)
+                .with_memo_capacity(16)
+                .mine(&d);
+            let got_canon = canon(&got.groups);
+            // no duplicate closed groups survive the merge
+            let mut dedup = got_canon.clone();
+            dedup.dedup();
+            assert_eq!(
+                dedup.len(),
+                got_canon.len(),
+                "trial {trial} {engine:?}: duplicate groups"
+            );
+            // no lost groups, none invented
+            assert_eq!(got_canon, want, "trial {trial} {engine:?}");
+            // memo counters self-consistent under the hammering
+            let memo = &got.sched.memo;
+            assert!(memo.capacity >= 16, "trial {trial}: memo was off");
+            assert_eq!(
+                memo.hits + memo.misses,
+                memo.probes,
+                "trial {trial} {engine:?}: counter drift {memo:?}"
+            );
+            assert!(
+                memo.inserts <= memo.misses,
+                "trial {trial} {engine:?}: more inserts than missed probes {memo:?}"
+            );
+        }
+    }
+}
+
 #[test]
 #[ignore = "long randomized sweep; use --release -- --ignored"]
 fn randomized_cross_miner_consistency() {
