@@ -1,0 +1,251 @@
+//! PR-7 serving guard: `.fgi` v2 compaction against v1, plus sustained
+//! throughput and tail latency of the sharded `/v1` HTTP server.
+//!
+//! Usage:
+//!
+//! ```text
+//! pr7_serving [--out BENCH_PR7.json]   measure and write the report
+//! pr7_serving --check BENCH_PR7.json   enforce the compaction bound
+//! ```
+//!
+//! The artifact workload is the leukemia-analog efficiency dataset
+//! (72 rows, ~3.5k items) mined at `min_sup = 4` for every class — the
+//! same setting Figure 10 sweeps — saved in both formats. The v2
+//! run/verbatim rowset blocks and delta-coded varints must keep the
+//! file at least [`SIZE_RATIO_BOUND`]× smaller than v1; that bound is
+//! deterministic, so `--check` enforces it on any host. Serving numbers
+//! (req/s and client-observed p99 over loopback) are recorded for
+//! trend-watching and only guarded against collapse: they depend on
+//! the measuring machine. `FARMER_BENCH_SAMPLES` controls repetitions
+//! (default 3, best run wins).
+
+use farmer_bench::workloads::{efficiency_dataset, DEFAULT_COL_SCALE};
+use farmer_core::{canonical_sort, Farmer, MiningParams, RuleGroup};
+use farmer_dataset::synth::PaperDataset;
+use farmer_dataset::Dataset;
+use farmer_serve::{http_get, ArtifactHandle, ServeConfig, ShardedIndex};
+use farmer_store::{save_artifact_versioned, Artifact, ArtifactMeta};
+use farmer_support::json::{Json, ObjBuilder};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Paper-grid support threshold for the leukemia analog (Figure 10's
+/// densest point — the most groups, so the strongest compaction test).
+const MIN_SUP: usize = 4;
+
+/// v1_bytes / v2_bytes must clear this. Measured ~5.2× on the
+/// workload; the run/verbatim hybrid would have to regress badly to
+/// fall below 5.
+const SIZE_RATIO_BOUND: f64 = 5.0;
+
+/// Collapse guard for recorded throughput: loopback serving of a
+/// mined index does thousands of req/s on any real core; under this
+/// means the admission path or worker pool is wedged, not slow.
+const MIN_REQS_PER_SEC: f64 = 50.0;
+
+/// Client threads × requests per thread for one hammer sample.
+const CLIENTS: usize = 4;
+const REQS_PER_CLIENT: usize = 250;
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Mines every class of the efficiency workload at [`MIN_SUP`].
+fn mine_workload() -> (Dataset, ArtifactMeta, Vec<RuleGroup>) {
+    let d = efficiency_dataset(PaperDataset::Leukemia, DEFAULT_COL_SCALE);
+    let mut groups = Vec::new();
+    for class in 0..d.n_classes() as u32 {
+        groups.extend(
+            Farmer::new(MiningParams::new(class).min_sup(MIN_SUP))
+                .mine(&d)
+                .groups,
+        );
+    }
+    canonical_sort(&mut groups);
+    let meta = ArtifactMeta::from_dataset(&d);
+    (d, meta, groups)
+}
+
+/// Saves in `version` format and times the best-of-`samples` load.
+fn save_and_load(
+    meta: &ArtifactMeta,
+    groups: &[RuleGroup],
+    version: u32,
+    samples: usize,
+) -> (u64, f64) {
+    let path = std::env::temp_dir().join(format!("pr7_serving_v{version}.fgi"));
+    save_artifact_versioned(&path, meta, groups, version).expect("save artifact");
+    let bytes = std::fs::metadata(&path).expect("stat artifact").len();
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let art = Artifact::load(&path).expect("load artifact");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(art.groups.len(), groups.len());
+    }
+    let _ = std::fs::remove_file(&path);
+    (bytes, best)
+}
+
+/// One hammer sample: `CLIENTS` threads issue `REQS_PER_CLIENT`
+/// classify GETs each; returns (req/s, client-observed p99 ms).
+fn hammer(addr: &str, queries: &[String]) -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(REQS_PER_CLIENT);
+                    for i in 0..REQS_PER_CLIENT {
+                        let q = &queries[(c + i) % queries.len()];
+                        let t = Instant::now();
+                        let resp = http_get(addr, q).expect("classify GET");
+                        assert_eq!(resp.status, 200, "{q}: {}", resp.body);
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99) / 100 - 1] as f64 / 1e6;
+    ((CLIENTS * REQS_PER_CLIENT) as f64 / wall, p99)
+}
+
+fn run(out_path: &str) {
+    let samples: usize = std::env::var("FARMER_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let (d, meta, groups) = mine_workload();
+    eprintln!(
+        "leukemia-analog min_sup={MIN_SUP}: {} groups over {} rows x {} items",
+        groups.len(),
+        d.n_rows(),
+        d.n_items()
+    );
+    let (v1_bytes, v1_load_ms) = save_and_load(&meta, &groups, 1, samples);
+    let (v2_bytes, v2_load_ms) = save_and_load(&meta, &groups, 2, samples);
+    let ratio = v1_bytes as f64 / v2_bytes as f64;
+    eprintln!(
+        "artifact: v1 {v1_bytes} B ({v1_load_ms:.2} ms load), \
+         v2 {v2_bytes} B ({v2_load_ms:.2} ms load), {ratio:.2}x smaller"
+    );
+
+    // Serve the mined artifact in-process and hammer /v1/classify with
+    // real row contents (answers exercise postings, not the 404 path).
+    let index = ShardedIndex::from_artifact(Artifact {
+        meta: meta.clone(),
+        groups: groups.clone(),
+    });
+    let n_shards = index.n_shards();
+    let handle = Arc::new(ArtifactHandle::from_index(index));
+    let config = ServeConfig {
+        workers: CLIENTS,
+        ..ServeConfig::default()
+    };
+    let server = farmer_serve::start(Arc::clone(&handle), &config).expect("start server");
+    let addr = server.addr().to_string();
+    let queries: Vec<String> = (0..d.n_rows().min(16))
+        .map(|r| {
+            let items: Vec<&str> = d
+                .row(r as u32)
+                .iter()
+                .take(12)
+                .map(|i| d.item_name(i))
+                .collect();
+            format!("/v1/classify?items={}", items.join(","))
+        })
+        .collect();
+    let mut reqs_per_sec = 0.0f64;
+    let mut p99_ms = f64::INFINITY;
+    for _ in 0..samples {
+        let (rps, p99) = hammer(&addr, &queries);
+        if rps > reqs_per_sec {
+            reqs_per_sec = rps;
+            p99_ms = p99;
+        }
+    }
+    let shed = server.requests_shed();
+    server.shutdown();
+    eprintln!(
+        "serving: {reqs_per_sec:.0} req/s, p99 {p99_ms:.3} ms \
+         ({CLIENTS} clients, {n_shards} shards, {shed} shed)"
+    );
+
+    let report = ObjBuilder::new()
+        .field("schema", "farmer-serving-guard-v1")
+        .field("pr", 7usize)
+        .field("samples", samples)
+        .field("host_cores", host_cores())
+        .field("workload", "leukemia_analog_minsup4")
+        .field("n_groups", groups.len())
+        .field("v1_bytes", v1_bytes)
+        .field("v2_bytes", v2_bytes)
+        .field("size_ratio", ratio)
+        .field("v1_load_ms", v1_load_ms)
+        .field("v2_load_ms", v2_load_ms)
+        .field("n_shards", n_shards)
+        .field("reqs_per_sec", reqs_per_sec)
+        .field("p99_ms", p99_ms)
+        .field("shed", shed)
+        .build();
+    std::fs::write(out_path, format!("{}\n", report.pretty())).expect("write report");
+    eprintln!("wrote {out_path}");
+}
+
+/// Enforces the compaction bound (deterministic) and the serving
+/// collapse guards on an existing report; panics on violations.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path).expect("read report");
+    let j = Json::parse(&text).expect("report must parse as JSON");
+    assert_eq!(
+        j["schema"].as_str(),
+        Some("farmer-serving-guard-v1"),
+        "bad schema tag"
+    );
+    assert_eq!(j["pr"].as_u64(), Some(7));
+    let v1 = j["v1_bytes"].as_u64().expect("v1_bytes missing");
+    let v2 = j["v2_bytes"].as_u64().expect("v2_bytes missing");
+    assert!(v2 > 0, "v2 artifact is empty");
+    let ratio = v1 as f64 / v2 as f64;
+    assert!(
+        ratio >= SIZE_RATIO_BOUND,
+        "v2 only {ratio:.2}x smaller than v1 ({v1} / {v2} B) — \
+         below the {SIZE_RATIO_BOUND:.1}x bound"
+    );
+    let recorded_ratio = j["size_ratio"].as_f64().expect("size_ratio missing");
+    assert!(
+        (recorded_ratio - ratio).abs() < 0.01,
+        "recorded size_ratio {recorded_ratio:.2} disagrees with byte counts"
+    );
+    let rps = j["reqs_per_sec"].as_f64().expect("reqs_per_sec missing");
+    assert!(
+        rps >= MIN_REQS_PER_SEC,
+        "{rps:.0} req/s is collapse territory (bound {MIN_REQS_PER_SEC})"
+    );
+    let p99 = j["p99_ms"].as_f64().expect("p99_ms missing");
+    assert!(p99.is_finite() && p99 > 0.0, "bogus p99 {p99}");
+    assert_eq!(j["shed"].as_u64(), Some(0), "hammer saw shed requests");
+    eprintln!(
+        "{path}: OK — v2 {ratio:.2}x smaller than v1 (bound {SIZE_RATIO_BOUND:.1}x), \
+         {rps:.0} req/s, p99 {p99:.3} ms"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => check(args.get(1).expect("--check <path>")),
+        Some("--out") => run(args.get(1).expect("--out <path>")),
+        None => run("BENCH_PR7.json"),
+        Some(other) => panic!("unknown argument {other}"),
+    }
+}

@@ -1,0 +1,68 @@
+//! Guards for the PR-7 serving report.
+//!
+//! `committed_report_holds_the_compaction_bound` runs in tier-1: it
+//! re-derives the v2-vs-v1 size bound from the committed
+//! `BENCH_PR7.json` (pure file reading, deterministic on any host).
+//! The ignored test re-measures the ratio live — the artifact encoding
+//! is deterministic, so it must clear the same bound wherever it runs:
+//!
+//! ```text
+//! cargo test --release -p farmer-bench --test serving_guard -- --ignored
+//! ```
+
+use farmer_bench::workloads::{efficiency_dataset, DEFAULT_COL_SCALE};
+use farmer_core::{canonical_sort, Farmer, MiningParams};
+use farmer_dataset::synth::PaperDataset;
+use farmer_store::{save_artifact_versioned, ArtifactMeta};
+use farmer_support::json::Json;
+
+/// Same bound `pr7_serving --check` enforces.
+const SIZE_RATIO_BOUND: f64 = 5.0;
+
+#[test]
+fn committed_report_holds_the_compaction_bound() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_PR7.json must exist");
+    let j = Json::parse(&text).expect("BENCH_PR7.json must parse");
+    assert_eq!(j["schema"].as_str(), Some("farmer-serving-guard-v1"));
+    assert_eq!(j["pr"].as_u64(), Some(7));
+    let v1 = j["v1_bytes"].as_u64().expect("v1_bytes") as f64;
+    let v2 = j["v2_bytes"].as_u64().expect("v2_bytes") as f64;
+    assert!(v2 > 0.0);
+    let ratio = v1 / v2;
+    assert!(
+        ratio >= SIZE_RATIO_BOUND,
+        "committed report has v2 only {ratio:.2}x smaller than v1"
+    );
+    assert!(j["reqs_per_sec"].as_f64().expect("reqs_per_sec") > 0.0);
+    assert!(j["p99_ms"].as_f64().expect("p99_ms") > 0.0);
+}
+
+#[test]
+#[ignore = "mines the full efficiency workload; run with --release -- --ignored"]
+fn live_v2_artifact_is_5x_smaller_than_v1() {
+    let d = efficiency_dataset(PaperDataset::Leukemia, DEFAULT_COL_SCALE);
+    let mut groups = Vec::new();
+    for class in 0..d.n_classes() as u32 {
+        groups.extend(
+            Farmer::new(MiningParams::new(class).min_sup(4))
+                .mine(&d)
+                .groups,
+        );
+    }
+    canonical_sort(&mut groups);
+    let meta = ArtifactMeta::from_dataset(&d);
+    let size_of = |version: u32| {
+        let path = std::env::temp_dir().join(format!("serving_guard_v{version}.fgi"));
+        save_artifact_versioned(&path, &meta, &groups, version).unwrap();
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        let _ = std::fs::remove_file(&path);
+        bytes as f64
+    };
+    let (v1, v2) = (size_of(1), size_of(2));
+    let ratio = v1 / v2;
+    assert!(
+        ratio >= SIZE_RATIO_BOUND,
+        "v2 only {ratio:.2}x smaller than v1 ({v1} / {v2} B)"
+    );
+}

@@ -103,6 +103,9 @@ pub struct MineArgs {
     /// Optional `.fgi` artifact output: persist the mined groups (in
     /// canonical order) for `farmer serve` / `farmer query`.
     pub save_irgs: Option<PathBuf>,
+    /// `.fgi` format version for `--save-irgs` (1 or 2; default 2, the
+    /// compact encoding).
+    pub fgi_version: u32,
 }
 
 /// Options of `farmer serve`.
@@ -117,6 +120,12 @@ pub struct ServeArgs {
     /// Exit cleanly after this many milliseconds without traffic
     /// (absent = serve until killed).
     pub idle_exit_ms: Option<u64>,
+    /// Accepted-but-unanswered connection bound; connections beyond it
+    /// are shed with `503` + `Retry-After`.
+    pub max_inflight: usize,
+    /// Bearer token enabling `POST /v1/admin/reload` (absent =
+    /// endpoint disabled; SIGHUP reloads still work).
+    pub admin_token: Option<String>,
 }
 
 /// Options of `farmer query`.
@@ -232,6 +241,14 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             save_irgs: opts
                 .get("save-irgs")
                 .and_then(|v| v.clone().map(PathBuf::from)),
+            fgi_version: match num(&opts, "fgi-version", 2u32)? {
+                v @ (1 | 2) => v,
+                other => {
+                    return Err(CliError(format!(
+                        "--fgi-version must be 1 or 2, not {other}"
+                    )))
+                }
+            },
         })),
         "topk" => Ok(Command::TopK(TopKArgs {
             input: path_required(&opts, "in")?,
@@ -256,6 +273,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             addr: get_or(&opts, "addr", "127.0.0.1:0"),
             workers: num(&opts, "workers", 4)?,
             idle_exit_ms: opt_num(&opts, "idle-exit-ms")?,
+            max_inflight: num(&opts, "max-inflight", 256)?,
+            admin_token: opts.get("admin-token").and_then(|v| v.clone()),
         })),
         "query" => Ok(Command::Query(QueryArgs {
             artifact: artifact_path(positional, &opts)?,
@@ -457,9 +476,32 @@ mod tests {
     fn parses_save_irgs() {
         let c = parse(&sv(&["mine", "--in", "d.txt", "--save-irgs", "g.fgi"])).unwrap();
         match c {
-            Command::Mine(m) => assert_eq!(m.save_irgs, Some(PathBuf::from("g.fgi"))),
+            Command::Mine(m) => {
+                assert_eq!(m.save_irgs, Some(PathBuf::from("g.fgi")));
+                assert_eq!(m.fgi_version, 2, "compact v2 is the default");
+            }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fgi_version() {
+        let c = parse(&sv(&[
+            "mine",
+            "--in",
+            "d.txt",
+            "--save-irgs",
+            "g.fgi",
+            "--fgi-version",
+            "1",
+        ]))
+        .unwrap();
+        match c {
+            Command::Mine(m) => assert_eq!(m.fgi_version, 1),
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&sv(&["mine", "--in", "d.txt", "--fgi-version", "3"])).unwrap_err();
+        assert!(err.to_string().contains("--fgi-version"), "{err}");
     }
 
     #[test]
@@ -471,6 +513,24 @@ mod tests {
                 assert_eq!(s.addr, "127.0.0.1:0");
                 assert_eq!(s.workers, 8);
                 assert_eq!(s.idle_exit_ms, None);
+                assert_eq!(s.max_inflight, 256);
+                assert_eq!(s.admin_token, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&sv(&[
+            "serve",
+            "g.fgi",
+            "--max-inflight",
+            "32",
+            "--admin-token",
+            "sekrit",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve(s) => {
+                assert_eq!(s.max_inflight, 32);
+                assert_eq!(s.admin_token, Some("sekrit".to_string()));
             }
             other => panic!("{other:?}"),
         }

@@ -16,8 +16,8 @@ use farmer_core::{
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::{PaperDataset, SynthConfig};
 use farmer_dataset::{io as dio, Dataset};
-use farmer_serve::{RuleGroupIndex, ServeConfig};
-use farmer_store::{save_artifact, Artifact, ArtifactMeta};
+use farmer_serve::{ArtifactHandle, RuleGroupIndex, ServeConfig};
+use farmer_store::{save_artifact_versioned, Artifact, ArtifactMeta};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -354,14 +354,15 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
         let mut groups = result.groups;
         farmer_core::canonical_sort(&mut groups);
         let meta = ArtifactMeta::from_dataset(&data);
-        let checksum = save_artifact(path, &meta, &groups)
+        let checksum = save_artifact_versioned(path, &meta, &groups, a.fgi_version)
             .map_err(|e| CliError(format!("saving {}: {e}", path.display())))?;
         if !a.stats_json {
             writeln!(
                 out,
-                "wrote {} rule groups to {} (checksum {checksum:#018x})",
+                "wrote {} rule groups to {} (format v{}, checksum {checksum:#018x})",
                 groups.len(),
-                path.display()
+                path.display(),
+                a.fgi_version
             )?;
         }
     }
@@ -376,13 +377,19 @@ fn load_index(path: &std::path::Path) -> Result<RuleGroupIndex> {
 }
 
 fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
-    let index = Arc::new(load_index(&a.artifact)?);
+    let artifact_handle = Arc::new(
+        ArtifactHandle::load(&a.artifact, farmer_classify::IRG_FINGERPRINT_THETA, 0)
+            .map_err(CliError)?,
+    );
     let config = ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers,
+        max_inflight: a.max_inflight,
+        admin_token: a.admin_token.clone(),
     };
-    let handle = farmer_serve::start(Arc::clone(&index), &config)
+    let handle = farmer_serve::start(Arc::clone(&artifact_handle), &config)
         .map_err(|e| CliError(format!("cannot bind {}: {e}", a.addr)))?;
+    let index = artifact_handle.current();
     // scripts scrape this line for the resolved ephemeral port
     writeln!(
         out,
@@ -393,6 +400,25 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
         handle.addr()
     )?;
     out.flush()?;
+    drop(index);
+    farmer_support::swap::notify_on_sighup();
+    // SIGHUP hot-reloads the artifact from disk, exactly like the
+    // authenticated POST /v1/admin/reload endpoint.
+    let poll_sighup = |out: &mut dyn Write| -> Result<()> {
+        if farmer_support::swap::take_sighup() {
+            match artifact_handle.reload() {
+                Ok(idx) => writeln!(
+                    out,
+                    "SIGHUP: reloaded {} ({} rule groups)",
+                    a.artifact.display(),
+                    idx.groups().len()
+                )?,
+                Err(e) => writeln!(out, "SIGHUP: reload failed, serving old artifact: {e}")?,
+            }
+            out.flush()?;
+        }
+        Ok(())
+    };
     match a.idle_exit_ms {
         Some(ms) => {
             // poll the served-request counter; a quiet stretch of `ms`
@@ -402,6 +428,7 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
             let mut last_activity = Instant::now();
             loop {
                 std::thread::sleep(Duration::from_millis(25.min(ms.max(1))));
+                poll_sighup(out)?;
                 let served = handle.requests_served();
                 if served != last_served {
                     last_served = served;
@@ -417,7 +444,8 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
             )?;
         }
         None => loop {
-            std::thread::park();
+            std::thread::sleep(Duration::from_millis(100));
+            poll_sighup(out)?;
         },
     }
     Ok(())

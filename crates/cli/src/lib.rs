@@ -85,14 +85,24 @@ MINE OPTIONS:
   --metrics-out <p>   write Prometheus text-format metrics for the run
   --limit <n>         print at most n groups (0 = all, default 20)
   --save-irgs <p>     persist the mined rule groups as a .fgi artifact
+  --fgi-version <n>   .fgi format for --save-irgs: 2 = compact (default),
+                      1 = legacy (older readers)
 
 SERVE OPTIONS (farmer serve <artifact.fgi>):
   --addr <host:port>  bind address (default 127.0.0.1:0 = ephemeral,
                       resolved port printed on startup)
   --workers <n>       worker-pool size (default 4)
   --idle-exit-ms <n>  exit cleanly after n ms without traffic
-  endpoints: /classify?items=a,b  /query?items=a,b[&class=k][&limit=n]
-             /healthz  /metrics (Prometheus text)
+  --max-inflight <n>  shed connections beyond n in flight with 503 +
+                      Retry-After (default 256)
+  --admin-token <t>   enable POST /v1/admin/reload with this bearer token
+  endpoints (all under /v1/; unversioned paths are deprecated aliases):
+    /v1/classify?items=a,b          GET single sample
+    /v1/classify                    POST {\"samples\":[[..],..]} batch
+    /v1/query?items=a,b[&class=k][&limit=n]
+    /v1/healthz  /v1/metrics (Prometheus text)
+    /v1/admin/reload                POST, bearer-authenticated hot swap
+  SIGHUP also hot-reloads the artifact from disk.
 
 QUERY OPTIONS (farmer query <artifact.fgi>):
   --items <a,b,c>     sample items, by name or numeric id

@@ -20,5 +20,5 @@
 mod bitset;
 mod idlist;
 
-pub use bitset::{FromWordsError, RowSet, RowSetIter};
+pub use bitset::{FromWordsError, RowSet, RowSetIter, RowSetRuns};
 pub use idlist::IdList;

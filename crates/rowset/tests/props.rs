@@ -173,4 +173,20 @@ check! {
         prop_assert!(!s.contains(x));
         prop_assert!(!s.remove(x));
     }
+
+    /// `runs()` must partition the sorted id sequence into maximal
+    /// consecutive blocks — same answer as the obvious per-id scan.
+    #[test]
+    fn runs_match_naive_grouping(caps in caps_and_sets()) {
+        let (cap, v, _, _, _) = caps;
+        let s = RowSet::from_ids(cap, v.iter().copied());
+        let mut naive: Vec<(usize, usize)> = Vec::new();
+        for id in s.iter() {
+            match naive.last_mut() {
+                Some((start, len)) if *start + *len == id => *len += 1,
+                _ => naive.push((id, 1)),
+            }
+        }
+        prop_assert_eq!(s.runs().collect::<Vec<_>>(), naive);
+    }
 }

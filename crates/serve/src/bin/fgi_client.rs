@@ -1,19 +1,32 @@
-//! `fgi-client` — one-shot HTTP GET against a running `farmer serve`
-//! instance, for scripts and smoke tests.
+//! `fgi-client` — one-shot HTTP request against a running
+//! `farmer serve` instance, for scripts and smoke tests.
 //!
 //! ```text
 //! fgi-client <host:port> <path> [--expect <status>]
+//!            [--batch <s1;s2;…>] [--post] [--token <bearer>]
 //! ```
+//!
+//! Default is a GET. `--batch` POSTs a batch-classify body built from
+//! `;`-separated samples of `,`-separated items (e.g.
+//! `--batch 'i0,i1;i2'` is two samples). `--post` issues a bare POST
+//! (the admin endpoints), and `--token` adds a bearer token.
 //!
 //! Prints the response body to stdout. Exits 0 when the status equals
 //! `--expect` (default 200), 1 otherwise, 2 on usage or I/O errors.
 
-use farmer_serve::http_get;
+use farmer_serve::{http_get, http_post};
+use farmer_support::json::{Json, ObjBuilder};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: fgi-client <host:port> <path> [--expect <status>] \
+                     [--batch <s1;s2>] [--post] [--token <bearer>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut expect = 200u16;
+    let mut batch: Option<String> = None;
+    let mut token: Option<String> = None;
+    let mut post = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -22,8 +35,17 @@ fn main() -> ExitCode {
                 Some(code) => expect = code,
                 None => return usage("--expect needs a numeric status"),
             },
+            "--batch" => match it.next() {
+                Some(samples) => batch = Some(samples.clone()),
+                None => return usage("--batch needs a sample list (items,…;items,…)"),
+            },
+            "--token" => match it.next() {
+                Some(t) => token = Some(t.clone()),
+                None => return usage("--token needs a value"),
+            },
+            "--post" => post = true,
             "--help" | "-h" => {
-                eprintln!("usage: fgi-client <host:port> <path> [--expect <status>]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => positional.push(a.clone()),
@@ -32,7 +54,14 @@ fn main() -> ExitCode {
     let [addr, path] = positional.as_slice() else {
         return usage("need exactly <host:port> and <path>");
     };
-    match http_get(addr, path) {
+    let result = if let Some(samples) = &batch {
+        http_post(addr, path, &batch_body(samples), token.as_deref())
+    } else if post {
+        http_post(addr, path, "", token.as_deref())
+    } else {
+        http_get(addr, path)
+    };
+    match result {
         Ok(resp) => {
             println!("{}", resp.body);
             if resp.status == expect {
@@ -49,7 +78,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// `i0,i1;i2` → `{"samples":[["i0","i1"],["i2"]]}`.
+fn batch_body(samples: &str) -> String {
+    let samples: Vec<Json> = samples
+        .split(';')
+        .map(|s| {
+            Json::Arr(
+                s.split(',')
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(|t| Json::Str(t.to_string()))
+                    .collect(),
+            )
+        })
+        .collect();
+    ObjBuilder::new()
+        .field("samples", Json::Arr(samples))
+        .build()
+        .to_string()
+}
+
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("fgi-client: {msg}\nusage: fgi-client <host:port> <path> [--expect <status>]");
+    eprintln!("fgi-client: {msg}\n{USAGE}");
     ExitCode::from(2)
 }

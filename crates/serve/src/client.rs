@@ -1,4 +1,4 @@
-//! A minimal blocking HTTP/1.1 GET client — just enough for the
+//! A minimal blocking HTTP/1.1 client — just enough for the
 //! `fgi-client` smoke binary, `scripts/verify.sh`, and the server's
 //! own integration tests, with no dependency beyond `std::net`.
 
@@ -19,14 +19,46 @@ pub struct HttpResponse {
 /// the response to EOF — the server closes each connection after one
 /// response, so EOF delimits the body.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<HttpResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut stream = connect(addr)?;
     write!(
         stream,
         "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )?;
     stream.flush()?;
+    read_response(stream)
+}
+
+/// Issues `POST <path>` with a JSON `body`, optionally carrying
+/// `Authorization: Bearer <token>`.
+pub fn http_post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    bearer: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = connect(addr)?;
+    let auth = match bearer {
+        Some(token) => format!("Authorization: Bearer {token}\r\n"),
+        None => String::new(),
+    };
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{auth}Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    read_response(stream)
+}
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    Ok(stream)
+}
+
+fn read_response(mut stream: TcpStream) -> std::io::Result<HttpResponse> {
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     let text = String::from_utf8_lossy(&raw);

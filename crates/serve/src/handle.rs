@@ -1,0 +1,186 @@
+//! [`ArtifactHandle`]: the hot-swappable pointer between the HTTP
+//! layer and the index it serves.
+//!
+//! The server never holds a [`ShardedIndex`] directly — it holds a
+//! handle, and every request snapshots [`ArtifactHandle::current`]
+//! once (an `Arc` clone) and answers entirely from that snapshot. A
+//! [`reload`](ArtifactHandle::reload) builds the *new* index off to
+//! the side, then swaps the pointer atomically
+//! ([`farmer_support::swap::Swap`], which also bumps a monotonically
+//! increasing epoch): requests in flight keep the old `Arc` alive and
+//! complete against the artifact they started on; requests accepted
+//! after the swap see the new one. No request ever observes a
+//! half-built index, and a reload that fails (missing file, corrupt
+//! artifact) leaves the served index untouched.
+
+use crate::shard::ShardedIndex;
+use farmer_store::Artifact;
+use farmer_support::swap::Swap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A serving slot: the path an artifact was loaded from plus the
+/// atomically swappable index built from it.
+pub struct ArtifactHandle {
+    path: Option<PathBuf>,
+    theta: f64,
+    n_shards: usize,
+    current: Swap<ShardedIndex>,
+}
+
+impl ArtifactHandle {
+    /// Loads `path` and builds the initial index. `n_shards = 0` picks
+    /// the [`ShardedIndex::from_artifact`] default.
+    pub fn load(path: impl Into<PathBuf>, theta: f64, n_shards: usize) -> Result<Self, String> {
+        let path = path.into();
+        let index = build_index(&path, theta, n_shards)?;
+        Ok(ArtifactHandle {
+            path: Some(path),
+            theta,
+            n_shards,
+            current: Swap::new(Arc::new(index)),
+        })
+    }
+
+    /// Wraps an index built elsewhere (tests, in-memory pipelines).
+    /// [`reload`](Self::reload) fails until the handle has a path.
+    pub fn from_index(index: ShardedIndex) -> Self {
+        let theta = index.theta();
+        let n_shards = index.n_shards();
+        ArtifactHandle {
+            path: None,
+            theta,
+            n_shards,
+            current: Swap::new(Arc::new(index)),
+        }
+    }
+
+    /// The path reloads re-read, when the handle has one.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Snapshots the currently served index. The returned `Arc` stays
+    /// valid across any number of subsequent reloads.
+    pub fn current(&self) -> Arc<ShardedIndex> {
+        self.current.load()
+    }
+
+    /// How many times the served index has been swapped (starts at 0).
+    pub fn epoch(&self) -> u64 {
+        self.current.epoch()
+    }
+
+    /// Re-reads the backing artifact, builds a fresh index, and swaps
+    /// it in. Returns the new index on success; on any failure the old
+    /// index keeps serving and the error says why.
+    pub fn reload(&self) -> Result<Arc<ShardedIndex>, String> {
+        let Some(path) = &self.path else {
+            return Err("reload unavailable: handle has no artifact path".to_string());
+        };
+        let index = Arc::new(build_index(path, self.theta, self.n_shards)?);
+        self.current.store(Arc::clone(&index));
+        Ok(index)
+    }
+}
+
+fn build_index(path: &Path, theta: f64, n_shards: usize) -> Result<ShardedIndex, String> {
+    let artifact = Artifact::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(if n_shards == 0 {
+        ShardedIndex::from_artifact(artifact)
+    } else {
+        ShardedIndex::build(artifact, theta, n_shards)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use farmer_classify::IRG_FINGERPRINT_THETA;
+    use farmer_core::{canonical_sort, Farmer, MiningParams};
+    use farmer_dataset::{Dataset, DatasetBuilder};
+    use farmer_store::{save_artifact, ArtifactMeta};
+
+    fn dataset(extra_row: bool) -> Dataset {
+        let mut b = DatasetBuilder::new(2);
+        b.add_row([0, 1, 2], 0);
+        b.add_row([0, 1], 0);
+        b.add_row([1, 2, 3], 1);
+        b.add_row([0, 3], 1);
+        if extra_row {
+            b.add_row([2, 3], 1);
+        }
+        b.build()
+    }
+
+    fn write_artifact(path: &Path, extra_row: bool) -> usize {
+        let d = dataset(extra_row);
+        let mut groups = Vec::new();
+        for class in 0..2 {
+            groups.extend(
+                Farmer::new(MiningParams::new(class).min_sup(1))
+                    .mine(&d)
+                    .groups,
+            );
+        }
+        canonical_sort(&mut groups);
+        save_artifact(path, &ArtifactMeta::from_dataset(&d), &groups).unwrap();
+        groups.len()
+    }
+
+    #[test]
+    fn reload_swaps_while_old_snapshot_survives() {
+        let path = std::env::temp_dir().join(format!("fgi-handle-{}.fgi", std::process::id()));
+        let n_before = write_artifact(&path, false);
+        let handle = ArtifactHandle::load(&path, IRG_FINGERPRINT_THETA, 2).unwrap();
+        assert_eq!(handle.epoch(), 0);
+
+        // A request in flight snapshots the index once…
+        let old = handle.current();
+        assert_eq!(old.groups().len(), n_before);
+
+        // …the artifact changes on disk and is reloaded…
+        let n_after = write_artifact(&path, true);
+        assert_ne!(n_before, n_after, "reload must be observable");
+        let fresh = handle.reload().unwrap();
+        assert_eq!(handle.epoch(), 1);
+
+        // …new snapshots see the new artifact, while the old snapshot
+        // still answers from the artifact it started on.
+        assert_eq!(fresh.groups().len(), n_after);
+        assert_eq!(handle.current().groups().len(), n_after);
+        assert_eq!(old.groups().len(), n_before);
+        assert_eq!(old.meta().n_rows, 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_reload_keeps_serving_the_old_index() {
+        let path = std::env::temp_dir().join(format!("fgi-handle-bad-{}.fgi", std::process::id()));
+        let n = write_artifact(&path, false);
+        let handle = ArtifactHandle::load(&path, IRG_FINGERPRINT_THETA, 1).unwrap();
+
+        std::fs::write(&path, b"garbage, not an artifact").unwrap();
+        let err = handle.reload().unwrap_err();
+        assert!(err.contains(".fgi"), "{err}");
+        assert_eq!(handle.epoch(), 0, "failed reload must not swap");
+        assert_eq!(handle.current().groups().len(), n);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pathless_handle_refuses_reload() {
+        let d = dataset(false);
+        let idx = ShardedIndex::build(
+            Artifact {
+                meta: ArtifactMeta::from_dataset(&d),
+                groups: Vec::new(),
+            },
+            0.8,
+            1,
+        );
+        let handle = ArtifactHandle::from_index(idx);
+        assert!(handle.path().is_none());
+        assert!(handle.reload().unwrap_err().contains("no artifact path"));
+    }
+}

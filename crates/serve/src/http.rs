@@ -1,4 +1,4 @@
-//! A hermetic HTTP/1.1 server over a [`RuleGroupIndex`].
+//! A hermetic HTTP/1.1 server over an [`ArtifactHandle`].
 //!
 //! Plain `std::net::TcpListener`, a fixed worker pool fed over a
 //! `farmer_support::thread` channel, one request per connection
@@ -6,19 +6,51 @@
 //! acceptor stops taking new connections, drains its backlog to the
 //! workers, and every connection already established gets a full
 //! response before the pool exits.
+//!
+//! # The `/v1` API
+//!
+//! Every endpoint lives under `/v1/`; the unversioned paths from
+//! before the API redesign still answer as deprecated aliases (they
+//! return the same bytes plus a `Deprecation: true` header):
+//!
+//! | endpoint                | method | answer |
+//! |-------------------------|--------|--------|
+//! | `/v1/classify`          | GET    | classify `?items=a,b,c` |
+//! | `/v1/classify`          | POST   | batch-classify `{"samples": [[…], …]}` |
+//! | `/v1/query`             | GET    | matching groups for `?items=…` |
+//! | `/v1/healthz`           | GET    | index shape, epoch, shard count |
+//! | `/v1/metrics`           | GET    | Prometheus text (latency histograms) |
+//! | `/v1/admin/reload`      | POST   | hot-swap the artifact (bearer auth) |
+//!
+//! Every error is the uniform envelope
+//! `{"error":{"code":"…","message":"…"}}`.
+//!
+//! # Hot swap and admission control
+//!
+//! Requests snapshot [`ArtifactHandle::current`] once and answer from
+//! that snapshot, so an authenticated `POST /v1/admin/reload` (or a
+//! SIGHUP routed through the CLI) swaps artifacts with zero dropped
+//! requests: in-flight traffic completes on the old index, later
+//! traffic sees the new one.
+//!
+//! The acceptor bounds in-flight work: when `max_inflight` connections
+//! are accepted-but-unanswered, further connections get an immediate
+//! `503` with `Retry-After` instead of queueing without bound. Sheds
+//! are visible in `/v1/metrics` as the `serve_shed` histogram family.
 
-use crate::index::RuleGroupIndex;
+use crate::handle::ArtifactHandle;
+use crate::shard::ShardedIndex;
 use farmer_support::json::{Json, ObjBuilder};
 use farmer_support::thread::{channel, Mutex, Receiver, Sender};
 use farmer_support::trace::{prometheus_text, HistId, RingTracer, TraceSink};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Latency histograms exported at `/metrics` (names feed PR 4's
+/// Latency histograms exported at `/v1/metrics` (names feed PR 4's
 /// Prometheus text exporter, which renders `farmer_<name>_ns`).
 const HIST_NAMES: &[&str] = &[
     "serve_request",
@@ -26,14 +58,21 @@ const HIST_NAMES: &[&str] = &[
     "serve_query",
     "serve_healthz",
     "serve_metrics",
+    "serve_reload",
+    "serve_shed",
 ];
 const H_REQUEST: HistId = HistId(0);
 const H_CLASSIFY: HistId = HistId(1);
 const H_QUERY: HistId = HistId(2);
 const H_HEALTHZ: HistId = HistId(3);
 const H_METRICS: HistId = HistId(4);
+const H_RELOAD: HistId = HistId(5);
+const H_SHED: HistId = HistId(6);
 
-/// How the server binds and scales.
+/// Largest request body the server will read.
+const MAX_BODY: u64 = 1 << 20;
+
+/// How the server binds, scales, and protects itself.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address; port 0 asks the OS for an ephemeral port (the
@@ -41,6 +80,12 @@ pub struct ServeConfig {
     pub addr: String,
     /// Fixed worker-pool size (clamped to ≥ 1).
     pub workers: usize,
+    /// Accepted-but-unanswered connection bound (clamped to ≥ 1);
+    /// connections beyond it are shed with `503` + `Retry-After`.
+    pub max_inflight: usize,
+    /// Bearer token required by `POST /v1/admin/reload`. `None`
+    /// disables the endpoint (`403 admin_disabled`).
+    pub admin_token: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +93,8 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            max_inflight: 256,
+            admin_token: None,
         }
     }
 }
@@ -58,6 +105,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -69,9 +117,14 @@ impl ServerHandle {
     }
 
     /// Connections fully handled so far (monotonic; useful for idle
-    /// detection and smoke assertions).
+    /// detection and smoke assertions). Shed connections don't count.
     pub fn requests_served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections answered `503` by the admission controller.
+    pub fn requests_shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Stops accepting, drains every connection already established,
@@ -101,14 +154,20 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds and starts serving `index` in background threads.
-pub fn start(index: Arc<RuleGroupIndex>, config: &ServeConfig) -> std::io::Result<ServerHandle> {
+/// Binds and starts serving `handle`'s current artifact in background
+/// threads; reloads of the handle take effect without a restart.
+pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let max_inflight = config.max_inflight.max(1);
+    let admin_token: Arc<Option<String>> = Arc::new(config.admin_token.clone());
     let stop = Arc::new(AtomicBool::new(false));
     let served = Arc::new(AtomicU64::new(0));
-    // Lane 0 is the acceptor's (unused); worker w records on lane w+1.
+    let shed = Arc::new(AtomicU64::new(0));
+    let pending = Arc::new(AtomicUsize::new(0));
+    // Lane 0 is the acceptor's (sheds land there); worker w records on
+    // lane w+1.
     let tracer = Arc::new(RingTracer::new(&[], HIST_NAMES, workers + 1, 1));
 
     let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
@@ -117,16 +176,19 @@ pub fn start(index: Arc<RuleGroupIndex>, config: &ServeConfig) -> std::io::Resul
     let mut pool = Vec::with_capacity(workers);
     for w in 0..workers {
         let rx = Arc::clone(&rx);
-        let index = Arc::clone(&index);
+        let handle = Arc::clone(&handle);
+        let admin_token = Arc::clone(&admin_token);
         let tracer = Arc::clone(&tracer);
         let served = Arc::clone(&served);
+        let pending = Arc::clone(&pending);
         pool.push(std::thread::spawn(move || loop {
             // Hold the lock only for the receive itself; Err means the
             // acceptor dropped the sender and the queue is empty.
             let conn = { rx.lock().recv() };
             match conn {
                 Ok(stream) => {
-                    handle_connection(stream, &index, &tracer, w + 1);
+                    handle_connection(stream, &handle, admin_token.as_deref(), &tracer, w + 1);
+                    pending.fetch_sub(1, Ordering::SeqCst);
                     served.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => break,
@@ -136,14 +198,31 @@ pub fn start(index: Arc<RuleGroupIndex>, config: &ServeConfig) -> std::io::Resul
 
     let acceptor = {
         let stop = Arc::clone(&stop);
+        let shed = Arc::clone(&shed);
+        let pending = Arc::clone(&pending);
+        let tracer = Arc::clone(&tracer);
         std::thread::spawn(move || {
+            let admit = |stream: TcpStream| -> bool {
+                // Only this thread increments, so check-then-add is
+                // exact: at most max_inflight connections are ever
+                // queued or in a worker.
+                if pending.load(Ordering::SeqCst) >= max_inflight {
+                    let t0 = Instant::now();
+                    shed_connection(stream);
+                    shed.fetch_add(1, Ordering::Relaxed);
+                    tracer.duration_ns(0, H_SHED, t0.elapsed().as_nanos() as u64);
+                    return true;
+                }
+                pending.fetch_add(1, Ordering::SeqCst);
+                tx.send(stream).is_ok()
+            };
             for conn in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
                 match conn {
                     Ok(stream) => {
-                        if tx.send(stream).is_err() {
+                        if !admit(stream) {
                             break;
                         }
                     }
@@ -155,7 +234,7 @@ pub fn start(index: Arc<RuleGroupIndex>, config: &ServeConfig) -> std::io::Resul
             let _ = listener.set_nonblocking(true);
             while let Ok((stream, _)) = listener.accept() {
                 let _ = stream.set_nonblocking(false);
-                if tx.send(stream).is_err() {
+                if !admit(stream) {
                     break;
                 }
             }
@@ -168,16 +247,39 @@ pub fn start(index: Arc<RuleGroupIndex>, config: &ServeConfig) -> std::io::Resul
         addr,
         stop,
         served,
+        shed,
         acceptor: Some(acceptor),
         workers: pool,
     })
 }
 
-/// One parsed request: method, decoded path, decoded query pairs.
+/// Answers an over-capacity connection with `503` + `Retry-After`
+/// without reading the request (the acceptor must not block on a slow
+/// peer's bytes).
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = error_body("overloaded", "server is at its in-flight request limit");
+    let _ = write_response(
+        &mut stream,
+        503,
+        "application/json",
+        &body,
+        &[("Retry-After", "1".to_string())],
+    );
+    let _ = stream.flush();
+}
+
+/// One parsed request: method, decoded path, decoded query pairs, the
+/// headers the API needs, and the body (empty unless POSTed).
 struct Request {
     method: String,
     path: String,
     query: Vec<(String, String)>,
+    bearer: Option<String>,
+    body: String,
+    /// The declared `Content-Length` exceeded [`MAX_BODY`]; the body
+    /// was not read.
+    oversized: bool,
 }
 
 impl Request {
@@ -189,7 +291,41 @@ impl Request {
     }
 }
 
-fn handle_connection(stream: TcpStream, index: &RuleGroupIndex, tracer: &RingTracer, lane: usize) {
+/// A routed response, before the wire framing.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    hist: Option<HistId>,
+}
+
+impl Response {
+    fn json(status: u16, body: String, hist: HistId) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            hist: Some(hist),
+        }
+    }
+
+    fn error(status: u16, code: &str, message: &str, hist: Option<HistId>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: error_body(code, message),
+            hist,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    handle: &ArtifactHandle,
+    admin_token: Option<&str>,
+    tracer: &RingTracer,
+    lane: usize,
+) {
     // Timeouts keep a stalled peer from wedging a worker forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -198,33 +334,59 @@ fn handle_connection(stream: TcpStream, index: &RuleGroupIndex, tracer: &RingTra
     let Some(req) = parse_request(&mut reader) else {
         return; // unreadable request line: nothing to answer
     };
-    let (status, content_type, body, hist) = respond(&req, index, tracer);
+    // Snapshot the served index once; a concurrent hot swap cannot
+    // affect this request.
+    let index = handle.current();
+    let (resp, legacy) = respond(&req, &index, handle, admin_token, tracer);
+    let mut extra: Vec<(&'static str, String)> = Vec::new();
+    if legacy {
+        extra.push(("Deprecation", "true".to_string()));
+    }
     let stream = reader.get_mut();
-    let _ = write_response(stream, status, content_type, &body);
+    let _ = write_response(stream, resp.status, resp.content_type, &resp.body, &extra);
     let _ = stream.flush();
     let ns = started.elapsed().as_nanos() as u64;
     tracer.duration_ns(lane, H_REQUEST, ns);
-    if let Some(h) = hist {
+    if let Some(h) = resp.hist {
         tracer.duration_ns(lane, h, ns);
     }
 }
 
-/// Reads the request line and headers (discarded — every endpoint is a
-/// bodyless GET). `None` when the peer sent nothing parseable.
+/// Reads the request line, the headers the API layer consumes
+/// (`Content-Length`, `Authorization`), and the body when one is
+/// declared. `None` when the peer sent nothing parseable.
 fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;
     let mut parts = line.split_whitespace();
     let method = parts.next()?.to_string();
     let target = parts.next()?;
+    let mut content_length: u64 = 0;
+    let mut bearer = None;
     loop {
         let mut header = String::new();
         match reader.read_line(&mut header) {
             Ok(0) => break,
             Ok(_) if header == "\r\n" || header == "\n" => break,
-            Ok(_) => continue,
+            Ok(_) => {
+                if let Some((name, value)) = header.split_once(':') {
+                    let value = value.trim();
+                    if name.eq_ignore_ascii_case("content-length") {
+                        content_length = value.parse().unwrap_or(0);
+                    } else if name.eq_ignore_ascii_case("authorization") {
+                        bearer = value.strip_prefix("Bearer ").map(|t| t.trim().to_string());
+                    }
+                }
+            }
             Err(_) => return None,
         }
+    }
+    let oversized = content_length > MAX_BODY;
+    let mut body = String::new();
+    if content_length > 0 && !oversized {
+        let mut raw = vec![0u8; content_length as usize];
+        reader.read_exact(&mut raw).ok()?;
+        body = String::from_utf8_lossy(&raw).into_owned();
     }
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -242,6 +404,9 @@ fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
         method,
         path: percent_decode(path),
         query,
+        bearer,
+        body,
+        oversized,
     })
 }
 
@@ -270,75 +435,89 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Routes one request. Returns status, content type, body, and the
-/// per-endpoint histogram to record into.
+/// Routes one request. The bool is `true` when the request used a
+/// deprecated unversioned path (the `/v1`-less aliases).
 fn respond(
     req: &Request,
-    index: &RuleGroupIndex,
+    index: &ShardedIndex,
+    handle: &ArtifactHandle,
+    admin_token: Option<&str>,
     tracer: &RingTracer,
-) -> (u16, &'static str, String, Option<HistId>) {
-    if req.method != "GET" {
-        return (
-            405,
-            "application/json",
-            error_body("only GET is supported"),
+) -> (Response, bool) {
+    let (path, legacy) = match req.path.strip_prefix("/v1/") {
+        Some(rest) => (format!("/{rest}"), false),
+        None => (req.path.clone(), true),
+    };
+    if req.oversized {
+        let resp = Response::error(
+            413,
+            "payload_too_large",
+            &format!("request body exceeds {MAX_BODY} bytes"),
             None,
         );
+        return (resp, legacy);
     }
-    match req.path.as_str() {
-        "/healthz" => {
+    let resp = match (req.method.as_str(), path.as_str()) {
+        ("GET", "/healthz") => {
             let body = ObjBuilder::new()
                 .field("status", "ok")
                 .field("groups", index.groups().len())
                 .field("items", index.meta().n_items())
                 .field("classes", index.meta().n_classes())
+                .field("shards", index.n_shards())
+                .field("epoch", handle.epoch())
                 .build()
                 .to_string();
-            (200, "application/json", body, Some(H_HEALTHZ))
+            Response::json(200, body, H_HEALTHZ)
         }
-        "/metrics" => {
+        ("GET", "/metrics") => {
             let text = prometheus_text(&tracer.drain());
-            (200, "text/plain; version=0.0.4", text, Some(H_METRICS))
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: text,
+                hist: Some(H_METRICS),
+            }
         }
-        "/classify" => match sample_of(req, index) {
+        ("GET", "/classify") => match sample_of(req, index) {
             Ok((sample, unknown)) => {
-                let p = index.classify(&sample);
-                let mut obj = ObjBuilder::new()
-                    .field("class", p.class)
-                    .field(
-                        "class_name",
-                        index.meta().class_names[p.class as usize].as_str(),
-                    )
-                    .field("default", p.group.is_none());
-                obj = match p.group {
-                    Some(gi) => {
-                        let g = &index.groups()[gi as usize];
-                        obj.field("group", gi)
-                            .field("conf", g.confidence())
-                            .field("sup", g.sup)
-                    }
-                    None => obj.field("group", Json::Null),
-                };
-                let body = obj
-                    .field("unknown_items", str_array(&unknown))
+                let body = prediction_json(index, &sample, &unknown).to_string();
+                Response::json(200, body, H_CLASSIFY)
+            }
+            Err(msg) => Response::error(400, "bad_request", &msg, Some(H_CLASSIFY)),
+        },
+        ("POST", "/classify") => match batch_samples(&req.body) {
+            Ok(samples) => {
+                let predictions: Vec<Json> = samples
+                    .iter()
+                    .map(|tokens| {
+                        let (sample, unknown) =
+                            index.parse_sample(tokens.iter().map(String::as_str));
+                        prediction_json(index, &sample, &unknown)
+                    })
+                    .collect();
+                let body = ObjBuilder::new()
+                    .field("count", predictions.len())
+                    .field("predictions", Json::Arr(predictions))
                     .build()
                     .to_string();
-                (200, "application/json", body, Some(H_CLASSIFY))
+                Response::json(200, body, H_CLASSIFY)
             }
-            Err(e) => (400, "application/json", e, Some(H_CLASSIFY)),
+            Err(msg) => Response::error(400, "bad_request", &msg, Some(H_CLASSIFY)),
         },
-        "/query" => match sample_of(req, index) {
+        ("GET", "/query") => match sample_of(req, index) {
             Ok((sample, unknown)) => {
                 let class_filter = match req.param("class").map(str::parse::<u32>) {
                     None => None,
                     Some(Ok(c)) if (c as usize) < index.meta().n_classes() => Some(c),
                     Some(_) => {
-                        return (
+                        let resp = Response::error(
                             400,
-                            "application/json",
-                            error_body("class must be a valid class label"),
+                            "bad_request",
+                            "class must be a valid class label",
                             Some(H_QUERY),
-                        )
+                        );
+                        return (resp, legacy);
                     }
                 };
                 let limit = req
@@ -359,32 +538,121 @@ fn respond(
                     .field("unknown_items", str_array(&unknown))
                     .build()
                     .to_string();
-                (200, "application/json", body, Some(H_QUERY))
+                Response::json(200, body, H_QUERY)
             }
-            Err(e) => (400, "application/json", e, Some(H_QUERY)),
+            Err(msg) => Response::error(400, "bad_request", &msg, Some(H_QUERY)),
         },
-        _ => (
-            404,
-            "application/json",
-            error_body("no such endpoint"),
+        ("POST", "/admin/reload") => admin_reload(req, handle, admin_token),
+        (_, "/healthz" | "/metrics" | "/query" | "/admin/reload") => Response::error(
+            405,
+            "method_not_allowed",
+            &format!("{} does not accept {}", path, req.method),
             None,
         ),
+        (_, "/classify") => Response::error(
+            405,
+            "method_not_allowed",
+            "/classify accepts GET (single sample) and POST (batch)",
+            None,
+        ),
+        _ => Response::error(404, "not_found", "no such endpoint", None),
+    };
+    (resp, legacy)
+}
+
+/// `POST /v1/admin/reload`: bearer-authenticated artifact hot swap.
+fn admin_reload(req: &Request, handle: &ArtifactHandle, admin_token: Option<&str>) -> Response {
+    let Some(expected) = admin_token else {
+        return Response::error(
+            403,
+            "admin_disabled",
+            "server started without --admin-token; reload is disabled",
+            Some(H_RELOAD),
+        );
+    };
+    if req.bearer.as_deref() != Some(expected) {
+        return Response::error(
+            401,
+            "unauthorized",
+            "missing or wrong bearer token",
+            Some(H_RELOAD),
+        );
+    }
+    match handle.reload() {
+        Ok(fresh) => {
+            let body = ObjBuilder::new()
+                .field("reloaded", true)
+                .field("epoch", handle.epoch())
+                .field("groups", fresh.groups().len())
+                .build()
+                .to_string();
+            Response::json(200, body, H_RELOAD)
+        }
+        Err(e) => Response::error(500, "reload_failed", &e, Some(H_RELOAD)),
     }
 }
 
-/// Extracts the `items` parameter as a sample, or a 400 body.
-fn sample_of(
-    req: &Request,
-    index: &RuleGroupIndex,
-) -> Result<(rowset::IdList, Vec<String>), String> {
+/// Parses a batch-classify body: `{"samples": [["tok", …], …]}`.
+fn batch_samples(body: &str) -> Result<Vec<Vec<String>>, String> {
+    let doc = Json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let Some(samples) = doc.get("samples") else {
+        return Err("body must be an object with a \"samples\" array".to_string());
+    };
+    let Json::Arr(samples) = samples else {
+        return Err("\"samples\" must be an array of token arrays".to_string());
+    };
+    samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let Json::Arr(tokens) = s else {
+                return Err(format!("samples[{i}] must be an array of strings"));
+            };
+            tokens
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("samples[{i}] must contain only strings"))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The classification answer for one sample, shared by the single and
+/// batch endpoints.
+fn prediction_json(index: &ShardedIndex, sample: &rowset::IdList, unknown: &[String]) -> Json {
+    let p = index.classify(sample);
+    let mut obj = ObjBuilder::new()
+        .field("class", p.class)
+        .field(
+            "class_name",
+            index.meta().class_names[p.class as usize].as_str(),
+        )
+        .field("default", p.group.is_none());
+    obj = match p.group {
+        Some(gi) => {
+            let g = &index.groups()[gi as usize];
+            obj.field("group", gi)
+                .field("conf", g.confidence())
+                .field("sup", g.sup)
+        }
+        None => obj.field("group", Json::Null),
+    };
+    obj.field("unknown_items", str_array(unknown)).build()
+}
+
+/// Extracts the `items` parameter as a sample, or a 400 message.
+fn sample_of(req: &Request, index: &ShardedIndex) -> Result<(rowset::IdList, Vec<String>), String> {
     let Some(items) = req.param("items") else {
-        return Err(error_body("missing items parameter (items=a,b,c)"));
+        return Err("missing items parameter (items=a,b,c)".to_string());
     };
     let tokens = items.split(',').map(str::trim).filter(|t| !t.is_empty());
     Ok(index.parse_sample(tokens))
 }
 
-fn group_json(index: &RuleGroupIndex, gi: u32) -> Json {
+fn group_json(index: &ShardedIndex, gi: u32) -> Json {
     let g = &index.groups()[gi as usize];
     let upper: Vec<Json> = g
         .upper
@@ -410,8 +678,18 @@ fn str_array(items: &[String]) -> Json {
     Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
 }
 
-fn error_body(msg: &str) -> String {
-    ObjBuilder::new().field("error", msg).build().to_string()
+/// The uniform error envelope: `{"error":{"code":…,"message":…}}`.
+fn error_body(code: &str, message: &str) -> String {
+    ObjBuilder::new()
+        .field(
+            "error",
+            ObjBuilder::new()
+                .field("code", code)
+                .field("message", message)
+                .build(),
+        )
+        .build()
+        .to_string()
 }
 
 fn write_response(
@@ -419,17 +697,29 @@ fn write_response(
     status: u16,
     content_type: &str,
     body: &str,
+    extra_headers: &[(&'static str, String)],
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Error",
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
-    )
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}\r\n{body}")
 }

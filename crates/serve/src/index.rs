@@ -207,7 +207,7 @@ impl RuleGroupIndex {
 /// comparison `ScoredRule::matches` performs — so the counting index
 /// and the fractional matcher agree even when `θ·len` sits on a
 /// rounding boundary.
-fn smallest_meeting(theta: f64, len: usize) -> u32 {
+pub(crate) fn smallest_meeting(theta: f64, len: usize) -> u32 {
     (0..=len as u32)
         .find(|&k| k as f64 >= theta * len as f64)
         .unwrap_or(len as u32)

@@ -2,7 +2,7 @@
 //! memory and answer classification and query traffic over HTTP.
 //!
 //! This is the online half of the store→index→serve pipeline
-//! (`farmer-store` is the offline half). Three layers:
+//! (`farmer-store` is the offline half). The layers, bottom up:
 //!
 //! - [`RuleGroupIndex`] — inverted item→group posting lists with
 //!   per-class partitions. `matches(sample)` touches only the posting
@@ -10,23 +10,37 @@
 //!   groups); `classify(sample)` reproduces exactly what
 //!   `farmer_classify::RuleListClassifier::from_ranked` would predict
 //!   from the same artifact, falling back to the majority class.
+//! - [`ShardedIndex`] — the same postings hash-partitioned across
+//!   shards (group `gi` lives in shard `gi % S` under a local id),
+//!   built in parallel and queried scatter/gather; answer-for-answer
+//!   equivalent to the monolithic index by property test.
+//! - [`ArtifactHandle`] — the hot-swappable pointer the server
+//!   actually holds: every request snapshots the current index, and a
+//!   reload (SIGHUP via the CLI, or `POST /v1/admin/reload`) swaps
+//!   artifacts atomically with zero dropped requests.
 //! - [`start`] / [`ServerHandle`] — a hermetic HTTP/1.1 server on
-//!   `std::net::TcpListener` with a fixed worker pool: `GET /classify`,
-//!   `/query`, `/healthz`, and `/metrics` (request latency histograms
-//!   in Prometheus text format, via the `farmer_support::trace`
-//!   exporter). Shutdown is graceful: the stop flag halts accepting,
-//!   the backlog drains, and in-flight requests complete.
-//! - [`http_get`] — the tiny blocking client used by the `fgi-client`
-//!   binary, the end-to-end smoke in `scripts/verify.sh`, and the
-//!   concurrency tests.
+//!   `std::net::TcpListener` with a fixed worker pool and bounded
+//!   admission (`503` + `Retry-After` past `max_inflight`). Endpoints
+//!   live under `/v1/` (`/v1/classify` GET + batch POST, `/v1/query`,
+//!   `/v1/healthz`, `/v1/metrics`, `/v1/admin/reload`); the
+//!   pre-redesign unversioned paths answer as deprecated aliases.
+//!   Shutdown is graceful: the stop flag halts accepting, the backlog
+//!   drains, and in-flight requests complete.
+//! - [`http_get`] / [`http_post`] — the tiny blocking client used by
+//!   the `fgi-client` binary, the end-to-end smoke in
+//!   `scripts/verify.sh`, and the concurrency tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
+mod handle;
 mod http;
 mod index;
+mod shard;
 
-pub use client::{http_get, HttpResponse};
+pub use client::{http_get, http_post, HttpResponse};
+pub use handle::ArtifactHandle;
 pub use http::{start, ServeConfig, ServerHandle};
 pub use index::{Prediction, RuleGroupIndex};
+pub use shard::ShardedIndex;

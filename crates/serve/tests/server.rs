@@ -1,9 +1,11 @@
-//! Integration tests of the HTTP server: endpoint behavior, answer
-//! stability under concurrent load, and graceful shutdown draining.
+//! Integration tests of the HTTP server: the `/v1` endpoint surface,
+//! legacy alias parity, batch classification, admission control,
+//! answer stability under concurrent load, and graceful shutdown
+//! draining.
 
 use farmer_core::{canonical_sort, Farmer, MiningParams};
 use farmer_dataset::DatasetBuilder;
-use farmer_serve::{http_get, start, RuleGroupIndex, ServeConfig};
+use farmer_serve::{http_get, http_post, start, ArtifactHandle, ServeConfig, ShardedIndex};
 use farmer_store::{Artifact, ArtifactMeta};
 use farmer_support::json::Json;
 use std::io::{Read, Write};
@@ -11,7 +13,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn test_index() -> Arc<RuleGroupIndex> {
+fn test_artifact() -> Artifact {
     let mut b = DatasetBuilder::new(2);
     b.add_row([0, 1, 2], 0);
     b.add_row([0, 1], 0);
@@ -30,26 +32,47 @@ fn test_index() -> Arc<RuleGroupIndex> {
     }
     canonical_sort(&mut groups);
     assert!(!groups.is_empty());
-    Arc::new(RuleGroupIndex::from_artifact(Artifact {
+    Artifact {
         meta: ArtifactMeta::from_dataset(&d),
         groups,
-    }))
+    }
+}
+
+fn test_handle() -> Arc<ArtifactHandle> {
+    Arc::new(ArtifactHandle::from_index(ShardedIndex::build(
+        test_artifact(),
+        farmer_classify::IRG_FINGERPRINT_THETA,
+        2,
+    )))
 }
 
 fn config(workers: usize) -> ServeConfig {
     ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
+        ..ServeConfig::default()
     }
 }
 
+/// Pulls `error.code` out of the uniform envelope.
+fn error_code(body: &str) -> String {
+    Json::parse(body)
+        .unwrap_or_else(|e| panic!("{e}: {body}"))
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error.code in {body}"))
+        .to_string()
+}
+
 #[test]
-fn endpoints_answer() {
-    let index = test_index();
-    let server = start(Arc::clone(&index), &config(2)).unwrap();
+fn v1_endpoints_answer() {
+    let handle = test_handle();
+    let index = handle.current();
+    let server = start(Arc::clone(&handle), &config(2)).unwrap();
     let addr = server.addr().to_string();
 
-    let h = http_get(&addr, "/healthz").unwrap();
+    let h = http_get(&addr, "/v1/healthz").unwrap();
     assert_eq!(h.status, 200);
     let health = Json::parse(&h.body).unwrap();
     assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
@@ -57,30 +80,38 @@ fn endpoints_answer() {
         health.get("groups").and_then(Json::as_u64),
         Some(index.groups().len() as u64)
     );
+    assert_eq!(health.get("shards").and_then(Json::as_u64), Some(2));
+    assert_eq!(health.get("epoch").and_then(Json::as_u64), Some(0));
 
-    let c = http_get(&addr, "/classify?items=i0,i1,i2").unwrap();
+    let c = http_get(&addr, "/v1/classify?items=i0,i1,i2").unwrap();
     assert_eq!(c.status, 200, "body: {}", c.body);
     let body = Json::parse(&c.body).unwrap();
     let class = body.get("class").and_then(Json::as_u64).unwrap() as u32;
     let (sample, _) = index.parse_sample(["i0", "i1", "i2"]);
     assert_eq!(class, index.classify(&sample).class);
 
-    let q = http_get(&addr, "/query?items=i0,i1,i2&limit=3").unwrap();
+    let q = http_get(&addr, "/v1/query?items=i0,i1,i2&limit=3").unwrap();
     assert_eq!(q.status, 200);
     let body = Json::parse(&q.body).unwrap();
     let total = body.get("total").and_then(Json::as_u64).unwrap();
     assert_eq!(total, index.matches(&sample).len() as u64);
     assert!(body.get("returned").and_then(Json::as_u64).unwrap() <= 3);
 
-    // Error paths: missing items, bad class, unknown path.
-    assert_eq!(http_get(&addr, "/classify").unwrap().status, 400);
+    // Error paths carry the uniform envelope with stable codes.
+    let r = http_get(&addr, "/v1/classify").unwrap();
     assert_eq!(
-        http_get(&addr, "/query?items=i0&class=9").unwrap().status,
-        400
+        (r.status, error_code(&r.body).as_str()),
+        (400, "bad_request")
     );
-    assert_eq!(http_get(&addr, "/nope").unwrap().status, 404);
+    let r = http_get(&addr, "/v1/query?items=i0&class=9").unwrap();
+    assert_eq!(
+        (r.status, error_code(&r.body).as_str()),
+        (400, "bad_request")
+    );
+    let r = http_get(&addr, "/v1/nope").unwrap();
+    assert_eq!((r.status, error_code(&r.body).as_str()), (404, "not_found"));
 
-    let m = http_get(&addr, "/metrics").unwrap();
+    let m = http_get(&addr, "/v1/metrics").unwrap();
     assert_eq!(m.status, 200);
     assert!(m.body.contains("farmer_serve_request_ns_count"));
     assert!(m.body.contains("farmer_serve_classify_ns_bucket"));
@@ -89,30 +120,203 @@ fn endpoints_answer() {
 }
 
 #[test]
-fn non_get_is_405() {
-    let server = start(test_index(), &config(1)).unwrap();
+fn legacy_paths_alias_v1_with_deprecation_header() {
+    let server = start(test_handle(), &config(2)).unwrap();
+    let addr = server.addr().to_string();
+
+    // Byte-identical bodies and statuses on every aliased endpoint.
+    for (legacy, v1) in [
+        ("/healthz", "/v1/healthz"),
+        ("/classify?items=i0,i1,i2", "/v1/classify?items=i0,i1,i2"),
+        ("/classify", "/v1/classify"),
+        (
+            "/query?items=i0,i1&limit=2",
+            "/v1/query?items=i0,i1&limit=2",
+        ),
+        ("/no-such", "/v1/no-such"),
+    ] {
+        let old = http_get(&addr, legacy).unwrap();
+        let new = http_get(&addr, v1).unwrap();
+        assert_eq!(old.status, new.status, "{legacy}");
+        assert_eq!(old.body, new.body, "{legacy}");
+    }
+
+    // The alias is marked deprecated on the wire; /v1 is not.
+    let raw = |path: &str| {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    assert!(raw("/healthz").contains("Deprecation: true"));
+    assert!(!raw("/v1/healthz").contains("Deprecation: true"));
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_classify_matches_single_requests() {
+    let handle = test_handle();
+    let server = start(Arc::clone(&handle), &config(2)).unwrap();
+    let addr = server.addr().to_string();
+
+    let samples = [vec!["i0", "i1"], vec!["i3"], vec![], vec!["i0", "bogus"]];
+    let body = format!(
+        "{{\"samples\":[{}]}}",
+        samples
+            .iter()
+            .map(|s| format!(
+                "[{}]",
+                s.iter()
+                    .map(|t| format!("\"{t}\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let r = http_post(&addr, "/v1/classify", &body, None).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = Json::parse(&r.body).unwrap();
+    assert_eq!(doc.get("count").and_then(Json::as_u64), Some(4));
+    let Some(Json::Arr(predictions)) = doc.get("predictions") else {
+        panic!("no predictions array: {}", r.body);
+    };
+
+    // Order is preserved: prediction i equals the single-sample GET.
+    for (s, p) in samples.iter().zip(predictions) {
+        let single = http_get(&addr, &format!("/v1/classify?items={}", s.join(","))).unwrap();
+        assert_eq!(single.status, 200);
+        assert_eq!(
+            p.to_string(),
+            Json::parse(&single.body).unwrap().to_string()
+        );
+    }
+    // The last sample's unknown token is reported per entry.
+    assert_eq!(
+        predictions[3].get("unknown_items").map(Json::to_string),
+        Some("[\"bogus\"]".to_string())
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn batch_classify_rejects_malformed_bodies() {
+    let server = start(test_handle(), &config(1)).unwrap();
+    let addr = server.addr().to_string();
+    for bad in [
+        "not json",
+        "{}",
+        "{\"samples\": 5}",
+        "{\"samples\": [\"i0\"]}",
+        "{\"samples\": [[42]]}",
+    ] {
+        let r = http_post(&addr, "/v1/classify", bad, None).unwrap();
+        assert_eq!(
+            (r.status, error_code(&r.body).as_str()),
+            (400, "bad_request"),
+            "{bad}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wrong_methods_are_405() {
+    let server = start(test_handle(), &config(1)).unwrap();
+    let addr = server.addr().to_string();
+
+    // POST where only GET lives.
+    let r = http_post(&addr, "/v1/query", "{}", None).unwrap();
+    assert_eq!(
+        (r.status, error_code(&r.body).as_str()),
+        (405, "method_not_allowed")
+    );
+    // GET where only POST lives.
+    let r = http_get(&addr, "/v1/admin/reload").unwrap();
+    assert_eq!(
+        (r.status, error_code(&r.body).as_str()),
+        (405, "method_not_allowed")
+    );
+    // A method nothing accepts.
     let mut stream = TcpStream::connect(server.addr()).unwrap();
-    write!(stream, "POST /classify HTTP/1.1\r\n\r\n").unwrap();
+    write!(stream, "PUT /v1/classify HTTP/1.1\r\n\r\n").unwrap();
     let mut out = String::new();
     stream.read_to_string(&mut out).unwrap();
     assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_sheds_beyond_max_inflight() {
+    let handle = test_handle();
+    let mut cfg = config(1);
+    cfg.max_inflight = 1;
+    let server = start(handle, &cfg).unwrap();
+    let addr = server.addr();
+
+    // Occupy the single in-flight slot: the worker blocks reading this
+    // connection's request, which we withhold.
+    let mut held = TcpStream::connect(addr).unwrap();
+    held.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection is shed inline with 503 + Retry-After and
+    // the uniform envelope — never queued behind the stuck worker.
+    let mut over = TcpStream::connect(addr).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut out = String::new();
+    over.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+    assert!(out.contains("Retry-After: 1"), "{out}");
+    assert!(out.contains("\"overloaded\""), "{out}");
+    assert!(server.requests_shed() >= 1);
+
+    // Releasing the held connection frees the slot: it gets a full
+    // answer, and traffic flows again.
+    write!(held, "GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+    held.flush().unwrap();
+    let mut out = String::new();
+    held.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+
+    let ok = http_get(&addr.to_string(), "/v1/healthz").unwrap();
+    assert_eq!(ok.status, 200);
+
+    // The shed shows up in the metrics the admission controller is
+    // instrumented through.
+    let m = http_get(&addr.to_string(), "/v1/metrics").unwrap();
+    let shed_count = m
+        .body
+        .lines()
+        .find(|l| l.starts_with("farmer_serve_shed_ns_count"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no serve_shed family:\n{}", m.body));
+    assert!(shed_count >= 1);
+
     server.shutdown();
 }
 
 #[test]
 fn concurrent_answers_equal_sequential() {
-    let index = test_index();
-    let server = start(Arc::clone(&index), &config(4)).unwrap();
+    let handle = test_handle();
+    let server = start(Arc::clone(&handle), &config(4)).unwrap();
     let addr = server.addr().to_string();
 
     let paths: Vec<String> = [
-        "/classify?items=i0,i1",
-        "/classify?items=i3",
-        "/classify?items=i0,i2,i4",
-        "/classify?items=",
-        "/query?items=i0,i1,i2&limit=100",
-        "/query?items=i3,i4",
-        "/healthz",
+        "/v1/classify?items=i0,i1",
+        "/v1/classify?items=i3",
+        "/v1/classify?items=i0,i2,i4",
+        "/v1/classify?items=",
+        "/v1/query?items=i0,i1,i2&limit=100",
+        "/v1/query?items=i3,i4",
+        "/v1/healthz",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -144,7 +348,7 @@ fn concurrent_answers_equal_sequential() {
     });
 
     // Every one of those requests shows up in the latency histogram.
-    let m = http_get(&addr, "/metrics").unwrap();
+    let m = http_get(&addr, "/v1/metrics").unwrap();
     let total = (CLIENTS * ROUNDS + 1) * paths.len();
     let count_line = m
         .body
@@ -167,8 +371,9 @@ fn concurrent_answers_equal_sequential() {
 
 #[test]
 fn shutdown_drains_in_flight_requests() {
-    let index = test_index();
-    let server = start(Arc::clone(&index), &config(2)).unwrap();
+    let handle = test_handle();
+    let index = handle.current();
+    let server = start(Arc::clone(&handle), &config(2)).unwrap();
     let addr = server.addr();
 
     // Establish connections *before* shutdown, but hold the requests
@@ -190,7 +395,7 @@ fn shutdown_drains_in_flight_requests() {
     std::thread::sleep(Duration::from_millis(50));
     let mut bodies = Vec::new();
     for s in conns.iter_mut() {
-        write!(s, "GET /classify?items=i0,i1 HTTP/1.1\r\n\r\n").unwrap();
+        write!(s, "GET /v1/classify?items=i0,i1 HTTP/1.1\r\n\r\n").unwrap();
         s.flush().unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
@@ -212,7 +417,7 @@ fn shutdown_drains_in_flight_requests() {
 
     // The listener is closed: new connections are refused or reset.
     assert!(
-        TcpStream::connect(addr).is_err() || http_get(&addr.to_string(), "/healthz").is_err(),
+        TcpStream::connect(addr).is_err() || http_get(&addr.to_string(), "/v1/healthz").is_err(),
         "server still accepting after shutdown"
     );
 }

@@ -1,0 +1,99 @@
+//! Property tests pinning the sharded index to the monolithic one:
+//! for any mined artifact, any shard count, and any sample,
+//! [`ShardedIndex`] must reproduce [`RuleGroupIndex`]'s `matches` and
+//! `classify` answers exactly — partitioning is an implementation
+//! detail, never an observable one.
+
+use farmer_core::{canonical_sort, Farmer, MiningParams, RuleGroup};
+use farmer_dataset::DatasetBuilder;
+use farmer_serve::{RuleGroupIndex, ShardedIndex};
+use farmer_store::{read_artifact, ArtifactMeta, ArtifactWriter};
+use farmer_support::check::prelude::*;
+use rowset::IdList;
+use std::io::Cursor;
+
+type Rows = Vec<(std::collections::BTreeSet<u32>, u32)>;
+type Samples = Vec<std::collections::BTreeSet<u32>>;
+
+fn arb_case() -> impl Strategy<Value = (Rows, Samples)> {
+    (3usize..8, 3usize..10).prop_flat_map(|(n_rows, n_items)| {
+        (
+            collection::vec(
+                (
+                    collection::btree_set(0..n_items as u32, 1..n_items),
+                    0u32..2,
+                ),
+                n_rows,
+            ),
+            collection::vec(collection::btree_set(0..n_items as u32, 0..n_items), 1..6),
+        )
+    })
+}
+
+/// Mines every class and round-trips through `.fgi` bytes, so both
+/// indexes are fed exactly what production feeds them.
+fn artifact_of(rows: &Rows) -> farmer_store::Artifact {
+    let mut b = DatasetBuilder::new(2);
+    for (items, label) in rows {
+        b.add_row(items.iter().copied(), *label);
+    }
+    let d = b.build();
+    let mut groups: Vec<RuleGroup> = Vec::new();
+    for class in 0..2 {
+        groups.extend(
+            Farmer::new(MiningParams::new(class).min_sup(1))
+                .mine(&d)
+                .groups,
+        );
+    }
+    canonical_sort(&mut groups);
+    let meta = ArtifactMeta::from_dataset(&d);
+    let mut buf = Cursor::new(Vec::new());
+    let mut w = ArtifactWriter::new(&mut buf, &meta).unwrap();
+    for g in &groups {
+        w.write_group(g).unwrap();
+    }
+    w.finish().unwrap();
+    read_artifact(&buf.into_inner()).unwrap()
+}
+
+check! {
+    #![config(cases = 32)]
+
+    /// Sharding is answer-invariant across shard counts, θ values, and
+    /// samples.
+    #[test]
+    fn sharded_equals_monolithic(
+        (rows, samples) in arb_case(),
+        n_shards in select(vec![1usize, 2, 3, 5, 16]),
+        theta_pct in select(vec![50usize, 80, 100]),
+    ) {
+        let theta = theta_pct as f64 / 100.0;
+        let artifact = artifact_of(&rows);
+        let mono = RuleGroupIndex::build(artifact.clone(), theta);
+        let sharded = ShardedIndex::build(artifact, theta, n_shards);
+        for sample in &samples {
+            let s = IdList::from_iter(sample.iter().copied());
+            prop_assert_eq!(
+                sharded.matches(&s),
+                mono.matches(&s),
+                "{} shards, theta {}, sample {:?}",
+                n_shards,
+                theta,
+                sample
+            );
+            prop_assert_eq!(
+                sharded.classify(&s),
+                mono.classify(&s),
+                "{} shards, theta {}, sample {:?}",
+                n_shards,
+                theta,
+                sample
+            );
+        }
+        // The class partitions agree too (same global rank order).
+        for c in 0..2 {
+            prop_assert_eq!(sharded.groups_for_class(c), mono.groups_for_class(c));
+        }
+    }
+}

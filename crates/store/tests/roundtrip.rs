@@ -4,7 +4,7 @@
 
 use farmer_core::{canonical_sort, dump_groups, Farmer, MiningParams};
 use farmer_dataset::{Dataset, DatasetBuilder};
-use farmer_store::{read_artifact, ArtifactMeta, ArtifactWriter};
+use farmer_store::{read_artifact, ArtifactMeta, ArtifactWriter, VERSION, VERSION_V1};
 use farmer_support::check::prelude::*;
 use std::io::Cursor;
 
@@ -42,9 +42,13 @@ fn mine_all(d: &Dataset, min_sup: usize) -> Vec<farmer_core::RuleGroup> {
 }
 
 /// Writes to an in-memory buffer via the streaming writer.
-fn save_to_vec(meta: &ArtifactMeta, groups: &[farmer_core::RuleGroup]) -> Vec<u8> {
+fn save_to_vec_versioned(
+    meta: &ArtifactMeta,
+    groups: &[farmer_core::RuleGroup],
+    version: u32,
+) -> Vec<u8> {
     let mut buf = Cursor::new(Vec::new());
-    let mut w = ArtifactWriter::new(&mut buf, meta).unwrap();
+    let mut w = ArtifactWriter::new_versioned(&mut buf, meta, version).unwrap();
     for g in groups {
         w.write_group(g).unwrap();
     }
@@ -52,22 +56,65 @@ fn save_to_vec(meta: &ArtifactMeta, groups: &[farmer_core::RuleGroup]) -> Vec<u8
     buf.into_inner()
 }
 
+/// Writes to an in-memory buffer in the default (current) version.
+fn save_to_vec(meta: &ArtifactMeta, groups: &[farmer_core::RuleGroup]) -> Vec<u8> {
+    save_to_vec_versioned(meta, groups, VERSION)
+}
+
 check! {
     #![config(cases = 48)]
 
     /// save → load reproduces a byte-identical group dump and the
-    /// exact metadata, for arbitrary mined datasets.
+    /// exact metadata, for arbitrary mined datasets — in both format
+    /// versions, which must agree with each other: the v2 round trip
+    /// of `dump_groups` is pinned byte-identical to the v1 round trip.
     #[test]
     fn save_load_round_trips(d in arb_dataset(), min_sup in 1usize..3) {
         let groups = mine_all(&d, min_sup);
         let meta = ArtifactMeta::from_dataset(&d);
-        let bytes = save_to_vec(&meta, &groups);
+        let reference = dump_groups(&groups);
+        for version in [VERSION_V1, VERSION] {
+            let bytes = save_to_vec_versioned(&meta, &groups, version);
+            let art = read_artifact(&bytes).unwrap();
+            prop_assert_eq!(&art.meta, &meta);
+            prop_assert_eq!(dump_groups(&art.groups), reference.clone());
+            // Loaded groups re-serialize to the very same bytes.
+            let again = save_to_vec_versioned(&art.meta, &art.groups, version);
+            prop_assert_eq!(again, bytes);
+        }
+        // v2 is the compact encoding: never larger than v1.
+        let v1 = save_to_vec_versioned(&meta, &groups, VERSION_V1);
+        let v2 = save_to_vec_versioned(&meta, &groups, VERSION);
+        prop_assert!(v2.len() <= v1.len(), "v2 {} > v1 {}", v2.len(), v1.len());
+    }
+}
+
+/// Cross-version matrix: every (write version, read) combination loads
+/// and produces identical groups and metadata.
+#[test]
+fn cross_version_matrix() {
+    let mut b = DatasetBuilder::new(3);
+    b.add_row([0, 1, 2, 5], 0);
+    b.add_row([0, 1, 5], 0);
+    b.add_row([1, 2, 3], 1);
+    b.add_row([0, 3, 4], 1);
+    b.add_row([2, 3, 4], 2);
+    b.add_row([0, 2, 4, 5], 2);
+    let d = b.build();
+    let groups = mine_all(&d, 1);
+    assert!(!groups.is_empty());
+    let meta = ArtifactMeta::from_dataset(&d);
+    let reference = dump_groups(&groups);
+    for version in [VERSION_V1, VERSION] {
+        let bytes = save_to_vec_versioned(&meta, &groups, version);
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            version,
+            "header carries the requested version"
+        );
         let art = read_artifact(&bytes).unwrap();
-        prop_assert_eq!(&art.meta, &meta);
-        prop_assert_eq!(dump_groups(&art.groups), dump_groups(&groups));
-        // Loaded groups re-serialize to the very same bytes.
-        let again = save_to_vec(&art.meta, &art.groups);
-        prop_assert_eq!(again, bytes);
+        assert_eq!(art.meta, meta, "v{version} metadata");
+        assert_eq!(dump_groups(&art.groups), reference, "v{version} groups");
     }
 }
 

@@ -23,6 +23,10 @@
 //! * [`trace`] — statically dispatched phase spans, latency
 //!   histograms, per-worker lock-free event rings, and Chrome-trace /
 //!   Prometheus-text exporters.
+//! * [`varint`] — LEB128 integer codec for the `.fgi` v2 artifact
+//!   encoding.
+//! * [`swap`] — arc-swap-style epoch pointer for hot-reloadable
+//!   shared state, plus the SIGHUP reload flag.
 
 #![warn(missing_docs)]
 
@@ -32,5 +36,7 @@ pub mod check;
 pub mod hash;
 pub mod json;
 pub mod rng;
+pub mod swap;
 pub mod thread;
 pub mod trace;
+pub mod varint;

@@ -1,0 +1,148 @@
+//! LEB128 variable-length integer codec.
+//!
+//! The `.fgi` v2 artifact format stores every integer it can as an
+//! unsigned LEB128 varint: 7 payload bits per byte, little-endian
+//! groups, high bit set on every byte except the last. Values below
+//! 128 cost one byte, which is the common case for class ids, delta
+//! gaps, and run lengths.
+//!
+//! The decoder is strict: it rejects truncated input, encodings longer
+//! than ten bytes, and ten-byte encodings whose final byte would
+//! overflow 64 bits. It does *not* reject non-minimal encodings (e.g.
+//! `0x80 0x00` for zero); writers here always emit minimal forms, and
+//! the artifact checksum pins the exact bytes, so a non-minimal form
+//! can only appear in input that already failed verification.
+
+/// Maximum encoded length of a `u64`: `ceil(64 / 7)` bytes.
+pub const MAX_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `out` and returns the number
+/// of bytes written (1..=10).
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        n += 1;
+        if v == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_u64`] would emit for `v`, without writing.
+pub fn encoded_len(v: u64) -> usize {
+    // 1 + floor(bits/7) for v > 0; one byte for zero.
+    if v == 0 {
+        1
+    } else {
+        (70 - v.leading_zeros() as usize) / 7
+    }
+}
+
+/// Decodes a LEB128 `u64` from the front of `bytes`.
+///
+/// Returns the value and the number of bytes consumed, or `None` if
+/// the input is truncated, longer than [`MAX_LEN`] bytes, or overflows
+/// 64 bits.
+pub fn read_u64(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &b) in bytes.iter().enumerate().take(MAX_LEN) {
+        let payload = (b & 0x7f) as u64;
+        // The tenth byte may only contribute the single remaining bit.
+        if i == MAX_LEN - 1 && payload > 1 {
+            return None;
+        }
+        v |= payload << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) {
+        let mut buf = Vec::new();
+        let n = write_u64(&mut buf, v);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, encoded_len(v), "encoded_len disagrees for {v}");
+        let (back, used) = read_u64(&buf).expect("decode");
+        assert_eq!(back, v);
+        assert_eq!(used, n);
+    }
+
+    #[test]
+    fn round_trips_boundary_values() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            round_trip(v);
+        }
+        // every power of two and its neighbors
+        for s in 0..64 {
+            let p = 1u64 << s;
+            round_trip(p.wrapping_sub(1));
+            round_trip(p);
+            round_trip(p | 1);
+        }
+    }
+
+    #[test]
+    fn decode_consumes_prefix_only() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 300);
+        buf.extend_from_slice(&[0xde, 0xad]);
+        let (v, used) = read_u64(&buf).unwrap();
+        assert_eq!(v, 300);
+        assert_eq!(used, 2);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert_eq!(read_u64(&[]), None);
+        assert_eq!(read_u64(&[0x80]), None);
+        assert_eq!(read_u64(&[0xff, 0xff, 0x80]), None);
+    }
+
+    #[test]
+    fn rejects_overlong_and_overflowing() {
+        // 11 continuation bytes: longer than any valid u64 encoding.
+        assert_eq!(read_u64(&[0x80; 11]), None);
+        // 10th byte with payload 2 would need bit 64.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        assert_eq!(read_u64(&buf), None);
+        // u64::MAX itself is fine: 9 full bytes + final payload 1.
+        let mut max = Vec::new();
+        write_u64(&mut max, u64::MAX);
+        assert_eq!(max.len(), 10);
+        assert_eq!(*max.last().unwrap(), 0x01);
+    }
+
+    crate::check! {
+        #![config(cases = 256)]
+
+        #[test]
+        fn property_round_trip(v in 0u64..u64::MAX) {
+            let mut buf = Vec::new();
+            let n = write_u64(&mut buf, v);
+            let (back, used) = read_u64(&buf).expect("decode");
+            crate::prop_assert_eq!((back, used), (v, n));
+        }
+    }
+}

@@ -27,3 +27,7 @@ cargo run -q --offline --release -p farmer-bench --bin pr4_overhead -- --check B
 echo "==> scheduler guard (BENCH_PR6.json)"
 cargo run -q --offline --release -p farmer-bench --bin pr6_scheduler
 cargo run -q --offline --release -p farmer-bench --bin pr6_scheduler -- --check BENCH_PR6.json
+
+echo "==> serving guard (BENCH_PR7.json)"
+cargo run -q --offline --release -p farmer-bench --bin pr7_serving
+cargo run -q --offline --release -p farmer-bench --bin pr7_serving -- --check BENCH_PR7.json

@@ -82,10 +82,18 @@ for _ in $(seq 1 100); do
 done
 [ -n "$addr" ]
 client=./target/release/fgi-client
+# versioned API plus the deprecated unversioned aliases
+"$client" "$addr" /v1/healthz --expect 200 | grep -q '"status":"ok"'
+"$client" "$addr" "/v1/classify?items=0,1" --expect 200 | grep -q '"class"'
+"$client" "$addr" /v1/classify --batch "0,1;2" --expect 200 | grep -q '"predictions"'
+"$client" "$addr" "/v1/query?items=0,1&limit=2" --expect 200 | grep -q '"groups"'
+"$client" "$addr" /v1/nope --expect 404 | grep -q '"code":"not_found"'
 "$client" "$addr" /healthz --expect 200 | grep -q '"status":"ok"'
 "$client" "$addr" "/classify?items=0,1" --expect 200 | grep -q '"class"'
 "$client" "$addr" "/query?items=0,1&limit=2" --expect 200 | grep -q '"groups"'
 "$client" "$addr" /nope --expect 404 > /dev/null
+# reload is admin-disabled when no token was configured
+"$client" "$addr" /v1/admin/reload --post --expect 403 | grep -q 'admin_disabled'
 "$client" "$addr" /metrics --expect 200 > "$tmp/serve_metrics.prom"
 for family in farmer_serve_request_ns farmer_serve_classify_ns \
   farmer_serve_healthz_ns; do
@@ -93,6 +101,42 @@ for family in farmer_serve_request_ns farmer_serve_classify_ns \
 done
 wait "$serve_pid"
 grep -q 'shut down cleanly' "$tmp/serve.log"
+
+echo "==> hot-reload smoke (authenticated reload + SIGHUP, old artifact keeps serving)"
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 4 \
+  --save-irgs "$tmp/hot.fgi" > /dev/null
+./target/release/farmer serve "$tmp/hot.fgi" --workers 2 --admin-token sekrit \
+  --idle-exit-ms 4000 > "$tmp/hot.log" &
+hot_pid=$!
+hot_addr=""
+for _ in $(seq 1 100); do
+  hot_addr="$(sed -n 's|.*at http://||p' "$tmp/hot.log" | head -n1)"
+  [ -n "$hot_addr" ] && break
+  sleep 0.1
+done
+[ -n "$hot_addr" ]
+groups_before="$("$client" "$hot_addr" /v1/healthz --expect 200 \
+  | sed -n 's/.*"groups":\([0-9]*\).*/\1/p')"
+# remine with a lower support floor: strictly more groups land on disk
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 2 \
+  --save-irgs "$tmp/hot.fgi" > /dev/null
+# unauthenticated reload is refused, authenticated one swaps
+"$client" "$hot_addr" /v1/admin/reload --post --expect 401 > /dev/null
+"$client" "$hot_addr" /v1/admin/reload --post --token sekrit --expect 200 \
+  | grep -q '"reloaded":true'
+"$client" "$hot_addr" /v1/healthz --expect 200 | grep -q '"epoch":1'
+groups_after="$("$client" "$hot_addr" /v1/healthz --expect 200 \
+  | sed -n 's/.*"groups":\([0-9]*\).*/\1/p')"
+[ "$groups_after" -gt "$groups_before" ]
+# SIGHUP hot-reloads from disk too
+kill -HUP "$hot_pid"
+for _ in $(seq 1 100); do
+  grep -q 'SIGHUP: reloaded' "$tmp/hot.log" && break
+  sleep 0.1
+done
+"$client" "$hot_addr" /v1/healthz --expect 200 | grep -q '"epoch":2'
+wait "$hot_pid"
+grep -q 'shut down cleanly' "$tmp/hot.log"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -122,5 +166,14 @@ cargo run -q --offline --release -p farmer-bench \
 # the committed scheduler report must also honor its recorded bounds
 cargo run -q --offline --release -p farmer-bench \
   --bin pr6_scheduler -- --check BENCH_PR6.json
+
+echo "==> serving guard smoke (1 sample) + committed BENCH_PR7.json bounds"
+FARMER_BENCH_SAMPLES=1 cargo run -q --offline --release -p farmer-bench \
+  --bin pr7_serving -- --out "$tmp/BENCH_PR7.json"
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr7_serving -- --check "$tmp/BENCH_PR7.json"
+# the committed serving report must also honor the compaction bound
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr7_serving -- --check BENCH_PR7.json
 
 echo "==> verify OK"
