@@ -123,9 +123,16 @@ pub struct ServeArgs {
     /// Accepted-but-unanswered connection bound; connections beyond it
     /// are shed with `503` + `Retry-After`.
     pub max_inflight: usize,
-    /// Bearer token enabling `POST /v1/admin/reload` (absent =
-    /// endpoint disabled; SIGHUP reloads still work).
+    /// Bearer token enabling `POST /v1/admin/reload` and
+    /// `GET /v1/admin/stats` (absent = endpoints disabled; SIGHUP
+    /// reloads still work).
     pub admin_token: Option<String>,
+    /// Structured access-log target: absent = disabled, `-` = stderr,
+    /// anything else = a file path.
+    pub log_out: Option<String>,
+    /// Slow-request capture threshold in milliseconds (0 = capture
+    /// every request).
+    pub slow_ms: u64,
 }
 
 /// Options of `farmer query`.
@@ -275,6 +282,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             idle_exit_ms: opt_num(&opts, "idle-exit-ms")?,
             max_inflight: num(&opts, "max-inflight", 256)?,
             admin_token: opts.get("admin-token").and_then(|v| v.clone()),
+            log_out: opts.get("log-out").and_then(|v| v.clone()),
+            slow_ms: num(&opts, "slow-ms", 100)?,
         })),
         "query" => Ok(Command::Query(QueryArgs {
             artifact: artifact_path(positional, &opts)?,
@@ -515,6 +524,8 @@ mod tests {
                 assert_eq!(s.idle_exit_ms, None);
                 assert_eq!(s.max_inflight, 256);
                 assert_eq!(s.admin_token, None);
+                assert_eq!(s.log_out, None);
+                assert_eq!(s.slow_ms, 100);
             }
             other => panic!("{other:?}"),
         }
@@ -525,12 +536,18 @@ mod tests {
             "32",
             "--admin-token",
             "sekrit",
+            "--log-out",
+            "-",
+            "--slow-ms",
+            "5",
         ]))
         .unwrap();
         match c {
             Command::Serve(s) => {
                 assert_eq!(s.max_inflight, 32);
                 assert_eq!(s.admin_token, Some("sekrit".to_string()));
+                assert_eq!(s.log_out, Some("-".to_string()));
+                assert_eq!(s.slow_ms, 5);
             }
             other => panic!("{other:?}"),
         }

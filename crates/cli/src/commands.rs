@@ -386,6 +386,8 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
         workers: a.workers,
         max_inflight: a.max_inflight,
         admin_token: a.admin_token.clone(),
+        log_out: a.log_out.clone(),
+        slow_ms: a.slow_ms,
     };
     let handle = farmer_serve::start(Arc::clone(&artifact_handle), &config)
         .map_err(|e| CliError(format!("cannot bind {}: {e}", a.addr)))?;

@@ -95,14 +95,22 @@ SERVE OPTIONS (farmer serve <artifact.fgi>):
   --idle-exit-ms <n>  exit cleanly after n ms without traffic
   --max-inflight <n>  shed connections beyond n in flight with 503 +
                       Retry-After (default 256)
-  --admin-token <t>   enable POST /v1/admin/reload with this bearer token
+  --admin-token <t>   enable POST /v1/admin/reload and GET /v1/admin/stats
+                      with this bearer token
+  --log-out <p>       structured JSON access log: a file path, or - for
+                      stderr (default: disabled, zero request-path cost)
+  --slow-ms <n>       capture requests >= n ms in the /v1/admin/stats
+                      slow ring with phase breakdown (default 100; 0 =
+                      capture every request)
   endpoints (all under /v1/; unversioned paths are deprecated aliases):
     /v1/classify?items=a,b          GET single sample
     /v1/classify                    POST {\"samples\":[[..],..]} batch
     /v1/query?items=a,b[&class=k][&limit=n]
     /v1/healthz  /v1/metrics (Prometheus text)
     /v1/admin/reload                POST, bearer-authenticated hot swap
-  SIGHUP also hot-reloads the artifact from disk.
+    /v1/admin/stats                 GET, bearer-authenticated live stats
+  every response carries X-Request-Id; SIGHUP also hot-reloads the
+  artifact from disk.
 
 QUERY OPTIONS (farmer query <artifact.fgi>):
   --items <a,b,c>     sample items, by name or numeric id

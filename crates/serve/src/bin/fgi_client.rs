@@ -1,31 +1,51 @@
 //! `fgi-client` — one-shot HTTP request against a running
-//! `farmer serve` instance, for scripts and smoke tests.
+//! `farmer serve` instance, for scripts and smoke tests, plus the
+//! `watch` live dashboard.
 //!
 //! ```text
 //! fgi-client <host:port> <path> [--expect <status>]
 //!            [--batch <s1;s2;…>] [--post] [--token <bearer>]
+//!            [--print-header <name>]
+//! fgi-client watch <host:port> [--interval-ms <n>] [--frames <n>]
+//!            [--token <bearer>]
 //! ```
 //!
 //! Default is a GET. `--batch` POSTs a batch-classify body built from
 //! `;`-separated samples of `,`-separated items (e.g.
 //! `--batch 'i0,i1;i2'` is two samples). `--post` issues a bare POST
-//! (the admin endpoints), and `--token` adds a bearer token.
+//! (the admin endpoints), `--token` adds a bearer token, and
+//! `--print-header` prints the named response header instead of the
+//! body (scripts grep `X-Request-Id` this way).
 //!
 //! Prints the response body to stdout. Exits 0 when the status equals
 //! `--expect` (default 200), 1 otherwise, 2 on usage or I/O errors.
+//!
+//! `watch` polls `/v1/metrics` (and `/v1/admin/stats` when `--token`
+//! is given) every `--interval-ms` (default 1000), rendering req/s,
+//! error rate, p50/p95/p99 latency, the in-flight gauge, and
+//! shed/reload deltas per frame. `--frames` bounds the run (default:
+//! until the server goes away).
 
-use farmer_serve::{http_get, http_post};
+use farmer_serve::watch::{run_watch, WatchOptions};
+use farmer_serve::{http_get_auth, http_post};
 use farmer_support::json::{Json, ObjBuilder};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: fgi-client <host:port> <path> [--expect <status>] \
-                     [--batch <s1;s2>] [--post] [--token <bearer>]";
+                     [--batch <s1;s2>] [--post] [--token <bearer>] \
+                     [--print-header <name>]\n\
+                     \u{20}      fgi-client watch <host:port> [--interval-ms <n>] \
+                     [--frames <n>] [--token <bearer>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("watch") {
+        return watch_main(&args[1..]);
+    }
     let mut expect = 200u16;
     let mut batch: Option<String> = None;
     let mut token: Option<String> = None;
+    let mut print_header: Option<String> = None;
     let mut post = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -43,6 +63,10 @@ fn main() -> ExitCode {
                 Some(t) => token = Some(t.clone()),
                 None => return usage("--token needs a value"),
             },
+            "--print-header" => match it.next() {
+                Some(name) => print_header = Some(name.clone()),
+                None => return usage("--print-header needs a header name"),
+            },
             "--post" => post = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -59,11 +83,14 @@ fn main() -> ExitCode {
     } else if post {
         http_post(addr, path, "", token.as_deref())
     } else {
-        http_get(addr, path)
+        http_get_auth(addr, path, token.as_deref())
     };
     match result {
         Ok(resp) => {
-            println!("{}", resp.body);
+            match &print_header {
+                Some(name) => println!("{}", resp.header(name).unwrap_or("")),
+                None => println!("{}", resp.body),
+            }
             if resp.status == expect {
                 ExitCode::SUCCESS
             } else {
@@ -73,6 +100,49 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("fgi-client: request failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `fgi-client watch <host:port> [--interval-ms n] [--frames n] [--token t]`.
+fn watch_main(args: &[String]) -> ExitCode {
+    let mut opts = WatchOptions {
+        addr: String::new(),
+        interval_ms: 1000,
+        frames: None,
+        token: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => opts.interval_ms = ms,
+                None => return usage("--interval-ms needs a number"),
+            },
+            "--frames" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.frames = Some(n),
+                None => return usage("--frames needs a number"),
+            },
+            "--token" => match it.next() {
+                Some(t) => opts.token = Some(t.clone()),
+                None => return usage("--token needs a value"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if opts.addr.is_empty() => opts.addr = a.clone(),
+            _ => return usage("watch takes one <host:port>"),
+        }
+    }
+    if opts.addr.is_empty() {
+        return usage("watch needs <host:port>");
+    }
+    match run_watch(&opts, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fgi-client: watch stopped: {e}");
             ExitCode::from(2)
         }
     }

@@ -11,18 +11,45 @@ use std::time::Duration;
 pub struct HttpResponse {
     /// The numeric status code from the status line.
     pub status: u16,
+    /// Response headers as `(name, value)` pairs, in wire order.
+    pub headers: Vec<(String, String)>,
     /// The response body (headers stripped).
     pub body: String,
+}
+
+impl HttpResponse {
+    /// The first header with the given name, matched
+    /// case-insensitively as HTTP requires.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Issues `GET <path>` against `addr` (a `host:port` string) and reads
 /// the response to EOF — the server closes each connection after one
 /// response, so EOF delimits the body.
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<HttpResponse> {
+    http_get_auth(addr, path, None)
+}
+
+/// [`http_get`], optionally carrying `Authorization: Bearer <token>`
+/// (the admin stats endpoint needs it).
+pub fn http_get_auth(
+    addr: &str,
+    path: &str,
+    bearer: Option<&str>,
+) -> std::io::Result<HttpResponse> {
     let mut stream = connect(addr)?;
+    let auth = match bearer {
+        Some(token) => format!("Authorization: Bearer {token}\r\n"),
+        None => String::new(),
+    };
     write!(
         stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\n{auth}Connection: close\r\n\r\n"
     )?;
     stream.flush()?;
     read_response(stream)
@@ -66,13 +93,19 @@ fn read_response(mut stream: TcpStream) -> std::io::Result<HttpResponse> {
     let (head, body) = text
         .split_once("\r\n\r\n")
         .ok_or_else(|| bad("response has no header/body separator"))?;
-    let status = head
-        .split_whitespace()
-        .nth(1)
+    let mut lines = head.split("\r\n");
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("response status line unparseable"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
     Ok(HttpResponse {
         status,
+        headers,
         body: body.to_string(),
     })
 }

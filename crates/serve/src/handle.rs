@@ -17,6 +17,7 @@ use crate::shard::ShardedIndex;
 use farmer_store::Artifact;
 use farmer_support::swap::Swap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// A serving slot: the path an artifact was loaded from plus the
@@ -25,6 +26,9 @@ pub struct ArtifactHandle {
     path: Option<PathBuf>,
     theta: f64,
     n_shards: usize,
+    /// `.fgi` format version of the most recently loaded artifact
+    /// (0 for in-memory handles), surfaced by `/v1/healthz`.
+    artifact_version: AtomicU32,
     current: Swap<ShardedIndex>,
 }
 
@@ -34,10 +38,12 @@ impl ArtifactHandle {
     pub fn load(path: impl Into<PathBuf>, theta: f64, n_shards: usize) -> Result<Self, String> {
         let path = path.into();
         let index = build_index(&path, theta, n_shards)?;
+        let version = farmer_store::peek_version(&path).unwrap_or(0);
         Ok(ArtifactHandle {
             path: Some(path),
             theta,
             n_shards,
+            artifact_version: AtomicU32::new(version),
             current: Swap::new(Arc::new(index)),
         })
     }
@@ -51,6 +57,7 @@ impl ArtifactHandle {
             path: None,
             theta,
             n_shards,
+            artifact_version: AtomicU32::new(0),
             current: Swap::new(Arc::new(index)),
         }
     }
@@ -71,6 +78,12 @@ impl ArtifactHandle {
         self.current.epoch()
     }
 
+    /// The `.fgi` format version of the artifact currently serving
+    /// (0 when the handle wraps an in-memory index).
+    pub fn artifact_version(&self) -> u32 {
+        self.artifact_version.load(Ordering::Relaxed)
+    }
+
     /// Re-reads the backing artifact, builds a fresh index, and swaps
     /// it in. Returns the new index on success; on any failure the old
     /// index keeps serving and the error says why.
@@ -79,6 +92,9 @@ impl ArtifactHandle {
             return Err("reload unavailable: handle has no artifact path".to_string());
         };
         let index = Arc::new(build_index(path, self.theta, self.n_shards)?);
+        if let Ok(v) = farmer_store::peek_version(path) {
+            self.artifact_version.store(v, Ordering::Relaxed);
+        }
         self.current.store(Arc::clone(&index));
         Ok(index)
     }

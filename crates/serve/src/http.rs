@@ -18,12 +18,27 @@
 //! | `/v1/classify`          | GET    | classify `?items=a,b,c` |
 //! | `/v1/classify`          | POST   | batch-classify `{"samples": [[…], …]}` |
 //! | `/v1/query`             | GET    | matching groups for `?items=…` |
-//! | `/v1/healthz`           | GET    | index shape, epoch, shard count |
-//! | `/v1/metrics`           | GET    | Prometheus text (latency histograms) |
+//! | `/v1/healthz`           | GET    | index shape, epoch, versions |
+//! | `/v1/metrics`           | GET    | Prometheus text (histograms, counters, gauges) |
 //! | `/v1/admin/reload`      | POST   | hot-swap the artifact (bearer auth) |
+//! | `/v1/admin/stats`       | GET    | live server stats + slow ring (bearer auth) |
 //!
 //! Every error is the uniform envelope
-//! `{"error":{"code":"…","message":"…"}}`.
+//! `{"error":{"code":"…","message":"…","request_id":"…"}}`.
+//!
+//! # Observability
+//!
+//! Every request carries a request id — the inbound `X-Request-Id`
+//! when sane, else 16 hex digits from `support::rng` seeded
+//! per-connection — echoed as the `X-Request-Id` response header,
+//! stamped into error envelopes, and keyed into the structured access
+//! log (one JSON line per request when [`ServeConfig::log_out`] is
+//! set). Handling is phase-timed (parse/snapshot/compute/write);
+//! requests at or above [`ServeConfig::slow_ms`] land in a capture
+//! ring served by `GET /v1/admin/stats`. RED metrics — per-endpoint
+//! request/error counters, per-status-class counters, the in-flight
+//! gauge, shed/reload counters — ride the same tracer as the latency
+//! histograms and render at `/v1/metrics`.
 //!
 //! # Hot swap and admission control
 //!
@@ -36,9 +51,14 @@
 //! The acceptor bounds in-flight work: when `max_inflight` connections
 //! are accepted-but-unanswered, further connections get an immediate
 //! `503` with `Retry-After` instead of queueing without bound. Sheds
-//! are visible in `/v1/metrics` as the `serve_shed` histogram family.
+//! are visible in `/v1/metrics` as the `serve_shed` histogram family
+//! and the `farmer_serve_shed_total` counter.
 
 use crate::handle::ArtifactHandle;
+use crate::obs::{
+    self, endpoint_counters, status_class_counter, AccessEntry, AccessLog, Endpoint, ServerClock,
+    SlowEntry, SlowRing,
+};
 use crate::shard::ShardedIndex;
 use farmer_support::json::{Json, ObjBuilder};
 use farmer_support::thread::{channel, Mutex, Receiver, Sender};
@@ -60,6 +80,7 @@ const HIST_NAMES: &[&str] = &[
     "serve_metrics",
     "serve_reload",
     "serve_shed",
+    "serve_admin_stats",
 ];
 const H_REQUEST: HistId = HistId(0);
 const H_CLASSIFY: HistId = HistId(1);
@@ -68,11 +89,25 @@ const H_HEALTHZ: HistId = HistId(3);
 const H_METRICS: HistId = HistId(4);
 const H_RELOAD: HistId = HistId(5);
 const H_SHED: HistId = HistId(6);
+const H_STATS: HistId = HistId(7);
+
+/// The endpoint-specific latency histogram (none for unrouted traffic).
+fn endpoint_hist(ep: Endpoint) -> Option<HistId> {
+    match ep {
+        Endpoint::Classify => Some(H_CLASSIFY),
+        Endpoint::Query => Some(H_QUERY),
+        Endpoint::Healthz => Some(H_HEALTHZ),
+        Endpoint::Metrics => Some(H_METRICS),
+        Endpoint::Reload => Some(H_RELOAD),
+        Endpoint::AdminStats => Some(H_STATS),
+        Endpoint::Other => None,
+    }
+}
 
 /// Largest request body the server will read.
 const MAX_BODY: u64 = 1 << 20;
 
-/// How the server binds, scales, and protects itself.
+/// How the server binds, scales, protects itself, and reports.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address; port 0 asks the OS for an ephemeral port (the
@@ -83,9 +118,18 @@ pub struct ServeConfig {
     /// Accepted-but-unanswered connection bound (clamped to ≥ 1);
     /// connections beyond it are shed with `503` + `Retry-After`.
     pub max_inflight: usize,
-    /// Bearer token required by `POST /v1/admin/reload`. `None`
-    /// disables the endpoint (`403 admin_disabled`).
+    /// Bearer token required by `POST /v1/admin/reload` and
+    /// `GET /v1/admin/stats`. `None` disables both
+    /// (`403 admin_disabled`).
     pub admin_token: Option<String>,
+    /// Structured access log target: `None` disables (the default —
+    /// zero cost on the request path), `Some("-")` writes JSON lines
+    /// to stderr, any other value is a file path created/truncated.
+    pub log_out: Option<String>,
+    /// Requests at or above this end-to-end latency are captured in
+    /// the slow ring with their phase breakdown; 0 captures every
+    /// request.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -95,8 +139,21 @@ impl Default for ServeConfig {
             workers: 4,
             max_inflight: 256,
             admin_token: None,
+            log_out: None,
+            slow_ms: 100,
         }
     }
+}
+
+/// Everything a worker needs to answer one connection; built once by
+/// [`start`] and shared by the acceptor and the pool.
+struct ServerCtx {
+    handle: Arc<ArtifactHandle>,
+    admin_token: Option<String>,
+    tracer: RingTracer,
+    log: AccessLog,
+    slow: SlowRing,
+    clock: ServerClock,
 }
 
 /// A running server: the bound address plus the shutdown control.
@@ -161,14 +218,27 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let max_inflight = config.max_inflight.max(1);
-    let admin_token: Arc<Option<String>> = Arc::new(config.admin_token.clone());
     let stop = Arc::new(AtomicBool::new(false));
     let served = Arc::new(AtomicU64::new(0));
     let shed = Arc::new(AtomicU64::new(0));
     let pending = Arc::new(AtomicUsize::new(0));
     // Lane 0 is the acceptor's (sheds land there); worker w records on
     // lane w+1.
-    let tracer = Arc::new(RingTracer::new(&[], HIST_NAMES, workers + 1, 1));
+    let ctx = Arc::new(ServerCtx {
+        handle,
+        admin_token: config.admin_token.clone(),
+        tracer: RingTracer::with_metrics(
+            &[],
+            HIST_NAMES,
+            obs::COUNTER_NAMES,
+            obs::GAUGE_NAMES,
+            workers + 1,
+            1,
+        ),
+        log: AccessLog::from_target(config.log_out.as_deref())?,
+        slow: SlowRing::new(config.slow_ms),
+        clock: ServerClock::new(),
+    });
 
     let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
     let rx = Arc::new(Mutex::new(rx));
@@ -176,9 +246,7 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
     let mut pool = Vec::with_capacity(workers);
     for w in 0..workers {
         let rx = Arc::clone(&rx);
-        let handle = Arc::clone(&handle);
-        let admin_token = Arc::clone(&admin_token);
-        let tracer = Arc::clone(&tracer);
+        let ctx = Arc::clone(&ctx);
         let served = Arc::clone(&served);
         let pending = Arc::clone(&pending);
         pool.push(std::thread::spawn(move || loop {
@@ -187,8 +255,8 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
             let conn = { rx.lock().recv() };
             match conn {
                 Ok(stream) => {
-                    handle_connection(stream, &handle, admin_token.as_deref(), &tracer, w + 1);
-                    pending.fetch_sub(1, Ordering::SeqCst);
+                    handle_connection(stream, &ctx, w + 1, &pending);
+                    ctx.tracer.gauge_add(w + 1, obs::G_INFLIGHT, -1);
                     served.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => break,
@@ -200,7 +268,7 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
         let stop = Arc::clone(&stop);
         let shed = Arc::clone(&shed);
         let pending = Arc::clone(&pending);
-        let tracer = Arc::clone(&tracer);
+        let ctx = Arc::clone(&ctx);
         std::thread::spawn(move || {
             let admit = |stream: TcpStream| -> bool {
                 // Only this thread increments, so check-then-add is
@@ -208,12 +276,32 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
                 // queued or in a worker.
                 if pending.load(Ordering::SeqCst) >= max_inflight {
                     let t0 = Instant::now();
-                    shed_connection(stream);
-                    shed.fetch_add(1, Ordering::Relaxed);
-                    tracer.duration_ns(0, H_SHED, t0.elapsed().as_nanos() as u64);
+                    let ts_ns = ctx.clock.now_ns();
+                    let rid = obs::next_request_id();
+                    // Count before writing: a client that reads the 503
+                    // must already observe the shed in the counters.
+                    shed.fetch_add(1, Ordering::SeqCst);
+                    ctx.tracer.add(0, obs::C_SHED, 1);
+                    let bytes = shed_connection(stream, &rid);
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    ctx.tracer.duration_ns(0, H_SHED, ns);
+                    if ctx.log.enabled() {
+                        ctx.log.write(&AccessEntry {
+                            ts_ns,
+                            id: &rid,
+                            method: "-",
+                            path: "-",
+                            status: 503,
+                            bytes,
+                            latency_ns: ns,
+                            shed: true,
+                            reload: false,
+                        });
+                    }
                     return true;
                 }
                 pending.fetch_add(1, Ordering::SeqCst);
+                ctx.tracer.gauge_add(0, obs::G_INFLIGHT, 1);
                 tx.send(stream).is_ok()
             };
             for conn in listener.incoming() {
@@ -255,18 +343,26 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
 
 /// Answers an over-capacity connection with `503` + `Retry-After`
 /// without reading the request (the acceptor must not block on a slow
-/// peer's bytes).
-fn shed_connection(mut stream: TcpStream) {
+/// peer's bytes). Returns the body bytes written, for the access log.
+fn shed_connection(mut stream: TcpStream, rid: &str) -> usize {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let body = error_body("overloaded", "server is at its in-flight request limit");
+    let body = error_body(
+        "overloaded",
+        "server is at its in-flight request limit",
+        rid,
+    );
     let _ = write_response(
         &mut stream,
         503,
         "application/json",
         &body,
-        &[("Retry-After", "1".to_string())],
+        &[
+            ("Retry-After", "1".to_string()),
+            ("X-Request-Id", rid.to_string()),
+        ],
     );
     let _ = stream.flush();
+    body.len()
 }
 
 /// One parsed request: method, decoded path, decoded query pairs, the
@@ -276,6 +372,8 @@ struct Request {
     path: String,
     query: Vec<(String, String)>,
     bearer: Option<String>,
+    /// Inbound `X-Request-Id`, echoed when sane.
+    request_id: Option<String>,
     body: String,
     /// The declared `Content-Length` exceeded [`MAX_BODY`]; the body
     /// was not read.
@@ -296,65 +394,112 @@ struct Response {
     status: u16,
     content_type: &'static str,
     body: String,
-    hist: Option<HistId>,
+    endpoint: Endpoint,
 }
 
 impl Response {
-    fn json(status: u16, body: String, hist: HistId) -> Response {
+    fn json(status: u16, body: String, endpoint: Endpoint) -> Response {
         Response {
             status,
             content_type: "application/json",
             body,
-            hist: Some(hist),
+            endpoint,
         }
     }
 
-    fn error(status: u16, code: &str, message: &str, hist: Option<HistId>) -> Response {
+    fn error(status: u16, code: &str, message: &str, endpoint: Endpoint, rid: &str) -> Response {
         Response {
             status,
             content_type: "application/json",
-            body: error_body(code, message),
-            hist,
+            body: error_body(code, message, rid),
+            endpoint,
         }
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    handle: &ArtifactHandle,
-    admin_token: Option<&str>,
-    tracer: &RingTracer,
-    lane: usize,
-) {
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx, lane: usize, pending: &AtomicUsize) {
     // Timeouts keep a stalled peer from wedging a worker forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let started = Instant::now();
+    let ts_ns = ctx.clock.now_ns();
     let mut reader = BufReader::new(stream);
     let Some(req) = parse_request(&mut reader) else {
+        pending.fetch_sub(1, Ordering::SeqCst);
         return; // unreadable request line: nothing to answer
     };
+    let parse_ns = started.elapsed().as_nanos() as u64;
+    let rid = obs::request_id_from(req.request_id.as_deref());
     // Snapshot the served index once; a concurrent hot swap cannot
     // affect this request.
-    let index = handle.current();
-    let (resp, legacy) = respond(&req, &index, handle, admin_token, tracer);
-    let mut extra: Vec<(&'static str, String)> = Vec::new();
+    let t_snapshot = Instant::now();
+    let index = ctx.handle.current();
+    let snapshot_ns = t_snapshot.elapsed().as_nanos() as u64;
+    let t_compute = Instant::now();
+    let (resp, legacy) = respond(&req, &rid, &index, ctx, lane);
+    let compute_ns = t_compute.elapsed().as_nanos() as u64;
+    let mut extra: Vec<(&'static str, String)> = vec![("X-Request-Id", rid.clone())];
     if legacy {
         extra.push(("Deprecation", "true".to_string()));
     }
+    // RED counters go first: a client that reads this response (and
+    // immediately scrapes or reconnects) must already see them.
+    ctx.tracer.add(lane, obs::C_REQUESTS, 1);
+    let (c_req, c_err) = endpoint_counters(resp.endpoint);
+    ctx.tracer.add(lane, c_req, 1);
+    if resp.status >= 400 {
+        ctx.tracer.add(lane, obs::C_ERRORS, 1);
+        ctx.tracer.add(lane, c_err, 1);
+    }
+    if let Some(c) = status_class_counter(resp.status) {
+        ctx.tracer.add(lane, c, 1);
+    }
+    let t_write = Instant::now();
     let stream = reader.get_mut();
     let _ = write_response(stream, resp.status, resp.content_type, &resp.body, &extra);
     let _ = stream.flush();
+    // The response is on the wire: free the admission slot before the
+    // remaining bookkeeping, so a client that reads it and reconnects
+    // immediately is never shed by its own just-answered slot.
+    pending.fetch_sub(1, Ordering::SeqCst);
+    let write_ns = t_write.elapsed().as_nanos() as u64;
     let ns = started.elapsed().as_nanos() as u64;
-    tracer.duration_ns(lane, H_REQUEST, ns);
-    if let Some(h) = resp.hist {
-        tracer.duration_ns(lane, h, ns);
+    ctx.tracer.duration_ns(lane, H_REQUEST, ns);
+    if let Some(h) = endpoint_hist(resp.endpoint) {
+        ctx.tracer.duration_ns(lane, h, ns);
+    }
+    if ctx.log.enabled() {
+        ctx.log.write(&AccessEntry {
+            ts_ns,
+            id: &rid,
+            method: &req.method,
+            path: &req.path,
+            status: resp.status,
+            bytes: resp.body.len(),
+            latency_ns: ns,
+            shed: false,
+            reload: resp.endpoint == Endpoint::Reload,
+        });
+    }
+    if ns >= ctx.slow.threshold_ns() {
+        ctx.slow.record(SlowEntry {
+            ts_ns,
+            id: rid,
+            method: req.method,
+            path: req.path,
+            status: resp.status,
+            total_ns: ns,
+            parse_ns,
+            snapshot_ns,
+            compute_ns,
+            write_ns,
+        });
     }
 }
 
 /// Reads the request line, the headers the API layer consumes
-/// (`Content-Length`, `Authorization`), and the body when one is
-/// declared. `None` when the peer sent nothing parseable.
+/// (`Content-Length`, `Authorization`, `X-Request-Id`), and the body
+/// when one is declared. `None` when the peer sent nothing parseable.
 fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;
@@ -363,6 +508,7 @@ fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
     let target = parts.next()?;
     let mut content_length: u64 = 0;
     let mut bearer = None;
+    let mut request_id = None;
     loop {
         let mut header = String::new();
         match reader.read_line(&mut header) {
@@ -375,6 +521,8 @@ fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
                         content_length = value.parse().unwrap_or(0);
                     } else if name.eq_ignore_ascii_case("authorization") {
                         bearer = value.strip_prefix("Bearer ").map(|t| t.trim().to_string());
+                    } else if name.eq_ignore_ascii_case("x-request-id") {
+                        request_id = Some(value.to_string());
                     }
                 }
             }
@@ -405,6 +553,7 @@ fn parse_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
         path: percent_decode(path),
         query,
         bearer,
+        request_id,
         body,
         oversized,
     })
@@ -439,10 +588,10 @@ fn percent_decode(s: &str) -> String {
 /// deprecated unversioned path (the `/v1`-less aliases).
 fn respond(
     req: &Request,
+    rid: &str,
     index: &ShardedIndex,
-    handle: &ArtifactHandle,
-    admin_token: Option<&str>,
-    tracer: &RingTracer,
+    ctx: &ServerCtx,
+    lane: usize,
 ) -> (Response, bool) {
     let (path, legacy) = match req.path.strip_prefix("/v1/") {
         Some(rest) => (format!("/{rest}"), false),
@@ -453,7 +602,8 @@ fn respond(
             413,
             "payload_too_large",
             &format!("request body exceeds {MAX_BODY} bytes"),
-            None,
+            Endpoint::Other,
+            rid,
         );
         return (resp, legacy);
     }
@@ -465,26 +615,28 @@ fn respond(
                 .field("items", index.meta().n_items())
                 .field("classes", index.meta().n_classes())
                 .field("shards", index.n_shards())
-                .field("epoch", handle.epoch())
+                .field("epoch", ctx.handle.epoch())
+                .field("version", env!("CARGO_PKG_VERSION"))
+                .field("artifact_version", ctx.handle.artifact_version() as u64)
                 .build()
                 .to_string();
-            Response::json(200, body, H_HEALTHZ)
+            Response::json(200, body, Endpoint::Healthz)
         }
         ("GET", "/metrics") => {
-            let text = prometheus_text(&tracer.drain());
+            let text = prometheus_text(&ctx.tracer.drain());
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 body: text,
-                hist: Some(H_METRICS),
+                endpoint: Endpoint::Metrics,
             }
         }
         ("GET", "/classify") => match sample_of(req, index) {
             Ok((sample, unknown)) => {
                 let body = prediction_json(index, &sample, &unknown).to_string();
-                Response::json(200, body, H_CLASSIFY)
+                Response::json(200, body, Endpoint::Classify)
             }
-            Err(msg) => Response::error(400, "bad_request", &msg, Some(H_CLASSIFY)),
+            Err(msg) => Response::error(400, "bad_request", &msg, Endpoint::Classify, rid),
         },
         ("POST", "/classify") => match batch_samples(&req.body) {
             Ok(samples) => {
@@ -501,9 +653,9 @@ fn respond(
                     .field("predictions", Json::Arr(predictions))
                     .build()
                     .to_string();
-                Response::json(200, body, H_CLASSIFY)
+                Response::json(200, body, Endpoint::Classify)
             }
-            Err(msg) => Response::error(400, "bad_request", &msg, Some(H_CLASSIFY)),
+            Err(msg) => Response::error(400, "bad_request", &msg, Endpoint::Classify, rid),
         },
         ("GET", "/query") => match sample_of(req, index) {
             Ok((sample, unknown)) => {
@@ -515,7 +667,8 @@ fn respond(
                             400,
                             "bad_request",
                             "class must be a valid class label",
-                            Some(H_QUERY),
+                            Endpoint::Query,
+                            rid,
                         );
                         return (resp, legacy);
                     }
@@ -538,58 +691,116 @@ fn respond(
                     .field("unknown_items", str_array(&unknown))
                     .build()
                     .to_string();
-                Response::json(200, body, H_QUERY)
+                Response::json(200, body, Endpoint::Query)
             }
-            Err(msg) => Response::error(400, "bad_request", &msg, Some(H_QUERY)),
+            Err(msg) => Response::error(400, "bad_request", &msg, Endpoint::Query, rid),
         },
-        ("POST", "/admin/reload") => admin_reload(req, handle, admin_token),
-        (_, "/healthz" | "/metrics" | "/query" | "/admin/reload") => Response::error(
-            405,
-            "method_not_allowed",
-            &format!("{} does not accept {}", path, req.method),
-            None,
-        ),
+        ("POST", "/admin/reload") => admin_reload(req, rid, ctx, lane),
+        ("GET", "/admin/stats") => admin_stats(req, rid, index, ctx),
+        (_, "/healthz" | "/metrics" | "/query" | "/admin/reload" | "/admin/stats") => {
+            Response::error(
+                405,
+                "method_not_allowed",
+                &format!("{} does not accept {}", path, req.method),
+                Endpoint::Other,
+                rid,
+            )
+        }
         (_, "/classify") => Response::error(
             405,
             "method_not_allowed",
             "/classify accepts GET (single sample) and POST (batch)",
-            None,
+            Endpoint::Other,
+            rid,
         ),
-        _ => Response::error(404, "not_found", "no such endpoint", None),
+        _ => Response::error(404, "not_found", "no such endpoint", Endpoint::Other, rid),
     };
     (resp, legacy)
 }
 
-/// `POST /v1/admin/reload`: bearer-authenticated artifact hot swap.
-fn admin_reload(req: &Request, handle: &ArtifactHandle, admin_token: Option<&str>) -> Response {
-    let Some(expected) = admin_token else {
-        return Response::error(
+/// Checks the bearer token shared by the admin endpoints. `Some` is
+/// the refusal to send back; `None` means authenticated.
+fn admin_auth(req: &Request, rid: &str, ctx: &ServerCtx, endpoint: Endpoint) -> Option<Response> {
+    let Some(expected) = ctx.admin_token.as_deref() else {
+        return Some(Response::error(
             403,
             "admin_disabled",
-            "server started without --admin-token; reload is disabled",
-            Some(H_RELOAD),
-        );
+            "server started without --admin-token; admin endpoints are disabled",
+            endpoint,
+            rid,
+        ));
     };
     if req.bearer.as_deref() != Some(expected) {
-        return Response::error(
+        return Some(Response::error(
             401,
             "unauthorized",
             "missing or wrong bearer token",
-            Some(H_RELOAD),
-        );
+            endpoint,
+            rid,
+        ));
     }
-    match handle.reload() {
+    None
+}
+
+/// `POST /v1/admin/reload`: bearer-authenticated artifact hot swap.
+fn admin_reload(req: &Request, rid: &str, ctx: &ServerCtx, lane: usize) -> Response {
+    if let Some(refusal) = admin_auth(req, rid, ctx, Endpoint::Reload) {
+        return refusal;
+    }
+    match ctx.handle.reload() {
         Ok(fresh) => {
+            ctx.tracer.add(lane, obs::C_RELOADS, 1);
             let body = ObjBuilder::new()
                 .field("reloaded", true)
-                .field("epoch", handle.epoch())
+                .field("epoch", ctx.handle.epoch())
                 .field("groups", fresh.groups().len())
                 .build()
                 .to_string();
-            Response::json(200, body, H_RELOAD)
+            Response::json(200, body, Endpoint::Reload)
         }
-        Err(e) => Response::error(500, "reload_failed", &e, Some(H_RELOAD)),
+        Err(e) => {
+            ctx.tracer.add(lane, obs::C_RELOAD_FAILURES, 1);
+            Response::error(500, "reload_failed", &e, Endpoint::Reload, rid)
+        }
     }
+}
+
+/// `GET /v1/admin/stats`: bearer-authenticated live server stats —
+/// uptime, swap epoch, index shape and postings size, every counter
+/// and gauge, drop totals, and the slow-request capture ring.
+fn admin_stats(req: &Request, rid: &str, index: &ShardedIndex, ctx: &ServerCtx) -> Response {
+    if let Some(refusal) = admin_auth(req, rid, ctx, Endpoint::AdminStats) {
+        return refusal;
+    }
+    let r = ctx.tracer.drain();
+    let mut counters = ObjBuilder::new();
+    for (name, v) in r.counter_names.iter().zip(r.counters.iter()) {
+        counters = counters.field(name.as_str(), *v);
+    }
+    let mut gauges = ObjBuilder::new();
+    for (name, v) in r.gauge_names.iter().zip(r.gauges.iter()) {
+        gauges = gauges.field(name.as_str(), *v);
+    }
+    let postings = index.postings_entries();
+    let body = ObjBuilder::new()
+        .field("uptime_ns", ctx.clock.now_ns())
+        .field("version", env!("CARGO_PKG_VERSION"))
+        .field("artifact_version", ctx.handle.artifact_version() as u64)
+        .field("epoch", ctx.handle.epoch())
+        .field("shards", index.n_shards())
+        .field("groups", index.groups().len())
+        .field("items", index.meta().n_items())
+        .field("classes", index.meta().n_classes())
+        .field("postings_entries", postings)
+        .field("postings_bytes", postings * std::mem::size_of::<u32>())
+        .field("dropped_events", r.dropped_total())
+        .field("counters", counters.build())
+        .field("gauges", gauges.build())
+        .field("slow_threshold_ns", ctx.slow.threshold_ns())
+        .field("slow", ctx.slow.snapshot_json())
+        .build()
+        .to_string();
+    Response::json(200, body, Endpoint::AdminStats)
 }
 
 /// Parses a batch-classify body: `{"samples": [["tok", …], …]}`.
@@ -678,14 +889,16 @@ fn str_array(items: &[String]) -> Json {
     Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
 }
 
-/// The uniform error envelope: `{"error":{"code":…,"message":…}}`.
-fn error_body(code: &str, message: &str) -> String {
+/// The uniform error envelope:
+/// `{"error":{"code":…,"message":…,"request_id":…}}`.
+fn error_body(code: &str, message: &str, rid: &str) -> String {
     ObjBuilder::new()
         .field(
             "error",
             ObjBuilder::new()
                 .field("code", code)
                 .field("message", message)
+                .field("request_id", rid)
                 .build(),
         )
         .build()

@@ -22,13 +22,19 @@
 //!   `std::net::TcpListener` with a fixed worker pool and bounded
 //!   admission (`503` + `Retry-After` past `max_inflight`). Endpoints
 //!   live under `/v1/` (`/v1/classify` GET + batch POST, `/v1/query`,
-//!   `/v1/healthz`, `/v1/metrics`, `/v1/admin/reload`); the
-//!   pre-redesign unversioned paths answer as deprecated aliases.
-//!   Shutdown is graceful: the stop flag halts accepting, the backlog
-//!   drains, and in-flight requests complete.
+//!   `/v1/healthz`, `/v1/metrics`, `/v1/admin/reload`,
+//!   `/v1/admin/stats`); the pre-redesign unversioned paths answer as
+//!   deprecated aliases. Shutdown is graceful: the stop flag halts
+//!   accepting, the backlog drains, and in-flight requests complete.
 //! - [`http_get`] / [`http_post`] — the tiny blocking client used by
 //!   the `fgi-client` binary, the end-to-end smoke in
 //!   `scripts/verify.sh`, and the concurrency tests.
+//!
+//! Every request carries an `X-Request-Id`, feeds the RED counter and
+//! gauge families on `/v1/metrics`, and can be logged as structured
+//! JSON lines ([`ServeConfig::log_out`]) — see the `http` module docs
+//! for the observability surface and [`watch`] for the polling
+//! dashboard behind `fgi-client watch`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +43,11 @@ mod client;
 mod handle;
 mod http;
 mod index;
+mod obs;
 mod shard;
+pub mod watch;
 
-pub use client::{http_get, http_post, HttpResponse};
+pub use client::{http_get, http_get_auth, http_post, HttpResponse};
 pub use handle::ArtifactHandle;
 pub use http::{start, ServeConfig, ServerHandle};
 pub use index::{Prediction, RuleGroupIndex};

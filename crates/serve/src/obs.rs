@@ -1,0 +1,457 @@
+//! Serving observability: request ids, the RED metric taxonomy, the
+//! structured access log, and the slow-request capture ring.
+//!
+//! Everything here follows the PR 4 `NoopTracer` discipline: when a
+//! facility is disabled (no `--log-out`, `--slow-ms 0`) the hot path
+//! pays one branch, builds nothing, and takes no lock.
+//!
+//! # Metric taxonomy
+//!
+//! The serving tracer carries, beyond the PR 7 latency histograms:
+//!
+//! - per-endpoint request and error counters
+//!   (`serve_<endpoint>_requests` / `serve_<endpoint>_errors`),
+//! - whole-server request/error counters and per-status-class
+//!   counters (`serve_responses_2xx/4xx/5xx`),
+//! - shed / reload / reload-failure counters,
+//! - the `serve_inflight` gauge (raised by the acceptor on admission,
+//!   lowered by the worker that answers — the cross-lane sum is the
+//!   number of accepted-but-unanswered connections).
+
+use farmer_support::json::{Json, ObjBuilder};
+use farmer_support::rng::{Rng, SeedableRng, StdRng};
+use farmer_support::thread::Mutex;
+use farmer_support::trace::{CounterId, GaugeId};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counter name table for the serving tracer; indices are the
+/// `C_*` ids below plus the per-endpoint pairs at
+/// [`endpoint_counters`].
+pub(crate) const COUNTER_NAMES: &[&str] = &[
+    "serve_requests",
+    "serve_errors",
+    "serve_classify_requests",
+    "serve_classify_errors",
+    "serve_query_requests",
+    "serve_query_errors",
+    "serve_healthz_requests",
+    "serve_healthz_errors",
+    "serve_metrics_requests",
+    "serve_metrics_errors",
+    "serve_reload_requests",
+    "serve_reload_errors",
+    "serve_admin_stats_requests",
+    "serve_admin_stats_errors",
+    "serve_other_requests",
+    "serve_other_errors",
+    "serve_responses_2xx",
+    "serve_responses_4xx",
+    "serve_responses_5xx",
+    "serve_shed",
+    "serve_reloads",
+    "serve_reload_failures",
+];
+
+pub(crate) const C_REQUESTS: CounterId = CounterId(0);
+pub(crate) const C_ERRORS: CounterId = CounterId(1);
+pub(crate) const C_2XX: CounterId = CounterId(16);
+pub(crate) const C_4XX: CounterId = CounterId(17);
+pub(crate) const C_5XX: CounterId = CounterId(18);
+pub(crate) const C_SHED: CounterId = CounterId(19);
+pub(crate) const C_RELOADS: CounterId = CounterId(20);
+pub(crate) const C_RELOAD_FAILURES: CounterId = CounterId(21);
+
+/// Gauge name table for the serving tracer.
+pub(crate) const GAUGE_NAMES: &[&str] = &["serve_inflight"];
+pub(crate) const G_INFLIGHT: GaugeId = GaugeId(0);
+
+/// The routed endpoint of a request, used to pick its latency
+/// histogram and its request/error counter pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    Classify,
+    Query,
+    Healthz,
+    Metrics,
+    Reload,
+    AdminStats,
+    /// 404/405/413 and other unrouted traffic.
+    Other,
+}
+
+/// The `(requests, errors)` counter pair of an endpoint. The pairs
+/// start at index 2 of [`COUNTER_NAMES`], in `Endpoint` order.
+pub(crate) fn endpoint_counters(ep: Endpoint) -> (CounterId, CounterId) {
+    let base = 2 + 2 * ep as u16;
+    (CounterId(base), CounterId(base + 1))
+}
+
+/// The per-status-class counter of a response, when the class is
+/// tracked (2xx/4xx/5xx).
+pub(crate) fn status_class_counter(status: u16) -> Option<CounterId> {
+    match status / 100 {
+        2 => Some(C_2XX),
+        4 => Some(C_4XX),
+        5 => Some(C_5XX),
+        _ => None,
+    }
+}
+
+/// Longest inbound `X-Request-Id` the server will echo; longer (or
+/// non-alphanumeric) ids are replaced with a generated one so logs
+/// stay one-line JSON no matter what the peer sends.
+const MAX_REQUEST_ID_LEN: usize = 64;
+
+static NEXT_CONNECTION_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh 16-hex-digit request id. Each connection draws from a
+/// `support::rng` generator seeded off a process-global sequence
+/// (SplitMix64 inside `seed_from_u64` decorrelates adjacent seeds), so
+/// concurrent connections cannot race their way into identical ids.
+pub(crate) fn next_request_id() -> String {
+    let seq = NEXT_CONNECTION_SEED.fetch_add(1, Ordering::Relaxed);
+    let mut rng = StdRng::seed_from_u64(seq ^ ((std::process::id() as u64) << 32));
+    format!("{:016x}", rng.next_u64())
+}
+
+/// Echoes a client-supplied id when it is sane, otherwise generates
+/// one. Sane = nonempty, at most [`MAX_REQUEST_ID_LEN`] chars, all
+/// alphanumeric/`-`/`_`.
+pub(crate) fn request_id_from(inbound: Option<&str>) -> String {
+    match inbound {
+        Some(id)
+            if !id.is_empty()
+                && id.len() <= MAX_REQUEST_ID_LEN
+                && id
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') =>
+        {
+            id.to_string()
+        }
+        _ => next_request_id(),
+    }
+}
+
+/// One access-log line, borrowed from the request that produced it.
+pub(crate) struct AccessEntry<'a> {
+    /// Nanoseconds since the server started.
+    pub ts_ns: u64,
+    /// The request id echoed in `X-Request-Id`.
+    pub id: &'a str,
+    /// Request method (`-` for shed connections, never read).
+    pub method: &'a str,
+    /// Request path as received (`-` for shed connections).
+    pub path: &'a str,
+    /// Response status.
+    pub status: u16,
+    /// Response body bytes written.
+    pub bytes: usize,
+    /// Wall time from accept-side handling to the flushed response.
+    pub latency_ns: u64,
+    /// The admission controller shed this connection unread.
+    pub shed: bool,
+    /// The request hit the reload endpoint.
+    pub reload: bool,
+}
+
+impl AccessEntry<'_> {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("ts_ns", self.ts_ns)
+            .field("id", self.id)
+            .field("method", self.method)
+            .field("path", self.path)
+            .field("status", self.status as u64)
+            .field("bytes", self.bytes)
+            .field("latency_ns", self.latency_ns)
+            .field("shed", self.shed)
+            .field("reload", self.reload)
+            .build()
+    }
+}
+
+/// The structured access log: one JSON line per request, written to a
+/// file or stderr, or disabled entirely.
+///
+/// Mirroring `NoopTracer`, the disabled sink is free: [`enabled`]
+/// (one `Option` check) gates all entry construction at the call
+/// site, so a server without `--log-out` never formats a line or
+/// touches the writer lock.
+///
+/// [`enabled`]: AccessLog::enabled
+pub(crate) struct AccessLog {
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl AccessLog {
+    /// Builds the sink from the `--log-out` value: `None` disables,
+    /// `-` means stderr, anything else is a path created/truncated.
+    pub fn from_target(target: Option<&str>) -> std::io::Result<AccessLog> {
+        let sink: Option<Box<dyn Write + Send>> = match target {
+            None => None,
+            Some("-") => Some(Box::new(std::io::stderr())),
+            Some(path) => Some(Box::new(std::fs::File::create(path)?)),
+        };
+        Ok(AccessLog {
+            sink: sink.map(Mutex::new),
+        })
+    }
+
+    /// `true` iff lines are being written. Call sites use this to skip
+    /// building the entry at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends one line and flushes it (tail -f friendliness beats
+    /// buffering at serving rates). Write errors are swallowed: losing
+    /// a log line must never fail a request.
+    pub fn write(&self, entry: &AccessEntry<'_>) {
+        let Some(sink) = &self.sink else {
+            return;
+        };
+        let line = entry.to_json().to_string();
+        let mut w = sink.lock();
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// One captured slow request with its phase breakdown.
+#[derive(Clone, Debug)]
+pub(crate) struct SlowEntry {
+    /// Nanoseconds since the server started.
+    pub ts_ns: u64,
+    /// Request id.
+    pub id: String,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// End-to-end nanoseconds.
+    pub total_ns: u64,
+    /// Reading and parsing the request.
+    pub parse_ns: u64,
+    /// Snapshotting the served index.
+    pub snapshot_ns: u64,
+    /// Routing and computing the answer.
+    pub compute_ns: u64,
+    /// Writing and flushing the response.
+    pub write_ns: u64,
+}
+
+impl SlowEntry {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .field("ts_ns", self.ts_ns)
+            .field("id", self.id.as_str())
+            .field("method", self.method.as_str())
+            .field("path", self.path.as_str())
+            .field("status", self.status as u64)
+            .field("total_ns", self.total_ns)
+            .field("parse_ns", self.parse_ns)
+            .field("snapshot_ns", self.snapshot_ns)
+            .field("compute_ns", self.compute_ns)
+            .field("write_ns", self.write_ns)
+            .build()
+    }
+}
+
+/// How many slow requests the ring retains (oldest evicted first).
+pub(crate) const SLOW_RING_CAPACITY: usize = 32;
+
+/// The slow-request capture ring: the last [`SLOW_RING_CAPACITY`]
+/// requests whose end-to-end latency met the threshold, with the
+/// parse/snapshot/compute/write phase breakdown, served back by
+/// `GET /v1/admin/stats`.
+///
+/// A threshold of 0 ms captures everything (useful in tests and when
+/// chasing a regression); the fast path for sub-threshold requests is
+/// one comparison, no lock.
+pub(crate) struct SlowRing {
+    threshold_ns: u64,
+    ring: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowRing {
+    /// A ring capturing requests of `threshold_ms` ms and slower.
+    pub fn new(threshold_ms: u64) -> SlowRing {
+        SlowRing {
+            threshold_ns: threshold_ms.saturating_mul(1_000_000),
+            ring: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAPACITY)),
+        }
+    }
+
+    /// The capture threshold in nanoseconds; call sites compare before
+    /// building an entry.
+    #[inline]
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Captures one entry (the caller has already checked the
+    /// threshold), evicting the oldest past capacity.
+    pub fn record(&self, entry: SlowEntry) {
+        let mut ring = self.ring.lock();
+        if ring.len() == SLOW_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// The retained entries, oldest first, as a JSON array.
+    pub fn snapshot_json(&self) -> Json {
+        Json::Arr(self.ring.lock().iter().map(SlowEntry::to_json).collect())
+    }
+}
+
+/// Wall-clock anchor shared by the access log, the slow ring, and the
+/// uptime figure in `/v1/admin/stats`.
+pub(crate) struct ServerClock {
+    start: Instant,
+}
+
+impl ServerClock {
+    pub fn new() -> ServerClock {
+        ServerClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the server started.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_hex_and_distinct() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn inbound_request_ids_are_sanitized() {
+        assert_eq!(request_id_from(Some("client-id_42")), "client-id_42");
+        // empty, oversized, or junk ids are replaced, not echoed
+        assert_ne!(request_id_from(Some("")), "");
+        let long = "x".repeat(65);
+        assert_ne!(request_id_from(Some(&long)), long);
+        assert_ne!(request_id_from(Some("a b\nc")), "a b\nc");
+        assert_eq!(request_id_from(None).len(), 16);
+    }
+
+    #[test]
+    fn disabled_access_log_is_inert() {
+        let log = AccessLog::from_target(None).unwrap();
+        assert!(!log.enabled());
+        log.write(&AccessEntry {
+            ts_ns: 0,
+            id: "x",
+            method: "GET",
+            path: "/",
+            status: 200,
+            bytes: 0,
+            latency_ns: 0,
+            shed: false,
+            reload: false,
+        });
+    }
+
+    #[test]
+    fn access_log_writes_one_json_line_per_request() {
+        let path = std::env::temp_dir().join(format!("fgi-obs-log-{}.jsonl", std::process::id()));
+        let log = AccessLog::from_target(Some(path.to_str().unwrap())).unwrap();
+        assert!(log.enabled());
+        for i in 0..3u64 {
+            log.write(&AccessEntry {
+                ts_ns: i,
+                id: "deadbeef",
+                method: "GET",
+                path: "/v1/healthz",
+                status: 200,
+                bytes: 42,
+                latency_ns: 1000 + i,
+                shed: false,
+                reload: false,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            let doc = Json::parse(line).unwrap();
+            assert_eq!(doc.get("id").and_then(Json::as_str), Some("deadbeef"));
+            assert_eq!(doc.get("status").and_then(Json::as_u64), Some(200));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_last_k() {
+        let ring = SlowRing::new(0);
+        assert_eq!(ring.threshold_ns(), 0);
+        for i in 0..(SLOW_RING_CAPACITY as u64 + 5) {
+            ring.record(SlowEntry {
+                ts_ns: i,
+                id: format!("{i:016x}"),
+                method: "GET".into(),
+                path: "/v1/query".into(),
+                status: 200,
+                total_ns: i,
+                parse_ns: 1,
+                snapshot_ns: 1,
+                compute_ns: 1,
+                write_ns: 1,
+            });
+        }
+        let Json::Arr(entries) = ring.snapshot_json() else {
+            panic!("snapshot must be an array");
+        };
+        assert_eq!(entries.len(), SLOW_RING_CAPACITY);
+        // oldest entries were evicted: the first retained is ts_ns=5
+        assert_eq!(entries[0].get("ts_ns").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn endpoint_counter_pairs_line_up_with_the_name_table() {
+        use Endpoint::*;
+        for (ep, name) in [
+            (Classify, "classify"),
+            (Query, "query"),
+            (Healthz, "healthz"),
+            (Metrics, "metrics"),
+            (Reload, "reload"),
+            (AdminStats, "admin_stats"),
+            (Other, "other"),
+        ] {
+            let (req, err) = endpoint_counters(ep);
+            assert_eq!(
+                COUNTER_NAMES[req.0 as usize],
+                format!("serve_{name}_requests")
+            );
+            assert_eq!(
+                COUNTER_NAMES[err.0 as usize],
+                format!("serve_{name}_errors")
+            );
+        }
+        assert_eq!(COUNTER_NAMES[C_SHED.0 as usize], "serve_shed");
+        assert_eq!(COUNTER_NAMES[C_2XX.0 as usize], "serve_responses_2xx");
+    }
+}

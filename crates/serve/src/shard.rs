@@ -190,6 +190,16 @@ impl ShardedIndex {
         self.shards.len()
     }
 
+    /// Total posting-list entries across every shard — one per
+    /// (item, owning-group) incidence, the dominant index memory term.
+    /// Surfaced by `GET /v1/admin/stats`.
+    pub fn postings_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.postings.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
     /// Ids of the groups predicting `class`, best rank first.
     pub fn groups_for_class(&self, class: ClassLabel) -> &[u32] {
         self.by_class

@@ -132,7 +132,7 @@ mod writer;
 
 pub use error::StoreError;
 pub use meta::ArtifactMeta;
-pub use reader::{read_artifact, Artifact};
+pub use reader::{peek_version, read_artifact, Artifact};
 pub use writer::{save_artifact, save_artifact_versioned, ArtifactWriter};
 
 /// The four magic bytes opening every `.fgi` file.

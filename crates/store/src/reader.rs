@@ -26,6 +26,36 @@ impl Artifact {
     }
 }
 
+/// Reads just the fixed header of the artifact at `path` and returns
+/// its format version, validating magic and version support but not
+/// the payload. The serving layer surfaces this in `/v1/healthz`
+/// without re-parsing an artifact it has already loaded.
+pub fn peek_version(path: &Path) -> Result<u32> {
+    use std::io::Read;
+    let mut head = Vec::with_capacity(HEADER_LEN);
+    std::fs::File::open(path)?
+        .take(HEADER_LEN as u64)
+        .read_to_end(&mut head)?;
+    if head.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            expected: HEADER_LEN as u64,
+            found: head.len() as u64,
+        });
+    }
+    let magic: [u8; 4] = head[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != VERSION_V1 && version != VERSION {
+        return Err(StoreError::VersionSkew {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    Ok(version)
+}
+
 /// Parses an artifact from bytes already in memory.
 ///
 /// Validation happens outside-in: the fixed header first (truncation,

@@ -29,7 +29,7 @@
 //! instrumented code (see `farmer-core::trace`), not here.
 
 use crate::json::{Json, ObjBuilder};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Identifies a span (phase) in the name table passed to
@@ -41,6 +41,20 @@ pub struct SpanId(pub u16);
 /// [`RingTracer::new`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct HistId(pub u16);
+
+/// Identifies a named monotonic counter in the table passed to
+/// [`RingTracer::with_metrics`]. Counters only ever grow; Prometheus
+/// output renders them with the conventional `_total` suffix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(pub u16);
+
+/// Identifies a named gauge in the table passed to
+/// [`RingTracer::with_metrics`]. Gauges move by signed deltas, so the
+/// per-lane values merge by summation exactly like histograms: a value
+/// raised on one lane and lowered on another nets out in the merged
+/// report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GaugeId(pub u16);
 
 /// The instrumentation interface. Every method takes `&self` (sinks are
 /// shared across worker threads) and has a no-op default body; a run
@@ -92,6 +106,20 @@ pub trait TraceSink: Sync {
     #[inline]
     fn duration_ns(&self, lane: usize, hist: HistId, ns: u64) {
         let _ = (lane, hist, ns);
+    }
+
+    /// Adds `delta` to monotonic counter `counter` on `lane`.
+    #[inline]
+    fn add(&self, lane: usize, counter: CounterId, delta: u64) {
+        let _ = (lane, counter, delta);
+    }
+
+    /// Moves gauge `gauge` by the signed `delta` on `lane`. The merged
+    /// gauge value is the sum of every lane's deltas, so raising on one
+    /// lane and lowering on another is well defined.
+    #[inline]
+    fn gauge_add(&self, lane: usize, gauge: GaugeId, delta: i64) {
+        let _ = (lane, gauge, delta);
     }
 }
 
@@ -331,8 +359,12 @@ pub struct RingTracer {
     start: Instant,
     span_names: &'static [&'static str],
     hist_names: &'static [&'static str],
+    counter_names: &'static [&'static str],
+    gauge_names: &'static [&'static str],
     lanes: Vec<Lane>,
     hists: Vec<Vec<AtomicHistogram>>,
+    counters: Vec<Vec<AtomicU64>>,
+    gauges: Vec<Vec<AtomicI64>>,
 }
 
 impl RingTracer {
@@ -345,12 +377,28 @@ impl RingTracer {
         n_lanes: usize,
         capacity: usize,
     ) -> Self {
+        Self::with_metrics(span_names, hist_names, &[], &[], n_lanes, capacity)
+    }
+
+    /// [`RingTracer::new`] plus named monotonic counters and gauges:
+    /// one atomic cell per (lane, name), merged by summation at drain
+    /// time exactly like the histograms.
+    pub fn with_metrics(
+        span_names: &'static [&'static str],
+        hist_names: &'static [&'static str],
+        counter_names: &'static [&'static str],
+        gauge_names: &'static [&'static str],
+        n_lanes: usize,
+        capacity: usize,
+    ) -> Self {
         let n_lanes = n_lanes.max(1);
         let capacity = capacity.max(1);
         RingTracer {
             start: Instant::now(),
             span_names,
             hist_names,
+            counter_names,
+            gauge_names,
             lanes: (0..n_lanes).map(|_| Lane::new(capacity)).collect(),
             hists: (0..n_lanes)
                 .map(|_| {
@@ -358,6 +406,16 @@ impl RingTracer {
                         .map(|_| AtomicHistogram::new())
                         .collect()
                 })
+                .collect(),
+            counters: (0..n_lanes)
+                .map(|_| {
+                    (0..counter_names.len())
+                        .map(|_| AtomicU64::new(0))
+                        .collect()
+                })
+                .collect(),
+            gauges: (0..n_lanes)
+                .map(|_| (0..gauge_names.len()).map(|_| AtomicI64::new(0)).collect())
                 .collect(),
         }
     }
@@ -426,12 +484,40 @@ impl RingTracer {
                 h.merge(lh);
             }
         }
+        let lane_counters: Vec<Vec<u64>> = self
+            .counters
+            .iter()
+            .map(|per_lane| per_lane.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+            .collect();
+        let mut counters = vec![0u64; self.counter_names.len()];
+        for per_lane in &lane_counters {
+            for (c, lc) in counters.iter_mut().zip(per_lane.iter()) {
+                *c += lc;
+            }
+        }
+        let lane_gauges: Vec<Vec<i64>> = self
+            .gauges
+            .iter()
+            .map(|per_lane| per_lane.iter().map(|g| g.load(Ordering::Relaxed)).collect())
+            .collect();
+        let mut gauges = vec![0i64; self.gauge_names.len()];
+        for per_lane in &lane_gauges {
+            for (g, lg) in gauges.iter_mut().zip(per_lane.iter()) {
+                *g += lg;
+            }
+        }
         TraceReport {
             span_names: self.span_names.iter().map(|s| s.to_string()).collect(),
             hist_names: self.hist_names.iter().map(|s| s.to_string()).collect(),
+            counter_names: self.counter_names.iter().map(|s| s.to_string()).collect(),
+            gauge_names: self.gauge_names.iter().map(|s| s.to_string()).collect(),
             events,
             hists,
             lane_hists,
+            counters,
+            lane_counters,
+            gauges,
+            lane_gauges,
             dropped,
             total_ns,
         }
@@ -476,6 +562,22 @@ impl TraceSink for RingTracer {
             h.record(ns);
         }
     }
+
+    #[inline]
+    fn add(&self, lane: usize, counter: CounterId, delta: u64) {
+        let lane = lane.min(self.counters.len() - 1);
+        if let Some(c) = self.counters[lane].get(counter.0 as usize) {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn gauge_add(&self, lane: usize, gauge: GaugeId, delta: i64) {
+        let lane = lane.min(self.gauges.len() - 1);
+        if let Some(g) = self.gauges[lane].get(gauge.0 as usize) {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Accumulated wall time and call count of one span across the run.
@@ -496,12 +598,24 @@ pub struct TraceReport {
     pub span_names: Vec<String>,
     /// Histogram name table.
     pub hist_names: Vec<String>,
+    /// Monotonic counter name table.
+    pub counter_names: Vec<String>,
+    /// Gauge name table.
+    pub gauge_names: Vec<String>,
     /// All events, merged across lanes in timestamp order.
     pub events: Vec<TraceEvent>,
     /// Histograms merged across lanes, indexed by [`HistId`].
     pub hists: Vec<Histogram>,
     /// Per-lane histograms: `lane_hists[lane][hist]`.
     pub lane_hists: Vec<Vec<Histogram>>,
+    /// Counters summed across lanes, indexed by [`CounterId`].
+    pub counters: Vec<u64>,
+    /// Per-lane counters: `lane_counters[lane][counter]`.
+    pub lane_counters: Vec<Vec<u64>>,
+    /// Gauges (net delta sums across lanes), indexed by [`GaugeId`].
+    pub gauges: Vec<i64>,
+    /// Per-lane gauge deltas: `lane_gauges[lane][gauge]`.
+    pub lane_gauges: Vec<Vec<i64>>,
     /// Events dropped per lane (ring overflow, drop-newest policy).
     pub dropped: Vec<u64>,
     /// Drain timestamp, nanoseconds since session start.
@@ -611,10 +725,23 @@ pub fn chrome_trace_json(r: &TraceReport) -> Json {
         .build()
 }
 
+/// The Prometheus family name of a monotonic counter: `farmer_` prefix
+/// plus the conventional `_total` suffix (not doubled when the name
+/// already carries it).
+pub fn counter_family(name: &str) -> String {
+    if name.ends_with("_total") {
+        format!("farmer_{name}")
+    } else {
+        format!("farmer_{name}_total")
+    }
+}
+
 /// Renders a report as Prometheus text exposition: span seconds/calls
-/// counters, one native histogram family per latency histogram
-/// (cumulative `_bucket{le=…}` + `_sum` + `_count`), and the dropped-
-/// event counter. Metric names are prefixed `farmer_`.
+/// counters, the named counter (`_total`) and gauge families, one
+/// native histogram family per latency histogram (cumulative
+/// `_bucket{le=…}` + `_sum` + `_count`), and the dropped-event
+/// counter. Every family carries its `# HELP` and `# TYPE` lines once;
+/// metric names are prefixed `farmer_`.
 pub fn prometheus_text(r: &TraceReport) -> String {
     let mut out = String::new();
     let totals = r.span_totals();
@@ -633,6 +760,21 @@ pub fn prometheus_text(r: &TraceReport) -> String {
         out.push_str(&format!(
             "farmer_span_calls_total{{span=\"{name}\"}} {}\n",
             t.count
+        ));
+    }
+
+    for (name, v) in r.counter_names.iter().zip(r.counters.iter()) {
+        let family = counter_family(name);
+        out.push_str(&format!(
+            "# HELP {family} Monotonic count of {name} events.\n\
+             # TYPE {family} counter\n{family} {v}\n"
+        ));
+    }
+    for (name, v) in r.gauge_names.iter().zip(r.gauges.iter()) {
+        let family = format!("farmer_{name}");
+        out.push_str(&format!(
+            "# HELP {family} Current value of the {name} gauge.\n\
+             # TYPE {family} gauge\n{family} {v}\n"
         ));
     }
 
@@ -865,6 +1007,77 @@ mod tests {
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn counters_and_gauges_merge_as_per_lane_sums() {
+        const COUNTERS: &[&str] = &["reqs", "errs_total"];
+        const GAUGES: &[&str] = &["inflight"];
+        const REQS: CounterId = CounterId(0);
+        const ERRS: CounterId = CounterId(1);
+        const INFLIGHT: GaugeId = GaugeId(0);
+        let t = RingTracer::with_metrics(SPANS, HISTS, COUNTERS, GAUGES, 3, 8);
+        // Concurrent recording on distinct lanes, like the server's
+        // acceptor (lane 0) and workers (lanes 1..).
+        std::thread::scope(|s| {
+            for lane in 0..3usize {
+                let t = &t;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        t.add(lane, REQS, 1);
+                        t.gauge_add(lane, INFLIGHT, 1);
+                    }
+                    t.add(lane, ERRS, lane as u64);
+                    // lower the gauge on a *different* lane than it was
+                    // raised on: only the cross-lane sum is meaningful
+                    t.gauge_add((lane + 1) % 3, INFLIGHT, -9);
+                });
+            }
+        });
+        let r = t.drain();
+        assert_eq!(r.counter_names, vec!["reqs", "errs_total"]);
+        assert_eq!(r.gauge_names, vec!["inflight"]);
+        // merged == sum of lanes, for both counters and gauges
+        for c in 0..COUNTERS.len() {
+            let lane_sum: u64 = r.lane_counters.iter().map(|l| l[c]).sum();
+            assert_eq!(r.counters[c], lane_sum);
+        }
+        let lane_sum: i64 = r.lane_gauges.iter().map(|l| l[0]).sum();
+        assert_eq!(r.gauges[0], lane_sum);
+        assert_eq!(r.counters, vec![30, 0 + 1 + 2]);
+        assert_eq!(r.gauges, vec![30 - 27]);
+        // out-of-range ids are ignored, not panics
+        t.add(0, CounterId(99), 1);
+        t.gauge_add(7, GaugeId(99), 1);
+    }
+
+    #[test]
+    fn prometheus_text_renders_counter_and_gauge_families() {
+        const COUNTERS: &[&str] = &["reqs", "sheds_total"];
+        const GAUGES: &[&str] = &["inflight"];
+        let t = RingTracer::with_metrics(SPANS, HISTS, COUNTERS, GAUGES, 2, 8);
+        t.add(0, CounterId(0), 3);
+        t.add(1, CounterId(0), 4);
+        t.add(0, CounterId(1), 2);
+        t.gauge_add(0, GaugeId(0), 5);
+        t.gauge_add(1, GaugeId(0), -2);
+        let text = prometheus_text(&t.drain());
+        // counters get the _total suffix (never doubled) + HELP/TYPE
+        assert!(text.contains("# TYPE farmer_reqs_total counter"));
+        assert!(text.contains("# HELP farmer_reqs_total "));
+        assert!(text.contains("\nfarmer_reqs_total 7\n"));
+        assert!(text.contains("# TYPE farmer_sheds_total counter"));
+        assert!(text.contains("\nfarmer_sheds_total 2\n"));
+        assert!(!text.contains("sheds_total_total"));
+        // gauges keep their name and net the per-lane deltas
+        assert!(text.contains("# TYPE farmer_inflight gauge"));
+        assert!(text.contains("\nfarmer_inflight 3\n"));
+        // every family declares HELP and TYPE exactly once
+        for family in ["farmer_reqs_total", "farmer_sheds_total", "farmer_inflight"] {
+            let helps = text.matches(&format!("# HELP {family} ")).count();
+            let types = text.matches(&format!("# TYPE {family} ")).count();
+            assert_eq!((helps, types), (1, 1), "{family}");
+        }
     }
 
     #[test]

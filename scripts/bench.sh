@@ -31,3 +31,7 @@ cargo run -q --offline --release -p farmer-bench --bin pr6_scheduler -- --check 
 echo "==> serving guard (BENCH_PR7.json)"
 cargo run -q --offline --release -p farmer-bench --bin pr7_serving
 cargo run -q --offline --release -p farmer-bench --bin pr7_serving -- --check BENCH_PR7.json
+
+echo "==> observability guard (BENCH_PR9.json)"
+cargo run -q --offline --release -p farmer-bench --bin pr9_observability
+cargo run -q --offline --release -p farmer-bench --bin pr9_observability -- --check BENCH_PR9.json

@@ -72,7 +72,7 @@ grep -q 'rule groups to' "$tmp/mine_save.txt"
 grep -q 'classified as' "$tmp/query.txt"
 # serve on an ephemeral port; --idle-exit-ms lets it exit 0 by itself
 ./target/release/farmer serve "$tmp/m.fgi" --workers 2 --idle-exit-ms 2000 \
-  > "$tmp/serve.log" &
+  --log-out "$tmp/access.jsonl" --slow-ms 0 > "$tmp/serve.log" &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -92,13 +92,24 @@ client=./target/release/fgi-client
 "$client" "$addr" "/classify?items=0,1" --expect 200 | grep -q '"class"'
 "$client" "$addr" "/query?items=0,1&limit=2" --expect 200 | grep -q '"groups"'
 "$client" "$addr" /nope --expect 404 > /dev/null
-# reload is admin-disabled when no token was configured
+# build + artifact versions ride along in the health report
+"$client" "$addr" /v1/healthz --expect 200 | grep -q '"artifact_version":2'
+# both admin endpoints are admin-disabled when no token was configured
 "$client" "$addr" /v1/admin/reload --post --expect 403 | grep -q 'admin_disabled'
+"$client" "$addr" /v1/admin/stats --expect 403 | grep -q 'admin_disabled'
+# every response carries a request id, and the access log echoes it
+rid="$("$client" "$addr" /v1/healthz --print-header X-Request-Id)"
+[ -n "$rid" ]
+grep -q "\"id\":\"$rid\"" "$tmp/access.jsonl"
 "$client" "$addr" /metrics --expect 200 > "$tmp/serve_metrics.prom"
 for family in farmer_serve_request_ns farmer_serve_classify_ns \
-  farmer_serve_healthz_ns; do
+  farmer_serve_healthz_ns farmer_serve_requests_total \
+  farmer_serve_errors_total farmer_serve_shed_total farmer_serve_inflight; do
   grep -q "$family" "$tmp/serve_metrics.prom"
 done
+# two frames of the live dashboard render without a token
+"$client" watch "$addr" --frames 2 --interval-ms 100 > "$tmp/watch.txt"
+grep -q 'req/s' "$tmp/watch.txt"
 wait "$serve_pid"
 grep -q 'shut down cleanly' "$tmp/serve.log"
 
@@ -128,6 +139,12 @@ groups_before="$("$client" "$hot_addr" /v1/healthz --expect 200 \
 groups_after="$("$client" "$hot_addr" /v1/healthz --expect 200 \
   | sed -n 's/.*"groups":\([0-9]*\).*/\1/p')"
 [ "$groups_after" -gt "$groups_before" ]
+# /v1/admin/stats shares the reload auth and has seen that reload
+"$client" "$hot_addr" /v1/admin/stats --expect 401 | grep -q 'unauthorized'
+"$client" "$hot_addr" /v1/admin/stats --token sekrit --expect 200 \
+  > "$tmp/stats.json"
+grep -q '"uptime_ns"' "$tmp/stats.json"
+grep -q '"serve_reloads":1' "$tmp/stats.json"
 # SIGHUP hot-reloads from disk too
 kill -HUP "$hot_pid"
 for _ in $(seq 1 100); do
@@ -175,5 +192,14 @@ cargo run -q --offline --release -p farmer-bench \
 # the committed serving report must also honor the compaction bound
 cargo run -q --offline --release -p farmer-bench \
   --bin pr7_serving -- --check BENCH_PR7.json
+
+echo "==> observability guard smoke (1 sample) + committed BENCH_PR9.json bounds"
+FARMER_BENCH_SAMPLES=1 cargo run -q --offline --release -p farmer-bench \
+  --bin pr9_observability -- --out "$tmp/BENCH_PR9.json"
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr9_observability -- --check "$tmp/BENCH_PR9.json"
+# the committed report must keep the disabled path within 3% of PR 7
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr9_observability -- --check BENCH_PR9.json
 
 echo "==> verify OK"
