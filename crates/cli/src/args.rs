@@ -24,6 +24,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// `farmer query`
     Query(QueryArgs),
+    /// `farmer ingest`
+    Ingest(IngestArgs),
     /// `farmer help` / `--help`
     Help,
 }
@@ -106,6 +108,23 @@ pub struct MineArgs {
     /// `.fgi` format version for `--save-irgs` (1 or 2; default 2, the
     /// compact encoding).
     pub fgi_version: u32,
+    /// Keep running after the initial mine: watch a row journal and
+    /// republish the `--save-irgs` artifact on every delta.
+    pub watch: bool,
+    /// The `.fgd` row journal to watch (default: the artifact path
+    /// with a `.fgd` extension).
+    pub journal: Option<PathBuf>,
+    /// Quiet window after the last journal growth before a remine
+    /// starts.
+    pub remine_debounce_ms: u64,
+    /// `host:port` of a running server to `POST /v1/admin/reload`
+    /// after each publish.
+    pub notify_url: Option<String>,
+    /// Bearer token for `--notify-url`.
+    pub notify_token: Option<String>,
+    /// Exit the watch loop after this many milliseconds without
+    /// pipeline activity (absent = watch until killed).
+    pub watch_idle_exit_ms: Option<u64>,
 }
 
 /// Options of `farmer serve`.
@@ -133,6 +152,30 @@ pub struct ServeArgs {
     /// Slow-request capture threshold in milliseconds (0 = capture
     /// every request).
     pub slow_ms: u64,
+    /// Run the ingest→remine→publish pipeline in-process: enables
+    /// `POST /v1/admin/ingest` and hot-swaps the artifact after each
+    /// remine. Requires `--base`.
+    pub watch: bool,
+    /// Base transaction file the artifact was mined from (required
+    /// with `--watch`; journaled rows append to it).
+    pub base: Option<PathBuf>,
+    /// The `.fgd` row journal (default: the artifact path with a
+    /// `.fgd` extension).
+    pub journal: Option<PathBuf>,
+    /// Quiet window after the last journal growth before a remine
+    /// starts.
+    pub remine_debounce_ms: u64,
+    /// Remine thresholds for `--watch` — match the flags the artifact
+    /// was mined with.
+    pub min_sup: usize,
+    /// Minimum confidence for `--watch` remines.
+    pub min_conf: f64,
+    /// Minimum χ² for `--watch` remines.
+    pub min_chi: f64,
+    /// Restrict `--watch` remines to one class (absent = every class).
+    pub class: Option<u32>,
+    /// Skip lower bounds in `--watch` remines.
+    pub no_lower_bounds: bool,
 }
 
 /// Options of `farmer query`.
@@ -146,6 +189,23 @@ pub struct QueryArgs {
     pub class: Option<u32>,
     /// Print at most this many matching groups (0 = all).
     pub limit: usize,
+}
+
+/// Options of `farmer ingest`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestArgs {
+    /// The `.fgd` row journal to append to (created if absent).
+    pub journal: PathBuf,
+    /// Base transaction file — validates row items/labels and pins
+    /// the journal's dataset fingerprint.
+    pub base: PathBuf,
+    /// Comma-separated items of one inline row (names or numeric ids).
+    pub items: Option<String>,
+    /// Class label of the inline row.
+    pub label: Option<u32>,
+    /// A file of rows to append, one `<label> <item> <item>…` line
+    /// each (same shape as a transaction file).
+    pub rows: Option<PathBuf>,
 }
 
 /// Options of `farmer topk`.
@@ -256,6 +316,22 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                     )))
                 }
             },
+            watch: {
+                let watch = flag(&opts, "watch");
+                if watch && !opts.contains_key("save-irgs") {
+                    return Err(CliError(
+                        "--watch requires --save-irgs <path> (the artifact to republish)".into(),
+                    ));
+                }
+                watch
+            },
+            journal: opts
+                .get("journal")
+                .and_then(|v| v.clone().map(PathBuf::from)),
+            remine_debounce_ms: num(&opts, "remine-debounce-ms", 500)?,
+            notify_url: opts.get("notify-url").and_then(|v| v.clone()),
+            notify_token: opts.get("notify-token").and_then(|v| v.clone()),
+            watch_idle_exit_ms: opt_num(&opts, "watch-idle-exit-ms")?,
         })),
         "topk" => Ok(Command::TopK(TopKArgs {
             input: path_required(&opts, "in")?,
@@ -284,7 +360,44 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             admin_token: opts.get("admin-token").and_then(|v| v.clone()),
             log_out: opts.get("log-out").and_then(|v| v.clone()),
             slow_ms: num(&opts, "slow-ms", 100)?,
+            watch: {
+                let watch = flag(&opts, "watch");
+                if watch && !opts.contains_key("base") {
+                    return Err(CliError(
+                        "--watch requires --base <transactions> (the dataset to remine)".into(),
+                    ));
+                }
+                watch
+            },
+            base: opts.get("base").and_then(|v| v.clone().map(PathBuf::from)),
+            journal: opts
+                .get("journal")
+                .and_then(|v| v.clone().map(PathBuf::from)),
+            remine_debounce_ms: num(&opts, "remine-debounce-ms", 500)?,
+            min_sup: num(&opts, "min-sup", 1)?,
+            min_conf: num(&opts, "min-conf", 0.0)?,
+            min_chi: num(&opts, "min-chi", 0.0)?,
+            class: opt_num(&opts, "class")?,
+            no_lower_bounds: flag(&opts, "no-lower-bounds"),
         })),
+        "ingest" => {
+            let a = IngestArgs {
+                journal: path_required(&opts, "journal")?,
+                base: path_required(&opts, "base")?,
+                items: opts.get("items").and_then(|v| v.clone()),
+                label: opt_num(&opts, "label")?,
+                rows: opts.get("rows").and_then(|v| v.clone().map(PathBuf::from)),
+            };
+            if a.rows.is_none() && a.label.is_none() {
+                return Err(CliError(
+                    "ingest needs rows: --rows <file>, or --label <class> with --items".into(),
+                ));
+            }
+            if a.items.is_some() && a.label.is_none() {
+                return Err(CliError("--items needs --label <class>".into()));
+            }
+            Ok(Command::Ingest(a))
+        }
         "query" => Ok(Command::Query(QueryArgs {
             artifact: artifact_path(positional, &opts)?,
             items: get_or(&opts, "items", ""),
@@ -571,6 +684,144 @@ mod tests {
         }
         let err = parse(&sv(&["serve"])).unwrap_err();
         assert!(err.to_string().contains("artifact"), "{err}");
+    }
+
+    #[test]
+    fn parses_mine_watch() {
+        let c = parse(&sv(&[
+            "mine",
+            "--in",
+            "d.txt",
+            "--save-irgs",
+            "g.fgi",
+            "--watch",
+            "--journal",
+            "rows.fgd",
+            "--remine-debounce-ms",
+            "50",
+            "--notify-url",
+            "127.0.0.1:8080",
+            "--notify-token",
+            "sekrit",
+            "--watch-idle-exit-ms",
+            "2000",
+        ]))
+        .unwrap();
+        match c {
+            Command::Mine(m) => {
+                assert!(m.watch);
+                assert_eq!(m.journal, Some(PathBuf::from("rows.fgd")));
+                assert_eq!(m.remine_debounce_ms, 50);
+                assert_eq!(m.notify_url, Some("127.0.0.1:8080".to_string()));
+                assert_eq!(m.notify_token, Some("sekrit".to_string()));
+                assert_eq!(m.watch_idle_exit_ms, Some(2000));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --watch without an artifact to republish is an error.
+        let err = parse(&sv(&["mine", "--in", "d.txt", "--watch"])).unwrap_err();
+        assert!(err.to_string().contains("--save-irgs"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_watch() {
+        let c = parse(&sv(&[
+            "serve",
+            "g.fgi",
+            "--watch",
+            "--base",
+            "d.txt",
+            "--journal",
+            "rows.fgd",
+            "--remine-debounce-ms",
+            "75",
+            "--min-sup",
+            "3",
+            "--min-conf",
+            "0.8",
+            "--class",
+            "1",
+            "--no-lower-bounds",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve(s) => {
+                assert!(s.watch);
+                assert_eq!(s.base, Some(PathBuf::from("d.txt")));
+                assert_eq!(s.journal, Some(PathBuf::from("rows.fgd")));
+                assert_eq!(s.remine_debounce_ms, 75);
+                assert_eq!(s.min_sup, 3);
+                assert!((s.min_conf - 0.8).abs() < 1e-12);
+                assert_eq!(s.class, Some(1));
+                assert!(s.no_lower_bounds);
+            }
+            other => panic!("{other:?}"),
+        }
+        let plain = parse(&sv(&["serve", "g.fgi"])).unwrap();
+        match plain {
+            Command::Serve(s) => {
+                assert!(!s.watch);
+                assert_eq!(s.base, None);
+                assert_eq!(s.remine_debounce_ms, 500);
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse(&sv(&["serve", "g.fgi", "--watch"])).unwrap_err();
+        assert!(err.to_string().contains("--base"), "{err}");
+    }
+
+    #[test]
+    fn parses_ingest() {
+        let c = parse(&sv(&[
+            "ingest",
+            "--journal",
+            "rows.fgd",
+            "--base",
+            "d.txt",
+            "--items",
+            "g1,g2",
+            "--label",
+            "1",
+        ]))
+        .unwrap();
+        match c {
+            Command::Ingest(a) => {
+                assert_eq!(a.journal, PathBuf::from("rows.fgd"));
+                assert_eq!(a.base, PathBuf::from("d.txt"));
+                assert_eq!(a.items, Some("g1,g2".to_string()));
+                assert_eq!(a.label, Some(1));
+                assert_eq!(a.rows, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&sv(&[
+            "ingest",
+            "--journal",
+            "rows.fgd",
+            "--base",
+            "d.txt",
+            "--rows",
+            "new.txt",
+        ]))
+        .unwrap();
+        match c {
+            Command::Ingest(a) => assert_eq!(a.rows, Some(PathBuf::from("new.txt"))),
+            other => panic!("{other:?}"),
+        }
+        // No rows at all, and items without a label, are errors.
+        let err = parse(&sv(&["ingest", "--journal", "r.fgd", "--base", "d.txt"])).unwrap_err();
+        assert!(err.to_string().contains("--rows"), "{err}");
+        let err = parse(&sv(&[
+            "ingest",
+            "--journal",
+            "r.fgd",
+            "--base",
+            "d.txt",
+            "--items",
+            "g1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--label"), "{err}");
     }
 
     #[test]

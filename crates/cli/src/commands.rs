@@ -16,8 +16,12 @@ use farmer_core::{
 use farmer_dataset::discretize::Discretizer;
 use farmer_dataset::synth::{PaperDataset, SynthConfig};
 use farmer_dataset::{io as dio, Dataset};
-use farmer_serve::{ArtifactHandle, RuleGroupIndex, ServeConfig};
-use farmer_store::{save_artifact_versioned, Artifact, ArtifactMeta};
+use farmer_pipeline::{Notify, Pipeline, PipelineConfig};
+use farmer_serve::{ArtifactHandle, IngestHook, RuleGroupIndex, ServeConfig};
+use farmer_store::{
+    dataset_fingerprint, save_artifact_versioned, Artifact, ArtifactMeta, JournalWriter,
+};
+use rowset::IdList;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,6 +38,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<()> {
         Command::Classify(a) => classify(a, out),
         Command::Serve(a) => serve(a, out),
         Command::Query(a) => query(a, out),
+        Command::Ingest(a) => ingest(a, out),
     }
 }
 
@@ -366,6 +371,74 @@ fn mine(a: MineArgs, out: &mut dyn Write) -> Result<()> {
             )?;
         }
     }
+    if a.watch {
+        mine_watch(&a, &params, data, out)?;
+    }
+    Ok(())
+}
+
+/// The `mine --watch` tail: keep the just-saved artifact fresh by
+/// remining journal deltas until the journal goes quiet (or forever).
+fn mine_watch(
+    a: &MineArgs,
+    params: &MiningParams,
+    data: Dataset,
+    out: &mut dyn Write,
+) -> Result<()> {
+    let artifact = a
+        .save_irgs
+        .clone()
+        .expect("--watch requires --save-irgs (validated at parse)");
+    let journal = a
+        .journal
+        .clone()
+        .unwrap_or_else(|| artifact.with_extension("fgd"));
+    let mut cfg = PipelineConfig::new(&journal, &artifact);
+    cfg.params = params.clone();
+    cfg.classes = Some(vec![a.class]);
+    cfg.threads = a.threads;
+    cfg.debounce_ms = a.remine_debounce_ms;
+    cfg.notify = match &a.notify_url {
+        Some(addr) => Notify::Remote {
+            addr: addr.clone(),
+            token: a.notify_token.clone(),
+        },
+        None => Notify::None,
+    };
+    let pipeline = Pipeline::start(data, cfg).map_err(CliError)?;
+    let hook = pipeline.handle();
+    writeln!(
+        out,
+        "watching {} for new rows (republishing {})",
+        journal.display(),
+        artifact.display()
+    )?;
+    out.flush()?;
+    match a.watch_idle_exit_ms {
+        Some(ms) => {
+            let idle = Duration::from_millis(ms);
+            let mut last = hook.activity();
+            let mut last_change = Instant::now();
+            loop {
+                std::thread::sleep(Duration::from_millis(25.min(ms.max(1))));
+                let now = hook.activity();
+                if now != last {
+                    last = now;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() >= idle {
+                    break;
+                }
+            }
+            writeln!(
+                out,
+                "journal idle for {ms} ms after {} publish(es); exiting watch",
+                hook.generation()
+            )?;
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_millis(100));
+        },
+    }
     Ok(())
 }
 
@@ -376,11 +449,57 @@ fn load_index(path: &std::path::Path) -> Result<RuleGroupIndex> {
     Ok(RuleGroupIndex::from_artifact(artifact))
 }
 
+/// Starts the `serve --watch` pipeline: journal-fed remines that
+/// republish the served artifact. Runs before the artifact is loaded
+/// so the initial publish can create a missing artifact from the base.
+fn start_serve_pipeline(a: &ServeArgs) -> Result<Pipeline> {
+    let base_path = a
+        .base
+        .as_ref()
+        .expect("--watch requires --base (validated at parse)");
+    let base = dio::load_transactions(base_path)?;
+    if let Some(c) = a.class {
+        if c as usize >= base.n_classes() {
+            return Err(CliError(format!(
+                "class {c} out of range (dataset has {} classes)",
+                base.n_classes()
+            )));
+        }
+    }
+    let params = MiningParams {
+        min_sup: a.min_sup,
+        min_conf: a.min_conf,
+        min_chi: a.min_chi,
+        lower_bounds: !a.no_lower_bounds,
+        ..MiningParams::new(a.class.unwrap_or(0))
+    };
+    params.validate().map_err(CliError)?;
+    let journal = a
+        .journal
+        .clone()
+        .unwrap_or_else(|| a.artifact.with_extension("fgd"));
+    let mut cfg = PipelineConfig::new(&journal, &a.artifact);
+    cfg.params = params;
+    cfg.classes = a.class.map(|c| vec![c]);
+    cfg.debounce_ms = a.remine_debounce_ms;
+    Pipeline::start(base, cfg).map_err(CliError)
+}
+
 fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
+    let mut pipeline = if a.watch {
+        Some(start_serve_pipeline(&a)?)
+    } else {
+        None
+    };
+    let hook = pipeline.as_ref().map(|p| p.handle());
     let artifact_handle = Arc::new(
         ArtifactHandle::load(&a.artifact, farmer_classify::IRG_FINGERPRINT_THETA, 0)
             .map_err(CliError)?,
     );
+    // Future publishes hot-swap the index we are about to serve from.
+    if let Some(h) = &hook {
+        h.set_notify(Notify::InProcess(Arc::clone(&artifact_handle)));
+    }
     let config = ServeConfig {
         addr: a.addr.clone(),
         workers: a.workers,
@@ -388,6 +507,7 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
         admin_token: a.admin_token.clone(),
         log_out: a.log_out.clone(),
         slow_ms: a.slow_ms,
+        ingest: hook.clone().map(|h| h as Arc<dyn IngestHook>),
     };
     let handle = farmer_serve::start(Arc::clone(&artifact_handle), &config)
         .map_err(|e| CliError(format!("cannot bind {}: {e}", a.addr)))?;
@@ -421,28 +541,37 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
         }
         Ok(())
     };
+    // Pipeline work (ingested rows, remines, publishes) counts as
+    // traffic too — a server that is busy folding in new rows is not
+    // idle, even if nobody is querying it yet.
+    let pipeline_activity = || hook.as_ref().map_or(0, |h| h.activity());
     match a.idle_exit_ms {
         Some(ms) => {
-            // poll the served-request counter; a quiet stretch of `ms`
-            // milliseconds triggers a graceful drain and a clean exit
+            // poll the served-request and pipeline-activity counters; a
+            // quiet stretch of `ms` milliseconds on both triggers a
+            // graceful drain and a clean exit
             let idle = Duration::from_millis(ms);
-            let mut last_served = handle.requests_served();
+            let mut last = (handle.requests_served(), pipeline_activity());
             let mut last_activity = Instant::now();
             loop {
                 std::thread::sleep(Duration::from_millis(25.min(ms.max(1))));
                 poll_sighup(out)?;
-                let served = handle.requests_served();
-                if served != last_served {
-                    last_served = served;
+                let now = (handle.requests_served(), pipeline_activity());
+                if now != last {
+                    last = now;
                     last_activity = Instant::now();
                 } else if last_activity.elapsed() >= idle {
                     break;
                 }
             }
             handle.shutdown();
+            if let Some(p) = pipeline.as_mut() {
+                p.shutdown();
+            }
             writeln!(
                 out,
-                "idle for {ms} ms after {last_served} requests; shut down cleanly"
+                "idle for {ms} ms after {} requests; shut down cleanly",
+                last.0
             )?;
         }
         None => loop {
@@ -450,6 +579,92 @@ fn serve(a: ServeArgs, out: &mut dyn Write) -> Result<()> {
             poll_sighup(out)?;
         },
     }
+    Ok(())
+}
+
+/// Resolves one row's item tokens (dictionary names or numeric ids)
+/// against the base dataset into a sorted, deduped id list.
+fn resolve_items<'a, I: IntoIterator<Item = &'a str>>(base: &Dataset, tokens: I) -> Result<IdList> {
+    let mut ids: Vec<u32> = Vec::new();
+    for t in tokens {
+        let id = match base.item_by_name(t) {
+            Some(id) => id,
+            None => {
+                let id: u32 = t.parse().map_err(|_| {
+                    CliError(format!(
+                        "item '{t}' is neither a dataset item name nor a numeric id"
+                    ))
+                })?;
+                if id as usize >= base.n_items() {
+                    return Err(CliError(format!(
+                        "item id {id} out of range (dataset has {} items)",
+                        base.n_items()
+                    )));
+                }
+                id
+            }
+        };
+        ids.push(id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(IdList::from_sorted(ids))
+}
+
+fn ingest(a: IngestArgs, out: &mut dyn Write) -> Result<()> {
+    let base = dio::load_transactions(&a.base)?;
+    let mut rows: Vec<(IdList, u32)> = Vec::new();
+    if let Some(path) = &a.rows {
+        // same line shape as a transaction file: `<label>: <item> …`
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (label_s, items_s) = line.split_once(':').ok_or_else(|| {
+                CliError(format!(
+                    "{}:{}: missing ':' separator",
+                    path.display(),
+                    i + 1
+                ))
+            })?;
+            let label: u32 = label_s.trim().parse().map_err(|_| {
+                CliError(format!(
+                    "{}:{}: bad label '{}'",
+                    path.display(),
+                    i + 1,
+                    label_s.trim()
+                ))
+            })?;
+            rows.push((resolve_items(&base, items_s.split_whitespace())?, label));
+        }
+    }
+    if let Some(label) = a.label {
+        let spec = a.items.as_deref().unwrap_or("");
+        let tokens = spec.split(',').map(str::trim).filter(|t| !t.is_empty());
+        rows.push((resolve_items(&base, tokens)?, label));
+    }
+    for (k, (_, label)) in rows.iter().enumerate() {
+        if *label as usize >= base.n_classes() {
+            return Err(CliError(format!(
+                "row {k}: label {label} out of range (dataset has {} classes)",
+                base.n_classes()
+            )));
+        }
+    }
+    // Validated: journal the batch. The fingerprint ties the journal to
+    // this base dataset, so a daemon watching it can trust the rows.
+    let jpath = a.journal.display().to_string();
+    let mut w = JournalWriter::open_append(&a.journal, dataset_fingerprint(&base))
+        .map_err(|e| CliError(format!("{jpath}: {e}")))?;
+    for (items, label) in &rows {
+        w.append(items, *label)
+            .map_err(|e| CliError(format!("{jpath}: {e}")))?;
+    }
+    w.sync().map_err(|e| CliError(format!("{jpath}: {e}")))?;
+    writeln!(out, "appended {} row(s) to {jpath}", rows.len())?;
     Ok(())
 }
 
@@ -1252,6 +1467,250 @@ mod tests {
 
         let summary = server.join().unwrap();
         assert!(summary.contains("shut down cleanly"), "{summary}");
+    }
+
+    #[test]
+    fn ingest_appends_validated_rows_to_the_journal() {
+        let txt = mining_input("ing", "12", "30");
+        let fgd = tmp("ing.fgd");
+        let _ = std::fs::remove_file(&fgd);
+        let s = run_ok(&[
+            "ingest",
+            "--journal",
+            fgd.to_str().unwrap(),
+            "--base",
+            txt.to_str().unwrap(),
+            "--items",
+            "2,0,2", // unordered + duplicate: normalised before journaling
+            "--label",
+            "0",
+        ]);
+        assert!(s.contains("appended 1 row(s)"), "{s}");
+        let rows_file = tmp("ing-rows.txt");
+        std::fs::write(&rows_file, "1: 3 4\n\n0: 0\n").unwrap();
+        let s = run_ok(&[
+            "ingest",
+            "--journal",
+            fgd.to_str().unwrap(),
+            "--base",
+            txt.to_str().unwrap(),
+            "--rows",
+            rows_file.to_str().unwrap(),
+        ]);
+        assert!(s.contains("appended 2 row(s)"), "{s}");
+        let j = farmer_store::read_journal(&fgd).unwrap();
+        assert_eq!(j.records.len(), 3);
+        let ids: Vec<u32> = j.records[0].items.iter().collect();
+        assert_eq!(ids, [0, 2]);
+        assert_eq!(j.records[1].label, 1);
+
+        // out-of-range labels and unknown items never reach the journal
+        let mut out = Vec::new();
+        for bad in [
+            ["--items", "0", "--label", "9"],
+            ["--items", "no-such-gene", "--label", "0"],
+        ] {
+            let argv: Vec<String> = [
+                "ingest",
+                "--journal",
+                fgd.to_str().unwrap(),
+                "--base",
+                txt.to_str().unwrap(),
+                bad[0],
+                bad[1],
+                bad[2],
+                bad[3],
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            crate::run(&argv, &mut out).unwrap_err();
+        }
+        assert_eq!(farmer_store::read_journal(&fgd).unwrap().records.len(), 3);
+    }
+
+    /// The streaming loop end to end — and the idle-exit regression:
+    /// rows journaled by a *separate* `farmer ingest` run must reach
+    /// the live server (remine → publish → in-process hot swap), and
+    /// that pipeline activity must reset the idle clock even though no
+    /// HTTP request is involved.
+    #[test]
+    fn serve_watch_folds_in_ingested_rows_and_stays_alive() {
+        let txt = mining_input("watch", "16", "40");
+        let fgi = tmp("watch.fgi");
+        let fgd = tmp("watch.fgd");
+        let _ = std::fs::remove_file(&fgi);
+        let _ = std::fs::remove_file(&fgd);
+        run_ok(&[
+            "mine",
+            "--in",
+            txt.to_str().unwrap(),
+            "--min-sup",
+            "3",
+            "--save-irgs",
+            fgi.to_str().unwrap(),
+            "--class",
+            "1",
+        ]);
+        let base_rows = farmer_store::Artifact::load(&fgi).unwrap().meta.n_rows;
+
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let fgi2 = fgi.clone();
+        let (txt2, fgd2) = (txt.clone(), fgd.clone());
+        let server = std::thread::spawn(move || {
+            let mut sink = AddrCapture {
+                tx: addr_tx,
+                buf: Vec::new(),
+            };
+            let argv: Vec<String> = [
+                "serve",
+                fgi2.to_str().unwrap(),
+                "--watch",
+                "--base",
+                txt2.to_str().unwrap(),
+                "--journal",
+                fgd2.to_str().unwrap(),
+                "--class",
+                "1",
+                "--min-sup",
+                "3",
+                "--remine-debounce-ms",
+                "100",
+                "--idle-exit-ms",
+                "1500",
+                "--admin-token",
+                "tok",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            crate::run(&argv, &mut sink).unwrap();
+            String::from_utf8(sink.buf).unwrap()
+        });
+        let addr = addr_rx
+            .recv_timeout(std::time::Duration::from_secs(20))
+            .expect("serve --watch never printed its address");
+        let t0 = std::time::Instant::now();
+        let h = farmer_serve::http_get(&addr, "/v1/healthz").unwrap();
+        assert_eq!(h.status, 200, "{}", h.body);
+
+        // Quiet on the HTTP side from here on. Append a row through the
+        // cross-process path; the daemon must pick it up by polling.
+        std::thread::sleep(std::time::Duration::from_millis(700));
+        run_ok(&[
+            "ingest",
+            "--journal",
+            fgd.to_str().unwrap(),
+            "--base",
+            txt.to_str().unwrap(),
+            "--items",
+            "0,1,2",
+            "--label",
+            "1",
+        ]);
+        // The publish lands on disk well before the idle deadline.
+        let deadline = t0 + std::time::Duration::from_millis(1400);
+        loop {
+            if let Ok(art) = farmer_store::Artifact::load(&fgi) {
+                if art.meta.n_rows == base_rows + 1 {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "republished artifact never appeared"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+
+        // 1700 ms after the last request: without the pipeline-activity
+        // fix the server is already gone (idle-exit at ~1500 ms); with
+        // it, the remine+publish reset the clock and it still answers,
+        // from the *new* artifact (epoch bumped by the hot swap).
+        let elapsed = t0.elapsed();
+        std::thread::sleep(std::time::Duration::from_millis(1700).saturating_sub(elapsed));
+        let h = farmer_serve::http_get(&addr, "/v1/healthz")
+            .expect("server exited despite pipeline activity (idle clock not reset)");
+        assert_eq!(h.status, 200, "{}", h.body);
+        let doc = Json::parse(&h.body).unwrap();
+        assert!(
+            doc["epoch"].as_u64().unwrap() >= 1,
+            "publish never hot-swapped the served index: {}",
+            h.body
+        );
+
+        // Pipeline stats ride along on the admin surface.
+        let s = farmer_serve::http_get_auth(&addr, "/v1/admin/stats", Some("tok")).unwrap();
+        assert_eq!(s.status, 200, "{}", s.body);
+        let stats = Json::parse(&s.body).unwrap();
+        assert!(
+            stats["pipeline"]["generation"].as_u64().unwrap() >= 1,
+            "{}",
+            s.body
+        );
+
+        let summary = server.join().unwrap();
+        assert!(summary.contains("shut down cleanly"), "{summary}");
+    }
+
+    /// `mine --watch` keeps the artifact fresh without any server: a
+    /// journal append triggers a remine+republish, and the watch exits
+    /// on its own idle timer.
+    #[test]
+    fn mine_watch_republishes_on_journal_growth() {
+        let txt = mining_input("mwatch", "14", "30");
+        let fgi = tmp("mwatch.fgi");
+        let fgd = tmp("mwatch.fgd");
+        let _ = std::fs::remove_file(&fgi);
+        let _ = std::fs::remove_file(&fgd);
+
+        let (txt2, fgi2, fgd2) = (txt.clone(), fgi.clone(), fgd.clone());
+        let watcher = std::thread::spawn(move || {
+            run_ok(&[
+                "mine",
+                "--in",
+                txt2.to_str().unwrap(),
+                "--min-sup",
+                "3",
+                "--save-irgs",
+                fgi2.to_str().unwrap(),
+                "--watch",
+                "--journal",
+                fgd2.to_str().unwrap(),
+                "--remine-debounce-ms",
+                "100",
+                "--watch-idle-exit-ms",
+                "1200",
+            ])
+        });
+        // Wait for the initial artifact AND the journal header (proof
+        // the pipeline is up), then feed the journal.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let journal_ready = || std::fs::metadata(&fgd).is_ok_and(|m| m.len() >= 16);
+        while !fgi.exists() || !journal_ready() {
+            assert!(std::time::Instant::now() < deadline, "no initial artifact");
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        let base_rows = farmer_store::Artifact::load(&fgi).unwrap().meta.n_rows;
+        run_ok(&[
+            "ingest",
+            "--journal",
+            fgd.to_str().unwrap(),
+            "--base",
+            txt.to_str().unwrap(),
+            "--items",
+            "1,3",
+            "--label",
+            "0",
+        ]);
+        let summary = watcher.join().unwrap();
+        assert!(summary.contains("exiting watch"), "{summary}");
+        let art = farmer_store::Artifact::load(&fgi).unwrap();
+        assert_eq!(
+            art.meta.n_rows,
+            base_rows + 1,
+            "watch never folded the journaled row in"
+        );
     }
 
     /// Captures the `serve` startup line and forwards the bound

@@ -60,6 +60,7 @@ COMMANDS:
   classify    train on one transaction/CSV file, evaluate on another
   serve       serve a saved .fgi artifact over HTTP
   query       classify a sample against a saved .fgi artifact
+  ingest      append labelled rows to a .fgd journal for a watch daemon
   help        show this message
 
 MINE OPTIONS:
@@ -87,6 +88,14 @@ MINE OPTIONS:
   --save-irgs <p>     persist the mined rule groups as a .fgi artifact
   --fgi-version <n>   .fgi format for --save-irgs: 2 = compact (default),
                       1 = legacy (older readers)
+  --watch             stay running after the mine: watch a row journal
+                      and republish the --save-irgs artifact on deltas
+  --journal <p>       the .fgd journal to watch (default: artifact path
+                      with a .fgd extension)
+  --remine-debounce-ms <n>  quiet window before a remine (default 500)
+  --notify-url <h:p>  POST /v1/admin/reload on this server per publish
+  --notify-token <t>  bearer token for --notify-url
+  --watch-idle-exit-ms <n>  exit the watch after n ms without activity
 
 SERVE OPTIONS (farmer serve <artifact.fgi>):
   --addr <host:port>  bind address (default 127.0.0.1:0 = ephemeral,
@@ -102,6 +111,15 @@ SERVE OPTIONS (farmer serve <artifact.fgi>):
   --slow-ms <n>       capture requests >= n ms in the /v1/admin/stats
                       slow ring with phase breakdown (default 100; 0 =
                       capture every request)
+  --watch             run the ingest->remine->publish pipeline in-process:
+                      enables POST /v1/admin/ingest and hot-swaps the
+                      artifact after each remine (requires --base)
+  --base <p>          transaction file the artifact was mined from
+  --journal <p>       the .fgd row journal (default: artifact path with
+                      a .fgd extension)
+  --remine-debounce-ms <n>  quiet window before a remine (default 500)
+  --min-sup/--min-conf/--min-chi/--class/--no-lower-bounds
+                      remine thresholds; match the original mine flags
   endpoints (all under /v1/; unversioned paths are deprecated aliases):
     /v1/classify?items=a,b          GET single sample
     /v1/classify                    POST {\"samples\":[[..],..]} batch
@@ -109,6 +127,8 @@ SERVE OPTIONS (farmer serve <artifact.fgi>):
     /v1/healthz  /v1/metrics (Prometheus text)
     /v1/admin/reload                POST, bearer-authenticated hot swap
     /v1/admin/stats                 GET, bearer-authenticated live stats
+    /v1/admin/ingest                POST {\"rows\":[{\"items\":[..],\"label\":k}]}
+                                    bearer-authenticated, --watch only
   every response carries X-Request-Id; SIGHUP also hot-reloads the
   artifact from disk.
 
@@ -116,6 +136,16 @@ QUERY OPTIONS (farmer query <artifact.fgi>):
   --items <a,b,c>     sample items, by name or numeric id
   --class <k>         only show matching groups of one class
   --limit <n>         print at most n matching groups (default 10)
+
+INGEST OPTIONS (farmer ingest):
+  --journal <p>       the .fgd journal to append to (required; created
+                      if absent)
+  --base <p>          transaction file that defines items/classes
+                      (required; rows are validated against it)
+  --items <a,b,c>     items of one inline row (names or numeric ids)
+  --label <k>         class label of the inline row
+  --rows <p>          append many rows: one `<label>: <item> …` line
+                      each (transaction-file shape)
 
 `farmer topk` also honors --timeout-ms.
 

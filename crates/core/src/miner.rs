@@ -111,6 +111,8 @@ pub struct Farmer {
     engine: Engine,
     threads: usize,
     memo_capacity: usize,
+    harvest: bool,
+    frontier: Option<RowSet>,
 }
 
 impl Farmer {
@@ -123,7 +125,44 @@ impl Farmer {
             engine: Engine::default(),
             threads: 1,
             memo_capacity: 0,
+            harvest: false,
+            frontier: None,
         }
+    }
+
+    /// Switches the search into *harvest mode*: every closed group
+    /// passing the support/confidence/χ² thresholds is returned, with
+    /// the step-7 interestingness comparison skipped entirely (not
+    /// merely deferred to the parallel merge). The incremental remine
+    /// engine needs this because interestingness is a *global* property
+    /// — a group untouched by a delta can become interesting when a
+    /// delta kills its dominator — so the pipeline caches the full
+    /// threshold-passing set and re-runs the comparison itself at
+    /// publish time.
+    pub fn with_harvest(mut self, on: bool) -> Self {
+        self.harvest = on;
+        self
+    }
+
+    /// Restricts the search to the *delta frontier* `frontier`, a set of
+    /// row ids in the **original** (un-reordered) id space of the
+    /// dataset handed to [`mine`](Farmer::mine):
+    ///
+    /// * a non-root node is pruned when its closed support set `z` *and*
+    ///   both candidate-occurrence sets `u_p`/`u_n` are disjoint from
+    ///   the frontier — no descendant's support set can ever reach a
+    ///   frontier row, because a row of any descendant's `z` is in
+    ///   `z ∪ u_p ∪ u_n` at every ancestor (rows only leave the
+    ///   candidate sets by being folded into `z` or ordered before the
+    ///   path, and back-ordered rows trigger the strategy-2 prune);
+    /// * a group is emitted only when `z` intersects the frontier.
+    ///
+    /// Together these make the run return exactly the threshold-passing
+    /// closed groups whose support set touches a frontier row — the
+    /// groups an append-only delta can have created or changed.
+    pub fn with_frontier(mut self, frontier: RowSet) -> Self {
+        self.frontier = Some(frontier);
+        self
     }
 
     /// Overrides the pruning strategy switchboard (for ablations).
@@ -261,6 +300,23 @@ impl Farmer {
             let _transpose = trace::span(tracer, trace::LANE_MAIN, trace::SPAN_TRANSPOSE);
             TransposedTable::for_mining(data, self.params.target_class)
         };
+        // the frontier arrives in original row ids; the search runs in
+        // ORD space, so map it through the permutation once
+        let frontier = self.frontier.as_ref().map(|f| {
+            assert_eq!(
+                f.capacity(),
+                data.n_rows(),
+                "frontier capacity must match the dataset row count"
+            );
+            let mut fr = RowSet::empty(data.n_rows());
+            for (new, &old) in order.iter().enumerate() {
+                if f.contains(old as usize) {
+                    fr.insert(new);
+                }
+            }
+            fr
+        });
+        let frontier = frontier.as_ref();
         if self.threads > 1 {
             return match self.engine {
                 Engine::Bitset => self.run_parallel(
@@ -268,6 +324,7 @@ impl Farmer {
                     &reordered,
                     &tt,
                     &order,
+                    frontier,
                     ctl,
                     obs,
                     tracer,
@@ -277,6 +334,7 @@ impl Farmer {
                     &reordered,
                     &tt,
                     &order,
+                    frontier,
                     ctl,
                     obs,
                     tracer,
@@ -289,6 +347,7 @@ impl Farmer {
                 &reordered,
                 &tt,
                 &order,
+                frontier,
                 ctl,
                 obs,
                 tracer,
@@ -298,6 +357,7 @@ impl Farmer {
                 &reordered,
                 &tt,
                 &order,
+                frontier,
                 ctl,
                 obs,
                 tracer,
@@ -318,6 +378,7 @@ impl Farmer {
         reordered: &Dataset,
         tt: &TransposedTable,
         order: &[RowId],
+        frontier: Option<&RowSet>,
         ctl: &MineControl,
         obs: &mut O,
         tracer: &T,
@@ -346,7 +407,8 @@ impl Farmer {
             lane: trace::LANE_MAIN,
             stats: MineStats::default(),
             irgs: Vec::new(),
-            defer_interesting: false,
+            defer_interesting: self.harvest,
+            frontier,
             memo: memo.as_ref(),
             split: None,
             current_root: 0,
@@ -420,6 +482,7 @@ impl Farmer {
         reordered: &Dataset,
         tt: &TransposedTable,
         order: &[RowId],
+        frontier: Option<&RowSet>,
         ctl: &MineControl,
         obs: &mut O,
         tracer: &T,
@@ -502,6 +565,7 @@ impl Farmer {
                             stats: MineStats::default(),
                             irgs: Vec::new(),
                             defer_interesting: true,
+                            frontier,
                             memo: memo_ref,
                             split: Some(SplitCtx {
                                 deque: &deques[w],
@@ -717,6 +781,7 @@ impl Farmer {
             stats.pruned_tight_confidence += s.pruned_tight_confidence;
             stats.pruned_chi += s.pruned_chi;
             stats.pruned_floor += s.pruned_floor;
+            stats.pruned_frontier += s.pruned_frontier;
             stats.rows_compressed += s.rows_compressed;
             stats.budget_exhausted |= s.budget_exhausted;
             stats.stop = stats.stop.merge(s.stop);
@@ -741,9 +806,12 @@ impl Farmer {
         });
         let mut accepted: Vec<Pending> = Vec::new();
         for p in pendings {
-            let dominated = accepted.iter().any(|a| {
-                a.upper.len() < p.upper.len() && a.upper.is_subset(&p.upper) && a.conf >= p.conf
-            });
+            // harvest mode returns the full threshold-passing set; the
+            // caller owns the interestingness comparison
+            let dominated = !self.harvest
+                && accepted.iter().any(|a| {
+                    a.upper.len() < p.upper.len() && a.upper.is_subset(&p.upper) && a.conf >= p.conf
+                });
             if dominated {
                 stats.rejected_not_interesting += 1;
                 obs.pruned(PruneReason::NotInteresting);
@@ -756,24 +824,10 @@ impl Farmer {
         self.package(accepted, stats, sched, reordered, order, n, m, tracer)
     }
 
-    /// Folds any lift/conviction extras into the confidence threshold.
+    /// Folds any lift/conviction extras into the confidence threshold
+    /// (see [`MiningParams::effective_min_conf`]).
     fn effective_min_conf(&self, n: usize, m: usize) -> f64 {
-        let mut eff = self.params.min_conf;
-        if n > 0 {
-            let p_c = m as f64 / n as f64;
-            for c in &self.params.extra {
-                match *c {
-                    ExtraConstraint::MinLift(l) => {
-                        eff = eff.max((l * p_c).min(1.0));
-                    }
-                    ExtraConstraint::MinConviction(v) if v > 0.0 => {
-                        eff = eff.max((1.0 - (1.0 - p_c) / v).clamp(0.0, 1.0));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        eff
+        self.params.effective_min_conf(n, m)
     }
 
     /// Maps pending groups back to original row ids, attaches lower
@@ -909,6 +963,10 @@ struct Ctx<'a, O: MineObserver + ?Sized, T: TraceSink + ?Sized> {
     /// Parallel mode: skip the step-7 interestingness comparison here
     /// and let the merge phase run it over all threads' groups.
     defer_interesting: bool,
+    /// Delta-restricted remine: prune subtrees that cannot reach these
+    /// rows and emit only groups whose support set touches them, in
+    /// reordered (ORD) id space. `None` = unrestricted.
+    frontier: Option<&'a RowSet>,
     /// Shared memo table, when enabled *and* sound for the pruning
     /// config (see [`Farmer::memo_table`]).
     memo: Option<&'a MemoTable>,
@@ -1118,6 +1176,26 @@ impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
             node.inspect_into(e_p, e_n, &mut f.ins);
         }
 
+        // ---- Delta-restricted frontier: a subtree is worth entering
+        // only if some descendant's support set can contain a frontier
+        // row. Every row of a descendant's `z` appears in this node's
+        // `z ∪ u_p ∪ u_n` (rows leave the candidate sets only by being
+        // folded into `z` by compression or by being ordered before the
+        // path, and the latter triggers the strategy-2 prune below), so
+        // three disjointness tests prove the whole subtree frontier-free.
+        // Never at the root: the root's `u` sets are the seed candidates
+        // and pruning it would end the run.
+        if let Some(fr) = self.frontier {
+            if !is_root
+                && f.ins.z.is_disjoint(fr)
+                && f.ins.u_p.is_disjoint(fr)
+                && f.ins.u_n.is_disjoint(fr)
+            {
+                self.stats.pruned_frontier += 1;
+                return;
+            }
+        }
+
         // ---- Shared memo probe: before paying for the back scan, ask
         // whether *any* worker already closed this exact row set. A hit
         // is equivalent to a back-scan prune: with strategies 1+2 on
@@ -1323,6 +1401,13 @@ impl<O: MineObserver + ?Sized, T: TraceSink + ?Sized> Ctx<'_, O, T> {
         // sequential run's discovery order (partial-result guarantee).
         if is_root || self.stats.budget_exhausted {
             return;
+        }
+        // frontier-restricted runs report only groups a delta row
+        // supports — anything else was already known before the delta
+        if let Some(fr) = self.frontier {
+            if f.ins.z.is_disjoint(fr) {
+                return;
+            }
         }
         if sup_p < self.params.min_sup {
             return;

@@ -123,6 +123,35 @@ impl MiningParams {
         self
     }
 
+    /// The confidence floor the search actually enforces for a dataset
+    /// with `n_rows` rows of which `n_class` carry the target class:
+    /// `min_conf` tightened by any [`ExtraConstraint::MinLift`] /
+    /// [`ExtraConstraint::MinConviction`] extras, which are monotone
+    /// transformations of confidence once the class margin
+    /// `p_c = n_class / n_rows` is fixed.
+    ///
+    /// Exposed so out-of-tree re-filters (the streaming pipeline's
+    /// assembly pass re-screens cached groups after the margins moved)
+    /// apply exactly the emission test the miner would.
+    pub fn effective_min_conf(&self, n_rows: usize, n_class: usize) -> f64 {
+        let mut eff = self.min_conf;
+        if n_rows > 0 {
+            let p_c = n_class as f64 / n_rows as f64;
+            for c in &self.extra {
+                match *c {
+                    ExtraConstraint::MinLift(l) => {
+                        eff = eff.max((l * p_c).min(1.0));
+                    }
+                    ExtraConstraint::MinConviction(v) if v > 0.0 => {
+                        eff = eff.max((1.0 - (1.0 - p_c) / v).clamp(0.0, 1.0));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        eff
+    }
+
     /// Checks the parameters for values the builders would reject (or
     /// that a caller constructing the struct directly could smuggle in):
     /// non-finite or out-of-range `min_conf` / `min_chi` / extra

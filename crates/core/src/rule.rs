@@ -195,6 +195,9 @@ pub struct MineStats {
     /// Subtrees cut by the rising per-row confidence floor (top-k
     /// mining only; 0 for the threshold miners).
     pub pruned_floor: u64,
+    /// Subtrees cut by the delta-restricted frontier (incremental
+    /// remine only; 0 for unrestricted runs).
+    pub pruned_frontier: u64,
     /// `true` iff the search stopped early — node budget, deadline, or
     /// cooperative cancellation — and the result is (possibly)
     /// incomplete. [`stop`](Self::stop) says which; this flag is kept

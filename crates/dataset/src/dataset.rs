@@ -203,6 +203,59 @@ impl Dataset {
         }
     }
 
+    /// Returns a copy of this dataset with `new_rows` appended at the
+    /// end, keeping every existing row id stable. This is the merge step
+    /// of streaming ingest: the item universe and class set are fixed by
+    /// the base dataset, so each new row must reference known item ids
+    /// and labels — anything else is rejected with a message rather
+    /// than a panic, because journal rows are untrusted input.
+    ///
+    /// The inverted per-item row sets are extended in place
+    /// ([`RowSet::grow`] + inserts) instead of rebuilt, so appending a
+    /// small delta costs `O(n_items · n/64 + |delta|)` for the clone,
+    /// not a full re-scan of every base row.
+    pub fn appended(&self, new_rows: &[(IdList, ClassLabel)]) -> Result<Dataset, String> {
+        let n_total = self.n_rows() + new_rows.len();
+        for (k, (items, label)) in new_rows.iter().enumerate() {
+            if *label >= self.n_classes {
+                return Err(format!(
+                    "appended row {k}: label {label} out of range (dataset has {} classes)",
+                    self.n_classes
+                ));
+            }
+            if let Some(&m) = items.as_slice().last() {
+                if m as usize >= self.n_items() {
+                    return Err(format!(
+                        "appended row {k}: item id {m} out of range (dataset has {} items)",
+                        self.n_items()
+                    ));
+                }
+            }
+        }
+        let mut rows = self.rows.clone();
+        let mut labels = self.labels.clone();
+        let mut item_rows = self.item_rows.clone();
+        for s in &mut item_rows {
+            s.grow(n_total);
+        }
+        for (items, label) in new_rows {
+            let r = rows.len();
+            for i in items.iter() {
+                item_rows[i as usize].insert(r);
+            }
+            rows.push(items.clone());
+            labels.push(*label);
+        }
+        Ok(Dataset {
+            rows,
+            labels,
+            n_classes: self.n_classes,
+            item_rows,
+            item_names: self.item_names.clone(),
+            class_names: self.class_names.clone(),
+        })
+    }
+
     /// Total number of (row, item) incidences; a size measure used in
     /// reporting.
     pub fn n_incidences(&self) -> usize {
@@ -499,6 +552,52 @@ mod tests {
         assert_eq!(tr.n_rows(), 2);
         assert_eq!(te.n_rows(), 1);
         assert_eq!(te.label(0), 1);
+    }
+
+    #[test]
+    fn appended_extends_rows_and_inverted_sets() {
+        let d = tiny();
+        let delta = vec![
+            (IdList::from_iter([0, 2, 4]), 1),
+            (IdList::from_iter([1]), 0),
+        ];
+        let m = d.appended(&delta).unwrap();
+        assert_eq!(m.n_rows(), 5);
+        assert_eq!(m.n_items(), 5);
+        // base rows keep their ids and content
+        assert_eq!(m.row(0).as_slice(), d.row(0).as_slice());
+        assert_eq!(m.label(2), 1);
+        // appended rows land at the end
+        assert_eq!(m.row(3).as_slice(), &[0, 2, 4]);
+        assert_eq!(m.label(3), 1);
+        assert_eq!(m.row(4).as_slice(), &[1]);
+        // inverted sets grew and match a from-scratch rebuild
+        assert_eq!(m.item_rows(2).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(m.item_rows(4).to_vec(), vec![2, 3]);
+        let mut b = DatasetBuilder::new(2);
+        for r in 0..m.n_rows() {
+            b.add_row(m.row(r as RowId).iter(), m.label(r as RowId));
+        }
+        let rebuilt = b.build();
+        for i in 0..m.n_items() {
+            assert_eq!(
+                m.item_rows(i as ItemId).to_vec(),
+                rebuilt.item_rows(i as ItemId).to_vec(),
+                "item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_rejects_unknown_items_and_labels() {
+        let d = tiny();
+        let bad_item = vec![(IdList::from_iter([5]), 0)];
+        assert!(d.appended(&bad_item).unwrap_err().contains("item id 5"));
+        let bad_label = vec![(IdList::from_iter([0]), 2)];
+        assert!(d.appended(&bad_label).unwrap_err().contains("label 2"));
+        // an empty delta is a plain copy
+        let same = d.appended(&[]).unwrap();
+        assert_eq!(same.n_rows(), d.n_rows());
     }
 
     #[test]

@@ -62,6 +62,24 @@ impl RowSet {
         self.capacity
     }
 
+    /// Widens the universe to `new_capacity`, keeping every current
+    /// member. The appended ids `capacity..new_capacity` start absent.
+    /// This is how streaming ingest extends base-dataset support sets
+    /// when rows arrive: ids are append-only, so growth never remaps.
+    /// `O(n/64)`.
+    ///
+    /// Panics if `new_capacity < capacity` — shrinking would silently
+    /// drop members.
+    pub fn grow(&mut self, new_capacity: usize) {
+        assert!(
+            new_capacity >= self.capacity,
+            "cannot grow RowSet from capacity {} down to {new_capacity}",
+            self.capacity
+        );
+        self.capacity = new_capacity;
+        self.words.resize(new_capacity.div_ceil(BITS), 0);
+    }
+
     /// Number of ids in the set (popcount). `O(n/64)`.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -696,6 +714,30 @@ mod tests {
         assert!(RowSet::from_words(128, vec![u64::MAX, u64::MAX]).is_ok());
         let e = RowSet::from_words(10, vec![1 << 10]).unwrap_err();
         assert!(e.to_string().contains("capacity 10"), "{e}");
+    }
+
+    #[test]
+    fn grow_keeps_members_and_widens() {
+        for (cap, new_cap) in [(0, 5), (10, 64), (63, 64), (64, 65), (65, 200), (70, 70)] {
+            let mut s = RowSet::from_ids(cap, (0..cap).step_by(3));
+            let before = s.to_vec();
+            s.grow(new_cap);
+            assert_eq!(s.capacity(), new_cap);
+            assert_eq!(s.to_vec(), before, "{cap}->{new_cap}");
+            assert!(!s.contains(new_cap));
+            if new_cap > 0 {
+                s.insert(new_cap - 1);
+                assert!(s.contains(new_cap - 1));
+            }
+            // binary ops accept same-capacity peers after growth
+            assert!(RowSet::empty(new_cap).is_subset(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot grow")]
+    fn grow_rejects_shrinking() {
+        RowSet::empty(10).grow(9);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 use crate::shard::ShardedIndex;
 use farmer_store::Artifact;
 use farmer_support::swap::Swap;
+use farmer_support::thread::Mutex;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A serving slot: the path an artifact was loaded from plus the
@@ -29,6 +30,15 @@ pub struct ArtifactHandle {
     /// `.fgi` format version of the most recently loaded artifact
     /// (0 for in-memory handles), surfaced by `/v1/healthz`.
     artifact_version: AtomicU32,
+    /// Reload attempts (successful or not) since the handle was built.
+    /// The initial load is attempt 0; each [`reload`](Self::reload)
+    /// claims the next number, which becomes the *generation* a
+    /// publisher can correlate with.
+    reload_attempts: AtomicU64,
+    /// The most recent failed attempt `(generation, error)`, sticky
+    /// across later successes so `/v1/admin/stats` can surface which
+    /// generation never made it to serving.
+    last_failure: Mutex<Option<(u64, String)>>,
     current: Swap<ShardedIndex>,
 }
 
@@ -44,6 +54,8 @@ impl ArtifactHandle {
             theta,
             n_shards,
             artifact_version: AtomicU32::new(version),
+            reload_attempts: AtomicU64::new(0),
+            last_failure: Mutex::new(None),
             current: Swap::new(Arc::new(index)),
         })
     }
@@ -58,6 +70,8 @@ impl ArtifactHandle {
             theta,
             n_shards,
             artifact_version: AtomicU32::new(0),
+            reload_attempts: AtomicU64::new(0),
+            last_failure: Mutex::new(None),
             current: Swap::new(Arc::new(index)),
         }
     }
@@ -84,19 +98,39 @@ impl ArtifactHandle {
         self.artifact_version.load(Ordering::Relaxed)
     }
 
+    /// Reload attempts so far, successful or not.
+    pub fn reload_attempts(&self) -> u64 {
+        self.reload_attempts.load(Ordering::Relaxed)
+    }
+
+    /// The most recent failed reload as `(generation, error)`, where
+    /// the generation is the attempt number that failed. Sticky across
+    /// later successful reloads; `None` when no reload ever failed.
+    pub fn last_reload_failure(&self) -> Option<(u64, String)> {
+        self.last_failure.lock().clone()
+    }
+
     /// Re-reads the backing artifact, builds a fresh index, and swaps
     /// it in. Returns the new index on success; on any failure the old
     /// index keeps serving and the error says why.
     pub fn reload(&self) -> Result<Arc<ShardedIndex>, String> {
-        let Some(path) = &self.path else {
-            return Err("reload unavailable: handle has no artifact path".to_string());
+        let generation = self.reload_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        let attempt = || -> Result<Arc<ShardedIndex>, String> {
+            let Some(path) = &self.path else {
+                return Err("reload unavailable: handle has no artifact path".to_string());
+            };
+            let index = Arc::new(build_index(path, self.theta, self.n_shards)?);
+            if let Ok(v) = farmer_store::peek_version(path) {
+                self.artifact_version.store(v, Ordering::Relaxed);
+            }
+            self.current.store(Arc::clone(&index));
+            Ok(index)
         };
-        let index = Arc::new(build_index(path, self.theta, self.n_shards)?);
-        if let Ok(v) = farmer_store::peek_version(path) {
-            self.artifact_version.store(v, Ordering::Relaxed);
+        let result = attempt();
+        if let Err(e) = &result {
+            *self.last_failure.lock() = Some((generation, e.clone()));
         }
-        self.current.store(Arc::clone(&index));
-        Ok(index)
+        result
     }
 }
 
@@ -181,7 +215,31 @@ mod tests {
         assert!(err.contains(".fgi"), "{err}");
         assert_eq!(handle.epoch(), 0, "failed reload must not swap");
         assert_eq!(handle.current().groups().len(), n);
+        assert_eq!(handle.reload_attempts(), 1);
+        let (generation, msg) = handle.last_reload_failure().unwrap();
+        assert_eq!(generation, 1);
+        assert!(msg.contains(".fgi"), "{msg}");
+
+        // A later successful reload bumps the attempt counter but the
+        // failed generation stays on record.
+        write_artifact(&path, true);
+        handle.reload().unwrap();
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.reload_attempts(), 2);
+        assert_eq!(handle.last_reload_failure().unwrap().0, 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reload_at_a_missing_artifact_keeps_serving_and_records_the_failure() {
+        let path = std::env::temp_dir().join(format!("fgi-handle-gone-{}.fgi", std::process::id()));
+        let n = write_artifact(&path, false);
+        let handle = ArtifactHandle::load(&path, IRG_FINGERPRINT_THETA, 1).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(handle.reload().is_err());
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(handle.current().groups().len(), n);
+        assert_eq!(handle.last_reload_failure().unwrap().0, 1);
     }
 
     #[test]

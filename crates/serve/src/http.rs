@@ -55,6 +55,7 @@
 //! and the `farmer_serve_shed_total` counter.
 
 use crate::handle::ArtifactHandle;
+use crate::ingest::{IngestHook, IngestRow};
 use crate::obs::{
     self, endpoint_counters, status_class_counter, AccessEntry, AccessLog, Endpoint, ServerClock,
     SlowEntry, SlowRing,
@@ -81,6 +82,7 @@ const HIST_NAMES: &[&str] = &[
     "serve_reload",
     "serve_shed",
     "serve_admin_stats",
+    "serve_ingest",
 ];
 const H_REQUEST: HistId = HistId(0);
 const H_CLASSIFY: HistId = HistId(1);
@@ -90,6 +92,7 @@ const H_METRICS: HistId = HistId(4);
 const H_RELOAD: HistId = HistId(5);
 const H_SHED: HistId = HistId(6);
 const H_STATS: HistId = HistId(7);
+const H_INGEST: HistId = HistId(8);
 
 /// The endpoint-specific latency histogram (none for unrouted traffic).
 fn endpoint_hist(ep: Endpoint) -> Option<HistId> {
@@ -100,6 +103,7 @@ fn endpoint_hist(ep: Endpoint) -> Option<HistId> {
         Endpoint::Metrics => Some(H_METRICS),
         Endpoint::Reload => Some(H_RELOAD),
         Endpoint::AdminStats => Some(H_STATS),
+        Endpoint::Ingest => Some(H_INGEST),
         Endpoint::Other => None,
     }
 }
@@ -108,7 +112,7 @@ fn endpoint_hist(ep: Endpoint) -> Option<HistId> {
 const MAX_BODY: u64 = 1 << 20;
 
 /// How the server binds, scales, protects itself, and reports.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 asks the OS for an ephemeral port (the
     /// actual port is on [`ServerHandle::addr`]).
@@ -130,6 +134,24 @@ pub struct ServeConfig {
     /// the slow ring with their phase breakdown; 0 captures every
     /// request.
     pub slow_ms: u64,
+    /// An attached streaming pipeline (`None` for a plain server):
+    /// enables `POST /v1/admin/ingest`, pipeline stats/metrics, and
+    /// pipeline-aware idle detection. See [`IngestHook`].
+    pub ingest: Option<Arc<dyn IngestHook>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("max_inflight", &self.max_inflight)
+            .field("admin_token", &self.admin_token.as_ref().map(|_| "…"))
+            .field("log_out", &self.log_out)
+            .field("slow_ms", &self.slow_ms)
+            .field("ingest", &self.ingest.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -141,6 +163,7 @@ impl Default for ServeConfig {
             admin_token: None,
             log_out: None,
             slow_ms: 100,
+            ingest: None,
         }
     }
 }
@@ -150,6 +173,7 @@ impl Default for ServeConfig {
 struct ServerCtx {
     handle: Arc<ArtifactHandle>,
     admin_token: Option<String>,
+    ingest: Option<Arc<dyn IngestHook>>,
     tracer: RingTracer,
     log: AccessLog,
     slow: SlowRing,
@@ -227,6 +251,7 @@ pub fn start(handle: Arc<ArtifactHandle>, config: &ServeConfig) -> std::io::Resu
     let ctx = Arc::new(ServerCtx {
         handle,
         admin_token: config.admin_token.clone(),
+        ingest: config.ingest.clone(),
         tracer: RingTracer::with_metrics(
             &[],
             HIST_NAMES,
@@ -623,7 +648,10 @@ fn respond(
             Response::json(200, body, Endpoint::Healthz)
         }
         ("GET", "/metrics") => {
-            let text = prometheus_text(&ctx.tracer.drain());
+            let mut text = prometheus_text(&ctx.tracer.drain());
+            if let Some(hook) = &ctx.ingest {
+                text.push_str(&hook.metrics_text());
+            }
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
@@ -697,15 +725,17 @@ fn respond(
         },
         ("POST", "/admin/reload") => admin_reload(req, rid, ctx, lane),
         ("GET", "/admin/stats") => admin_stats(req, rid, index, ctx),
-        (_, "/healthz" | "/metrics" | "/query" | "/admin/reload" | "/admin/stats") => {
-            Response::error(
-                405,
-                "method_not_allowed",
-                &format!("{} does not accept {}", path, req.method),
-                Endpoint::Other,
-                rid,
-            )
-        }
+        ("POST", "/admin/ingest") => admin_ingest(req, rid, ctx),
+        (
+            _,
+            "/healthz" | "/metrics" | "/query" | "/admin/reload" | "/admin/stats" | "/admin/ingest",
+        ) => Response::error(
+            405,
+            "method_not_allowed",
+            &format!("{} does not accept {}", path, req.method),
+            Endpoint::Other,
+            rid,
+        ),
         (_, "/classify") => Response::error(
             405,
             "method_not_allowed",
@@ -765,6 +795,72 @@ fn admin_reload(req: &Request, rid: &str, ctx: &ServerCtx, lane: usize) -> Respo
     }
 }
 
+/// `POST /v1/admin/ingest`: bearer-authenticated row submission for
+/// an attached streaming pipeline. Body:
+/// `{"rows":[{"items":[3,17,42],"label":1}, …]}` with item ids and
+/// class labels indexing the *base dataset's* dictionaries. `503`
+/// when no pipeline is attached, `400` on malformed or out-of-range
+/// rows (all-or-nothing: a rejected batch journals no row).
+fn admin_ingest(req: &Request, rid: &str, ctx: &ServerCtx) -> Response {
+    if let Some(refusal) = admin_auth(req, rid, ctx, Endpoint::Ingest) {
+        return refusal;
+    }
+    let Some(hook) = &ctx.ingest else {
+        return Response::error(
+            503,
+            "ingest_unavailable",
+            "server has no streaming pipeline attached (start with --watch)",
+            Endpoint::Ingest,
+            rid,
+        );
+    };
+    let rows = match ingest_rows(&req.body) {
+        Ok(rows) => rows,
+        Err(msg) => return Response::error(400, "bad_request", &msg, Endpoint::Ingest, rid),
+    };
+    match hook.ingest(&rows) {
+        Ok(accepted) => {
+            let body = ObjBuilder::new()
+                .field("accepted", accepted)
+                .build()
+                .to_string();
+            Response::json(200, body, Endpoint::Ingest)
+        }
+        Err(msg) => Response::error(400, "bad_request", &msg, Endpoint::Ingest, rid),
+    }
+}
+
+/// Parses an ingest body: `{"rows":[{"items":[id,…],"label":n}, …]}`.
+fn ingest_rows(body: &str) -> Result<Vec<IngestRow>, String> {
+    let doc = Json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Err("body must be an object with a \"rows\" array".to_string());
+    };
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let Some(Json::Arr(items)) = row.get("items") else {
+                return Err(format!("rows[{i}] must have an \"items\" array"));
+            };
+            let ids = items
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .filter(|&id| id <= u32::MAX as u64)
+                        .map(|id| id as u32)
+                        .ok_or_else(|| format!("rows[{i}] items must be item ids (u32)"))
+                })
+                .collect::<Result<Vec<u32>, String>>()?;
+            let label = row
+                .get("label")
+                .and_then(Json::as_u64)
+                .filter(|&l| l <= u32::MAX as u64)
+                .ok_or_else(|| format!("rows[{i}] must have a numeric \"label\""))?;
+            Ok((ids, label as u32))
+        })
+        .collect()
+}
+
 /// `GET /v1/admin/stats`: bearer-authenticated live server stats —
 /// uptime, swap epoch, index shape and postings size, every counter
 /// and gauge, drop totals, and the slow-request capture ring.
@@ -782,11 +878,18 @@ fn admin_stats(req: &Request, rid: &str, index: &ShardedIndex, ctx: &ServerCtx) 
         gauges = gauges.field(name.as_str(), *v);
     }
     let postings = index.postings_entries();
-    let body = ObjBuilder::new()
+    let (failed_generation, last_reload_error) = match ctx.handle.last_reload_failure() {
+        Some((attempt, err)) => (Json::Int(attempt as i64), Json::Str(err)),
+        None => (Json::Null, Json::Null),
+    };
+    let mut body = ObjBuilder::new()
         .field("uptime_ns", ctx.clock.now_ns())
         .field("version", env!("CARGO_PKG_VERSION"))
         .field("artifact_version", ctx.handle.artifact_version() as u64)
         .field("epoch", ctx.handle.epoch())
+        .field("reload_attempts", ctx.handle.reload_attempts())
+        .field("failed_generation", failed_generation)
+        .field("last_reload_error", last_reload_error)
         .field("shards", index.n_shards())
         .field("groups", index.groups().len())
         .field("items", index.meta().n_items())
@@ -797,10 +900,11 @@ fn admin_stats(req: &Request, rid: &str, index: &ShardedIndex, ctx: &ServerCtx) 
         .field("counters", counters.build())
         .field("gauges", gauges.build())
         .field("slow_threshold_ns", ctx.slow.threshold_ns())
-        .field("slow", ctx.slow.snapshot_json())
-        .build()
-        .to_string();
-    Response::json(200, body, Endpoint::AdminStats)
+        .field("slow", ctx.slow.snapshot_json());
+    if let Some(hook) = &ctx.ingest {
+        body = body.field("pipeline", hook.stats());
+    }
+    Response::json(200, body.build().to_string(), Endpoint::AdminStats)
 }
 
 /// Parses a batch-classify body: `{"samples": [["tok", …], …]}`.

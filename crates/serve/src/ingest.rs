@@ -1,0 +1,47 @@
+//! The ingest hook: how a streaming pipeline plugs into the server.
+//!
+//! The serving crate deliberately knows nothing about journals or
+//! remining — that lives in `farmer-pipeline`, which depends on this
+//! crate (not the other way around). When a pipeline is attached
+//! ([`crate::ServeConfig::ingest`]), the server gains:
+//!
+//! - `POST /v1/admin/ingest` — bearer-authenticated row submission,
+//!   forwarded to [`IngestHook::ingest`] and journaled there;
+//! - a `pipeline` object in `GET /v1/admin/stats`
+//!   ([`IngestHook::stats`]);
+//! - extra `farmer_pipeline_*` families appended to `GET /v1/metrics`
+//!   ([`IngestHook::metrics_text`]);
+//! - pipeline liveness in the CLI's `--idle-exit-ms` loop
+//!   ([`IngestHook::activity`]), so a server busy remining journal
+//!   rows is not "idle" just because no HTTP traffic arrived.
+
+use farmer_support::json::Json;
+
+/// One ingested row: its item ids (strictly ascending) and class
+/// label, both indices into the *base dataset's* dictionaries.
+pub type IngestRow = (Vec<u32>, u32);
+
+/// The surface a streaming pipeline exposes to the server.
+///
+/// Implementations must be cheap to call concurrently from worker
+/// threads; [`ingest`](Self::ingest) may block briefly on the journal
+/// write but must not wait for a remine.
+pub trait IngestHook: Send + Sync {
+    /// Validates `rows` against the base dataset and appends them to
+    /// the journal. All-or-nothing: on `Err` no row was journaled.
+    /// Returns the number of rows accepted.
+    fn ingest(&self, rows: &[IngestRow]) -> Result<usize, String>;
+
+    /// A monotonic activity counter, bumped by every journaled row and
+    /// every publish. Pollers (the CLI idle-exit loop) treat a change
+    /// as "the server did something".
+    fn activity(&self) -> u64;
+
+    /// The pipeline's live stats as a JSON object, embedded under
+    /// `"pipeline"` in `GET /v1/admin/stats`.
+    fn stats(&self) -> Json;
+
+    /// Extra Prometheus exposition text (complete `# TYPE`d families,
+    /// newline-terminated) appended to `GET /v1/metrics`.
+    fn metrics_text(&self) -> String;
+}

@@ -43,6 +43,7 @@ mod client;
 mod handle;
 mod http;
 mod index;
+mod ingest;
 mod obs;
 mod shard;
 pub mod watch;
@@ -51,4 +52,5 @@ pub use client::{http_get, http_get_auth, http_post, HttpResponse};
 pub use handle::ArtifactHandle;
 pub use http::{start, ServeConfig, ServerHandle};
 pub use index::{Prediction, RuleGroupIndex};
+pub use ingest::{IngestHook, IngestRow};
 pub use shard::ShardedIndex;

@@ -45,6 +45,8 @@ pub(crate) const COUNTER_NAMES: &[&str] = &[
     "serve_reload_errors",
     "serve_admin_stats_requests",
     "serve_admin_stats_errors",
+    "serve_ingest_requests",
+    "serve_ingest_errors",
     "serve_other_requests",
     "serve_other_errors",
     "serve_responses_2xx",
@@ -57,12 +59,12 @@ pub(crate) const COUNTER_NAMES: &[&str] = &[
 
 pub(crate) const C_REQUESTS: CounterId = CounterId(0);
 pub(crate) const C_ERRORS: CounterId = CounterId(1);
-pub(crate) const C_2XX: CounterId = CounterId(16);
-pub(crate) const C_4XX: CounterId = CounterId(17);
-pub(crate) const C_5XX: CounterId = CounterId(18);
-pub(crate) const C_SHED: CounterId = CounterId(19);
-pub(crate) const C_RELOADS: CounterId = CounterId(20);
-pub(crate) const C_RELOAD_FAILURES: CounterId = CounterId(21);
+pub(crate) const C_2XX: CounterId = CounterId(18);
+pub(crate) const C_4XX: CounterId = CounterId(19);
+pub(crate) const C_5XX: CounterId = CounterId(20);
+pub(crate) const C_SHED: CounterId = CounterId(21);
+pub(crate) const C_RELOADS: CounterId = CounterId(22);
+pub(crate) const C_RELOAD_FAILURES: CounterId = CounterId(23);
 
 /// Gauge name table for the serving tracer.
 pub(crate) const GAUGE_NAMES: &[&str] = &["serve_inflight"];
@@ -78,6 +80,7 @@ pub(crate) enum Endpoint {
     Metrics,
     Reload,
     AdminStats,
+    Ingest,
     /// 404/405/413 and other unrouted traffic.
     Other,
 }
@@ -439,6 +442,7 @@ mod tests {
             (Metrics, "metrics"),
             (Reload, "reload"),
             (AdminStats, "admin_stats"),
+            (Ingest, "ingest"),
             (Other, "other"),
         ] {
             let (req, err) = endpoint_counters(ep);

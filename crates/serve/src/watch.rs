@@ -50,6 +50,10 @@ pub struct MetricsSnapshot {
     pub buckets: Vec<(f64, u64)>,
     /// `farmer_serve_request_ns_count`.
     pub count: u64,
+    /// The artifact swap epoch from `GET /v1/healthz` — not part of
+    /// the exposition; the poll loop fills it in so frames can flag
+    /// the exact scrape where a new artifact went live.
+    pub epoch: u64,
 }
 
 /// Parses the Prometheus text exposition into a [`MetricsSnapshot`].
@@ -145,15 +149,35 @@ pub fn render_frame(
     let p50 = quantile_ns(&cur.buckets, 0.50);
     let p95 = quantile_ns(&cur.buckets, 0.95);
     let p99 = quantile_ns(&cur.buckets, 0.99);
+    // Flag the frame where a publish landed: the serving epoch moved
+    // between this scrape and the previous one.
+    let swapped = if prev.is_some_and(|p| p.epoch != cur.epoch) {
+        " *artifact updated*"
+    } else {
+        ""
+    };
     format!(
         "req/s {rps:8.1} | err {err_rate:5.1}% | p50 {} p95 {} p99 {} | inflight {} | \
-         shed +{dshed} | reload +{dreload} | total {}\n{stats_line}",
+         shed +{dshed} | reload +{dreload} | epoch {}{swapped} | total {}\n{stats_line}",
         fmt_ms(p50),
         fmt_ms(p95),
         fmt_ms(p99),
         cur.inflight,
+        cur.epoch,
         cur.requests,
     )
+}
+
+/// The serving epoch from `GET /v1/healthz`, or 0 when the probe
+/// fails (the dashboard degrades rather than dying mid-loop).
+fn poll_epoch(addr: &str) -> u64 {
+    match http_get(addr, "/v1/healthz") {
+        Ok(resp) if resp.status == 200 => Json::parse(&resp.body)
+            .ok()
+            .and_then(|doc| doc.get("epoch").and_then(Json::as_u64))
+            .unwrap_or(0),
+        _ => 0,
+    }
 }
 
 /// One-line digest of `/v1/admin/stats`, or a graceful note when the
@@ -205,7 +229,8 @@ pub fn run_watch(opts: &WatchOptions, out: &mut impl Write) -> std::io::Result<(
                 format!("/v1/metrics answered HTTP {}", resp.status),
             ));
         }
-        let cur = parse_metrics(&resp.body);
+        let mut cur = parse_metrics(&resp.body);
+        cur.epoch = poll_epoch(&opts.addr);
         let elapsed = last.elapsed().as_secs_f64();
         last = std::time::Instant::now();
         let stats = stats_line(&opts.addr, opts.token.as_deref());
@@ -288,5 +313,24 @@ farmer_serve_request_ns_count 120
         assert!(frame.contains("shed +2"), "{frame}");
         assert!(frame.contains("inflight 3"), "{frame}");
         assert!(frame.contains("stats: n/a"), "{frame}");
+    }
+
+    #[test]
+    fn frames_flag_an_epoch_change_and_stay_quiet_otherwise() {
+        let mut prev = parse_metrics(SAMPLE);
+        prev.epoch = 3;
+        let mut cur = parse_metrics(SAMPLE);
+        cur.epoch = 3;
+        let same = render_frame(Some(&prev), &cur, 1.0, "");
+        assert!(same.contains("epoch 3"), "{same}");
+        assert!(!same.contains("artifact updated"), "{same}");
+
+        cur.epoch = 4;
+        let moved = render_frame(Some(&prev), &cur, 1.0, "");
+        assert!(moved.contains("epoch 4 *artifact updated*"), "{moved}");
+
+        // The very first frame has no baseline: never flagged.
+        let first = render_frame(None, &cur, 1.0, "");
+        assert!(!first.contains("artifact updated"), "{first}");
     }
 }

@@ -121,17 +121,36 @@
 //! does) sort with [`farmer_core::canonical_sort`] first; the
 //! round-trip property tests pin `save → load` to reproduce
 //! byte-identical [`farmer_core::dump_groups`] dumps.
+//!
+//! # Companions
+//!
+//! Two sibling formats/protocols live here because they share the
+//! store's framing idioms and error taxonomy:
+//!
+//! * the append-only `.fgd` **row journal** for streaming ingest
+//!   ([`JournalWriter`], [`read_journal`]; wire layout in
+//!   [`journal`](self::JOURNAL_MAGIC)'s module docs), and
+//! * **atomic publication** of a freshly mined artifact over a live
+//!   one ([`publish_artifact`]: temp file → fsync → rename → directory
+//!   fsync).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+mod journal;
 mod meta;
+mod publish;
 mod reader;
 mod writer;
 
 pub use error::StoreError;
+pub use journal::{
+    dataset_fingerprint, read_journal, Journal, JournalRecord, JournalWriter, JOURNAL_HEADER_LEN,
+    JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use meta::ArtifactMeta;
+pub use publish::publish_artifact;
 pub use reader::{peek_version, read_artifact, Artifact};
 pub use writer::{save_artifact, save_artifact_versioned, ArtifactWriter};
 

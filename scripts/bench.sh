@@ -35,3 +35,7 @@ cargo run -q --offline --release -p farmer-bench --bin pr7_serving -- --check BE
 echo "==> observability guard (BENCH_PR9.json)"
 cargo run -q --offline --release -p farmer-bench --bin pr9_observability
 cargo run -q --offline --release -p farmer-bench --bin pr9_observability -- --check BENCH_PR9.json
+
+echo "==> pipeline guard (BENCH_PR10.json)"
+cargo run -q --offline --release -p farmer-bench --bin pr10_pipeline
+cargo run -q --offline --release -p farmer-bench --bin pr10_pipeline -- --check BENCH_PR10.json

@@ -155,6 +155,41 @@ done
 wait "$hot_pid"
 grep -q 'shut down cleanly' "$tmp/hot.log"
 
+echo "==> streaming pipeline smoke (ingest -> remine -> hot publish)"
+./target/release/farmer mine --in "$tmp/m.txt" --min-sup 3 \
+  --save-irgs "$tmp/live.fgi" > /dev/null
+./target/release/farmer serve "$tmp/live.fgi" --workers 2 \
+  --watch --base "$tmp/m.txt" --journal "$tmp/live.fgd" \
+  --remine-debounce-ms 100 --min-sup 3 --class 1 \
+  --admin-token sekrit --idle-exit-ms 4000 > "$tmp/live.log" &
+live_pid=$!
+live_addr=""
+for _ in $(seq 1 100); do
+  live_addr="$(sed -n 's|.*at http://||p' "$tmp/live.log" | head -n1)"
+  [ -n "$live_addr" ] && break
+  sleep 0.1
+done
+[ -n "$live_addr" ]
+"$client" "$live_addr" /v1/healthz --expect 200 | grep -q '"epoch":0'
+# journal-side ingest from a separate process; the watch daemon picks
+# it up, remines, publishes atomically, and hot-swaps the served index
+./target/release/farmer ingest --journal "$tmp/live.fgd" --base "$tmp/m.txt" \
+  --items 0,1,2 --label 1 | grep -q 'appended 1 row'
+for _ in $(seq 1 100); do
+  "$client" "$live_addr" /v1/healthz --expect 200 | grep -q '"epoch":1' && break
+  sleep 0.1
+done
+"$client" "$live_addr" /v1/healthz --expect 200 | grep -q '"epoch":1'
+# the republished artifact still answers, and the admin stats carry
+# the pipeline block (journal rows, generation, publish counters)
+"$client" "$live_addr" "/v1/classify?items=0,1" --expect 200 | grep -q '"class"'
+"$client" "$live_addr" /v1/admin/stats --token sekrit --expect 200 \
+  > "$tmp/live_stats.json"
+grep -q '"pipeline"' "$tmp/live_stats.json"
+grep -q '"generation":1' "$tmp/live_stats.json"
+wait "$live_pid"
+grep -q 'shut down cleanly' "$tmp/live.log"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -201,5 +236,14 @@ cargo run -q --offline --release -p farmer-bench \
 # the committed report must keep the disabled path within 3% of PR 7
 cargo run -q --offline --release -p farmer-bench \
   --bin pr9_observability -- --check BENCH_PR9.json
+
+echo "==> pipeline guard smoke (1 sample) + committed BENCH_PR10.json bounds"
+FARMER_BENCH_SAMPLES=1 cargo run -q --offline --release -p farmer-bench \
+  --bin pr10_pipeline -- --out "$tmp/BENCH_PR10.json"
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr10_pipeline -- --check "$tmp/BENCH_PR10.json"
+# the committed pipeline report must honor the speedup bound too
+cargo run -q --offline --release -p farmer-bench \
+  --bin pr10_pipeline -- --check BENCH_PR10.json
 
 echo "==> verify OK"
